@@ -1,0 +1,53 @@
+"""Ablation: the alpha knob, including the paper's omitted point.
+
+"We do not show in this paper the results obtained with other possible
+configurations of the PROACTIVE strategy (e.g., alpha=0.75) since the
+variation in the results was not significant enough."
+
+This bench sweeps alpha over {0, 0.25, 0.5, 0.75, 1} on a quarter-scale
+SMALLER cloud and verifies the variation between adjacent alphas stays
+moderate, with the endpoints ordered as the goals dictate.
+"""
+
+from repro.experiments.config import SMALLER
+from repro.experiments.evaluation import prepare_workload
+from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator
+from repro.strategies.proactive import ProactiveStrategy
+from repro.workloads.qos import QoSPolicy
+
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+SCALE = 2500
+
+
+def test_alpha_sweep(benchmark, campaign, database):
+    config = SMALLER.scaled(SCALE)
+    jobs, _ = prepare_workload(config)
+    qos = QoSPolicy.from_optima(campaign.optima, factor=config.qos_factor)
+    simulator = DatacenterSimulator(DatacenterConfig(n_servers=config.n_servers))
+
+    results = {}
+
+    def sweep():
+        for alpha in ALPHAS:
+            results[alpha] = simulator.run(jobs, ProactiveStrategy(database, alpha=alpha), qos)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n=== alpha sweep (quarter-scale SMALLER cloud) ===")
+    print(f"{'alpha':>6s} {'makespan (s)':>14s} {'energy (kJ)':>12s} {'SLA %':>7s}")
+    for alpha in ALPHAS:
+        metrics = results[alpha].metrics
+        print(
+            f"{alpha:6.2f} {metrics.makespan_s:14.0f} "
+            f"{metrics.energy_kj:12.0f} {metrics.sla_violation_pct:7.1f}"
+        )
+
+    energies = [results[a].metrics.energy_j for a in ALPHAS]
+    makespans = [results[a].metrics.makespan_s for a in ALPHAS]
+    # Paper: variations across alphas are not very significant (<2% for
+    # energy between adjacent goals); we allow a little slack.
+    assert max(energies) / min(energies) < 1.15
+    assert max(makespans) / min(makespans) < 1.15
+    # Endpoint ordering: the energy goal consumes no more than the
+    # performance goal.
+    assert results[1.0].metrics.energy_j <= results[0.0].metrics.energy_j * 1.005

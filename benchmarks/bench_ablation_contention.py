@@ -1,0 +1,53 @@
+"""Ablation: contention-model coefficients vs the Fig. 2 shape.
+
+DESIGN.md calibrates the emulator so FFTW's optimum lands at 9 VMs.
+This bench sweeps the two dominant coefficients (thrash strength,
+hypervisor overhead) and reports where the optimum moves -- showing
+the calibration is a basin, not a knife's edge.
+"""
+
+from repro.campaign.base_tests import run_base_tests
+from repro.testbed.benchmarks import WorkloadClass, get_benchmark
+from repro.testbed.contention import ContentionParams
+from repro.testbed.spec import default_server
+
+
+def _optimum(params: ContentionParams) -> int:
+    curves = run_base_tests(
+        default_server(),
+        params=params,
+        max_vms=16,
+        classes=[WorkloadClass.CPU],
+        benchmarks={WorkloadClass.CPU: get_benchmark("fftw")},
+    )
+    curve = curves[WorkloadClass.CPU]
+    return min(curve, key=lambda p: p.avg_time_vm_s).n_vms
+
+
+def test_contention_sensitivity(benchmark):
+    sweeps = {
+        "default": ContentionParams(),
+        "thrash -33%": ContentionParams(thrash_coeff=0.8),
+        "thrash +50%": ContentionParams(thrash_coeff=1.8),
+        "virt x0.5": ContentionParams(virt_overhead_per_vm=0.01),
+        "virt x1.5": ContentionParams(virt_overhead_per_vm=0.03),
+        "interference x2": ContentionParams(same_class_interference=0.012),
+    }
+
+    optima = {}
+
+    def sweep():
+        for label, params in sweeps.items():
+            optima[label] = _optimum(params)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n=== FFTW optimum (#VMs) vs contention coefficients ===")
+    for label, value in optima.items():
+        marker = " <- paper's 9" if value == 9 else ""
+        print(f"  {label:>16s}: optimum at {value} VMs{marker}")
+
+    assert optima["default"] == 9
+    # The optimum moves only within a narrow band across wide
+    # perturbations: the Fig. 2 shape is robust, not knife-edge tuned.
+    assert all(7 <= v <= 11 for v in optima.values())

@@ -1,0 +1,44 @@
+"""Ablation: model-database access -- binary search vs linear scan.
+
+The paper sorts the database by the (Ncpu, Nmem, Nio) key so lookups
+cost O(log(num_tests)).  This bench measures the actual gap on the
+full campaign database.
+"""
+
+from repro.common.errors import ModelLookupError
+
+
+def _linear_lookup(records, key):
+    for record in records:
+        if record.key == key:
+            return record
+    raise ModelLookupError(key)
+
+
+def test_binary_search_lookup(benchmark, database):
+    keys = list(database.keys())
+
+    def lookup_all():
+        for key in keys:
+            database.lookup(key)
+
+    benchmark(lookup_all)
+    print(f"\nbinary search over {len(database)} records: O(log n) per lookup")
+
+
+def test_linear_scan_lookup(benchmark, database):
+    keys = list(database.keys())
+    records = list(database.records)
+
+    def lookup_all():
+        for key in keys:
+            _linear_lookup(records, key)
+
+    benchmark(lookup_all)
+    print(f"\nlinear scan over {len(database)} records: O(n) per lookup")
+
+
+def test_lookup_agreement(database):
+    records = list(database.records)
+    for key in database.keys():
+        assert database.lookup(key) == _linear_lookup(records, key)

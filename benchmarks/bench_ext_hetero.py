@@ -1,0 +1,68 @@
+"""Extension bench: heterogeneity-aware vs hardware-blind allocation.
+
+Future work the paper names: "extending the solution to be aware of and
+support heterogeneous server hardware".  A mixed legacy/modern cluster
+replays the same trace under (a) the stock PROACTIVE allocator that
+believes every box is a legacy Dell and (b) the class-aware allocator
+scoring each server through its own hardware's model database.
+"""
+
+from repro.campaign.platformrunner import run_campaign
+from repro.core.model import ModelDatabase
+from repro.ext.hetero import (
+    HeteroProactiveStrategy,
+    build_class_databases,
+    default_classes,
+)
+from repro.ext.hetero.classes import class_specs
+from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator
+from repro.strategies.proactive import ProactiveStrategy
+from repro.workloads.assignment import assign_profiles_and_vms, truncate_to_vm_budget
+from repro.workloads.cleaning import clean_trace
+from repro.workloads.qos import QoSPolicy
+from repro.workloads.synthetic import EGEETraceConfig, generate_egee_like_trace
+
+
+def test_hetero_vs_blind_allocation(benchmark):
+    classes = default_classes()
+    databases = build_class_databases(classes)
+    specs, labels = class_specs(classes, {"legacy": 6, "modern": 3})
+    config = DatacenterConfig(n_servers=len(specs), server_specs=specs)
+    simulator = DatacenterSimulator(config)
+    class_map = {f"s{i:04d}": label for i, label in enumerate(labels)}
+
+    raw = generate_egee_like_trace(
+        EGEETraceConfig(n_jobs=900, mean_burst_gap_s=40.0), rng=51
+    )
+    cleaned, _ = clean_trace(raw)
+    jobs = truncate_to_vm_budget(assign_profiles_and_vms(cleaned, rng=52), 1500)
+    legacy_campaign = run_campaign(server=classes[0].spec)
+    qos = QoSPolicy.from_optima(legacy_campaign.optima, factor=4.0)
+
+    blind = ProactiveStrategy(ModelDatabase.from_campaign(legacy_campaign), alpha=0.5)
+    aware = HeteroProactiveStrategy(databases, class_map, alpha=0.5)
+
+    results = {}
+
+    def run_both():
+        results["blind"] = simulator.run(jobs, blind, qos)
+        results["aware"] = simulator.run(jobs, aware, qos)
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print("\n=== heterogeneous cloud: blind vs class-aware allocation ===")
+    for label, result in results.items():
+        print(
+            f"  {label:6s} makespan={result.metrics.makespan_s:7.0f}s "
+            f"energy={result.metrics.energy_kj:7.0f}kJ "
+            f"SLA={result.metrics.sla_violation_pct:4.1f}%"
+        )
+    gain = 100.0 * (
+        results["blind"].metrics.energy_j - results["aware"].metrics.energy_j
+    ) / results["blind"].metrics.energy_j
+    print(f"  class-aware energy gain: {gain:.1f}%")
+
+    aware_metrics = results["aware"].metrics
+    blind_metrics = results["blind"].metrics
+    assert aware_metrics.energy_j <= blind_metrics.energy_j * 1.02
+    assert aware_metrics.makespan_s <= blind_metrics.makespan_s * 1.05

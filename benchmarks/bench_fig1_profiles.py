@@ -1,0 +1,30 @@
+"""Fig. 1: sub-system utilization over time for a CPU-intensive and a
+CPU- cum network-intensive workload.
+
+Prints the per-subsystem mean utilizations of both panels and times the
+full profiling pass (solo run + 1 Hz sampling + counters + classifier).
+"""
+
+from repro.experiments.fig1_profiles import fig1_profiles
+from repro.testbed.spec import SUBSYSTEMS
+
+
+def test_fig1_profiles(benchmark):
+    result = benchmark.pedantic(fig1_profiles, rounds=3, iterations=1)
+
+    print("\n=== Fig. 1: sub-system utilization (mean over run) ===")
+    header = f"{'panel':28s}" + "".join(f"{s.value:>10s}" for s in SUBSYSTEMS)
+    print(header)
+    for label, report in (
+        ("CPU-intensive (fftw)", result.cpu_intensive),
+        ("CPU+network (mpi_compute)", result.cpu_network_intensive),
+    ):
+        means = report.profile.mean_utilization
+        row = f"{label:28s}" + "".join(f"{means[s]:10.2f}" for s in SUBSYSTEMS)
+        print(row + f"   -> class={report.workload_class.value}")
+
+    # Paper shape: left panel CPU-only, right panel CPU + network.
+    assert result.cpu_intensive.workload_class.value == "cpu"
+    from repro.testbed.spec import Subsystem
+
+    assert result.cpu_network_intensive.profile.is_intensive(Subsystem.NETWORK)

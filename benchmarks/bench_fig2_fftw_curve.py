@@ -1,0 +1,22 @@
+"""Fig. 2: execution times of the FFTW benchmark vs co-located VM count.
+
+Paper: optimum at 9 VMs; significant degradation past 11; comparable
+to sequential by 16.  Prints the regenerated curve and times the
+16-point base-test sweep.
+"""
+
+from repro.experiments.fig2_basecurve import fig2_basecurve
+
+
+def test_fig2_fftw_curve(benchmark):
+    result = benchmark.pedantic(fig2_basecurve, rounds=3, iterations=1)
+
+    print("\n=== Fig. 2: FFTW average execution time per VM ===")
+    print(f"{'#VMs':>5s} {'avgTimeVM (s)':>14s} {'total (s)':>11s}")
+    for n, avg, total in zip(result.n_vms, result.avg_time_vm_s, result.total_time_s):
+        marker = "  <- optimum" if n == result.optimal_n else ""
+        print(f"{n:5d} {avg:14.1f} {total:11.1f}{marker}")
+    print(f"paper: optimum at 9 VMs -> measured optimum at {result.optimal_n}")
+
+    assert result.optimal_n == 9
+    assert result.degradation_at(12) > 1.5

@@ -1,0 +1,29 @@
+"""Fig. 3: the allocation algorithm's control flow.
+
+Fig. 3 is a block diagram; this bench walks the documented inputs
+(model database, auxiliary values, VM set with QoS, alpha) through the
+algorithm and times one full pass, printing the stage record.
+"""
+
+from repro.experiments.fig3_algorithm import fig3_contract
+
+
+def test_fig3_algorithm_contract(benchmark, campaign):
+    result = benchmark.pedantic(
+        lambda: fig3_contract(campaign=campaign), rounds=3, iterations=1
+    )
+
+    print("\n=== Fig. 3: allocation algorithm control flow ===")
+    print(f"(i)   model database        : {result.database_size} records")
+    print(f"(ii)  auxiliary OSC/OSM/OSI : {result.grid_bounds}")
+    print(f"(iii) VM set + QoS          : {result.n_requests} requests")
+    print(f"(iv)  optimization goal     : alpha = {result.alpha}")
+    print(f"search: {result.n_candidate_partitions} candidate partitions")
+    print(
+        f"output: {len(result.plan.assignments)} blocks on "
+        f"{len(set(result.plan.servers_used))} servers, "
+        f"QoS satisfied = {result.plan.qos_satisfied}"
+    )
+
+    assert result.all_inputs_used
+    assert result.plan.qos_satisfied

@@ -1,0 +1,21 @@
+"""Fig. 4: interval-weighted accounting -- the paper's worked example.
+
+ExecTime_VM1 = 0.7*1200 + 0.3*1800 = 1380 s
+Energy       = 0.35*15kJ + 0.15*20kJ + 0.5*12kJ = 14.25 kJ
+"""
+
+import pytest
+
+from repro.experiments.fig4_accounting import fig4_worked_example
+
+
+def test_fig4_worked_example(benchmark):
+    result = benchmark(fig4_worked_example)
+
+    print("\n=== Fig. 4: interval-weighted accounting worked example ===")
+    print(f"ExecTime_VM1 : paper 1380 s    -> measured {result.exec_time_vm1_s:.1f} s")
+    print(f"Energy       : paper 14.25 kJ  -> measured {result.energy_j / 1000:.2f} kJ")
+
+    assert result.exec_time_vm1_s == pytest.approx(1380.0)
+    assert result.energy_j == pytest.approx(14_250.0)
+    assert result.matches_paper

@@ -1,0 +1,45 @@
+"""Fig. 6: energy consumption (J) per strategy on both clouds.
+
+Paper headlines printed against the measured values: "saves around 12%
+of energy consumption on average with respect to first-fit (with and
+without VM multiplexing)" and "the PROACTIVE strategy with the energy
+optimization goal saves almost 3% more energy than the same strategy
+with the performance optimization goal".  The timed callable is one
+full-scale simulation cell (SMALLER cloud, PA-1).
+"""
+
+from repro.experiments.config import SMALLER
+from repro.experiments.report import format_series_table, headline_claims
+from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator
+from repro.strategies.proactive import ProactiveStrategy
+
+
+def test_fig6_energy(benchmark, evaluation_result, database, full_workload):
+    jobs, qos = full_workload
+    simulator = DatacenterSimulator(DatacenterConfig(n_servers=SMALLER.n_servers))
+    strategy = ProactiveStrategy(database, alpha=1.0)
+
+    benchmark.pedantic(lambda: simulator.run(jobs, strategy, qos), rounds=1, iterations=1)
+
+    print("\n=== Fig. 6: energy consumption (kJ) ===")
+    series = {
+        cloud: [(s, v / 1000.0) for s, v in cells]
+        for cloud, cells in evaluation_result.series("energy_j").items()
+    }
+    print(format_series_table(series, "{:.0f}"))
+    for claims in headline_claims(evaluation_result):
+        print(
+            f"{claims.cloud}: PA family saves {claims.avg_energy_saving_pct:.1f}% vs "
+            f"FF family average (paper: ~12%); PA-1 vs PA-0 energy "
+            f"{claims.pa1_vs_pa0_energy_pct:.1f}% (paper: ~3%)"
+        )
+
+    for claims in headline_claims(evaluation_result):
+        assert claims.avg_energy_saving_pct > 8.0
+        assert claims.pa1_vs_pa0_energy_pct > -1.0
+    # Energy in the SMALLER system is lower than in the LARGER one
+    # (fewer servers consuming; more consolidation opportunities).
+    assert (
+        evaluation_result.cell("SMALLER", "PA-1").energy_j
+        <= evaluation_result.cell("LARGER", "PA-1").energy_j * 1.02
+    )

@@ -1,0 +1,19 @@
+"""Table I: optimal-scenario parameters from the base tests.
+
+Prints the regenerated table (OSPx / OSEx / OSx / Tx per class) and
+times the three 16-point base-test sweeps plus extraction.
+"""
+
+from repro.experiments.table1_parameters import table1_parameters
+
+
+def test_table1_base_parameters(benchmark):
+    result = benchmark.pedantic(table1_parameters, rounds=3, iterations=1)
+
+    print("\n=== Table I: summary of parameters obtained in base tests ===")
+    for row in result.rows():
+        print("".join(f"{cell:>38s}" if i == 0 else f"{cell:>10s}" for i, cell in enumerate(row)))
+
+    optima = result.optima
+    assert optima.optima("cpu").osp == 9  # Fig. 2's optimum
+    assert optima.grid_bounds == (optima.osc, optima.osm, optima.osi)

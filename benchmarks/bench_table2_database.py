@@ -1,0 +1,24 @@
+"""Table II: the model database build (base + combined tests).
+
+Prints the database schema with sample rows and the experiment-count
+check against the paper's formula
+``(OSC+1)(OSM+1)(OSI+1) - (1+OSC+OSM+OSI)``; times the full campaign.
+"""
+
+from repro.experiments.table2_database import table2_database
+
+
+def test_table2_database_build(benchmark):
+    result = benchmark.pedantic(table2_database, rounds=1, iterations=1)
+
+    osc, osm, osi = result.campaign.optima.grid_bounds
+    print("\n=== Table II: model database ===")
+    print(
+        f"grid bounds OSC={osc} OSM={osm} OSI={osi}; "
+        f"combined tests = (OSC+1)(OSM+1)(OSI+1) - (1+OSC+OSM+OSI) = "
+        f"{result.expected_combined}; total records = {result.n_records}"
+    )
+    for row in result.sample_rows(limit=8):
+        print("".join(f"{cell:>12s}" for cell in row))
+
+    assert result.n_records == result.expected_combined + osc + osm + osi

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+``evaluation_result`` runs the paper's full-scale Figs. 5-7 evaluation
+(10,000 requested VMs, SMALLER and LARGER clouds, six strategies)
+exactly once per session; the per-figure benches print their series
+from it and time one representative full-scale simulation cell each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.platformrunner import CampaignResult, run_campaign
+from repro.core.model import ModelDatabase
+from repro.experiments.config import LARGER, SMALLER
+from repro.experiments.evaluation import EvaluationResult, prepare_workload, run_evaluation
+from repro.workloads.qos import QoSPolicy
+
+
+@pytest.fixture(scope="session")
+def campaign() -> CampaignResult:
+    return run_campaign()
+
+
+@pytest.fixture(scope="session")
+def database(campaign: CampaignResult) -> ModelDatabase:
+    return ModelDatabase.from_campaign(campaign)
+
+
+@pytest.fixture(scope="session")
+def evaluation_result(campaign: CampaignResult) -> EvaluationResult:
+    """The full-scale evaluation behind Figs. 5, 6 and 7."""
+    return run_evaluation(configs=(SMALLER, LARGER), campaign=campaign)
+
+
+@pytest.fixture(scope="session")
+def full_workload(campaign: CampaignResult):
+    """(jobs, qos) of the full-scale trace, for single-cell timings."""
+    jobs, _ = prepare_workload(SMALLER)
+    qos = QoSPolicy.from_optima(campaign.optima, factor=SMALLER.qos_factor)
+    return jobs, qos

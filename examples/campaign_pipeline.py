@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The full model-building methodology, step by step (paper Sect. III).
+
+1. profile the HPC benchmark suite (subsystem usage + classification),
+2. base tests: per-class consolidation curves (Fig. 2 / Table I),
+3. combined tests: the full (Ncpu, Nmem, Nio) grid (Table II),
+4. persist the model to the paper's plain-text CSV + auxiliary file,
+5. reload and query it.
+
+Run:  python examples/campaign_pipeline.py [output_dir]
+"""
+
+import sys
+import tempfile
+
+from repro.campaign import expected_combination_count, run_campaign
+from repro.core import ModelDatabase
+from repro.profiling import ApplicationProfiler
+from repro.testbed import BENCHMARKS, WorkloadClass
+
+
+def main(output_dir: str) -> None:
+    # --- 1. profiling -------------------------------------------------
+    print("=== 1. application profiling (Sect. III-A) ===")
+    profiler = ApplicationProfiler()
+    for report in profiler.profile_many(list(BENCHMARKS.values())):
+        print(f"  {report.summary()}")
+
+    # --- 2 & 3. base + combined tests ---------------------------------
+    print("\n=== 2-3. benchmarking campaign (Sect. III-B) ===")
+    campaign = run_campaign(progress=lambda msg: print(f"  {msg}"))
+    optima = campaign.optima
+
+    print("\n  Table I:")
+    for workload_class in WorkloadClass:
+        entry = optima.optima(workload_class)
+        print(
+            f"    {workload_class.value:>4s}: OSP={entry.osp:2d} OSE={entry.ose:2d} "
+            f"OS={entry.os_bound:2d} T={entry.t_single_s:.0f}s"
+        )
+    osc, osm, osi = optima.grid_bounds
+    print(
+        f"  combined tests: (OSC+1)(OSM+1)(OSI+1) - (1+OSC+OSM+OSI) = "
+        f"{expected_combination_count(osc, osm, osi)}"
+    )
+
+    # --- 4. persistence (Sect. III-C) ----------------------------------
+    db_path, aux_path = campaign.save(output_dir)
+    print(f"\n=== 4. model stored as plain-text CSV ===\n  {db_path}\n  {aux_path}")
+
+    # --- 5. reload and query -------------------------------------------
+    database = ModelDatabase.from_files(db_path, aux_path)
+    print(f"\n=== 5. reloaded: {len(database)} records ===")
+    for key in [(1, 0, 0), (4, 1, 1), optima.grid_bounds]:
+        estimate = database.estimate(key)
+        print(
+            f"  mix {key}: time {estimate.time_s:.0f}s, "
+            f"avg/VM {estimate.avg_time_vm_s:.0f}s, "
+            f"energy {estimate.energy_j / 1000:.0f}kJ, "
+            f"avg power {estimate.avg_power_w:.0f}W"
+        )
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="repro-model-")
+    main(target)

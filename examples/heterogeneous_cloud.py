@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Allocation across heterogeneous server hardware.
+
+Builds per-class model databases (a legacy quad-core Dell next to a
+modern 8-core node), then replays a trace with the class-aware
+allocator and compares against treating every box as a legacy Dell.
+
+Run:  python examples/heterogeneous_cloud.py
+"""
+
+from repro.campaign import run_campaign
+from repro.core import ModelDatabase
+from repro.ext.hetero import (
+    HeteroProactiveStrategy,
+    build_class_databases,
+    default_classes,
+)
+from repro.ext.hetero.classes import class_specs
+from repro.sim import DatacenterConfig, DatacenterSimulator
+from repro.strategies import ProactiveStrategy
+from repro.workloads import EGEETraceConfig, clean_trace, generate_egee_like_trace
+from repro.workloads.assignment import assign_profiles_and_vms, truncate_to_vm_budget
+from repro.workloads.qos import QoSPolicy
+
+
+def main() -> None:
+    classes = default_classes()
+    print("benchmarking campaigns per server class...")
+    databases = build_class_databases(classes)
+    for name, database in databases.items():
+        print(f"  {name:>7s}: {len(database)} records, grid bounds {database.grid_bounds}")
+
+    counts = {"legacy": 4, "modern": 2}
+    specs, labels = class_specs(classes, counts)
+    config = DatacenterConfig(n_servers=len(specs), server_specs=specs)
+    simulator = DatacenterSimulator(config)
+    class_map = {f"s{i:04d}": label for i, label in enumerate(labels)}
+
+    trace = generate_egee_like_trace(EGEETraceConfig(n_jobs=500), rng=31)
+    cleaned, _ = clean_trace(trace)
+    jobs = truncate_to_vm_budget(assign_profiles_and_vms(cleaned, rng=32), 800)
+    legacy_campaign = run_campaign(server=classes[0].spec)
+    qos = QoSPolicy.from_optima(legacy_campaign.optima, factor=4.0)
+
+    print(f"\ncluster: {counts} -> {len(specs)} servers; trace: {len(jobs)} jobs\n")
+
+    hetero = HeteroProactiveStrategy(databases, class_map, alpha=0.5)
+    naive = ProactiveStrategy(ModelDatabase.from_campaign(legacy_campaign), alpha=0.5)
+    naive.name = "PA-0.5-naive"
+
+    for strategy in (naive, hetero):
+        result = simulator.run(jobs, strategy, qos)
+        print(
+            f"{strategy.name:16s} makespan={result.metrics.makespan_s:7.0f}s "
+            f"energy={result.metrics.energy_kj:7.0f}kJ "
+            f"SLA={result.metrics.sla_violation_pct:4.1f}%"
+        )
+    print(
+        "\nthe class-aware allocator exploits the 8-core nodes' larger "
+        "consolidation envelope instead of treating them as legacy boxes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Profile the HPC benchmark suite and render Fig. 1-style traces.
+
+Prints an ASCII utilization timeline per subsystem for each benchmark
+(the paper's Fig. 1 shows these as line charts) plus the resulting
+intensity classification that feeds the allocator.
+
+Run:  python examples/profile_applications.py [benchmark ...]
+"""
+
+import sys
+
+from repro.profiling import ApplicationProfiler
+from repro.testbed import BENCHMARKS, get_benchmark
+from repro.testbed.spec import SUBSYSTEMS
+
+#: 8-level ASCII ramp for utilization 0..1.
+_RAMP = " .:-=+*#"
+
+
+def sparkline(values, width=72):
+    """Downsample a [0,1] series into a fixed-width ASCII sparkline."""
+    if len(values) == 0:
+        return ""
+    step = max(1, len(values) // width)
+    chars = []
+    for i in range(0, len(values), step):
+        window = values[i : i + step]
+        level = sum(window) / len(window)
+        chars.append(_RAMP[min(len(_RAMP) - 1, int(level * len(_RAMP)))])
+    return "".join(chars[:width])
+
+
+def main(names) -> None:
+    profiler = ApplicationProfiler()
+    for name in names:
+        report = profiler.profile(get_benchmark(name))
+        print(f"\n=== {report.summary()} ===")
+        for subsystem in SUBSYSTEMS:
+            series = report.trace.utilization[subsystem]
+            mean = report.trace.mean_utilization(subsystem)
+            flag = "*" if report.profile.is_intensive(subsystem) else " "
+            print(f"  {subsystem.value:>8s} {flag} |{sparkline(series)}| mean={mean:.2f}")
+        total_misses = sum(sample.l2_misses for sample in report.counters)
+        print(f"  perfctr: {total_misses:.2e} L2 misses over the run (memory-activity proxy)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or list(BENCHMARKS))

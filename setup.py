@@ -1,0 +1,9 @@
+"""Shim for environments whose setuptools cannot do PEP-660 editable
+installs (no ``wheel`` package available offline).  All metadata lives
+in ``pyproject.toml``; this file only enables ``pip install -e .`` via
+the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,118 @@
+"""Combined tests: all cross-class mixes (paper Sect. III-B).
+
+"The second part of the benchmarking consists of running all the
+possible combinations of workload types with different number of VMs.
+Considering the limitations introduced previously, the following number
+of experiments were required:
+``(OSC+1)*(OSM+1)*(OSI+1) - (1+OSC+OSM+OSI)``.
+The combinations excluded are those that do not require any VM of each
+workload type [the all-zero combination] and the base tests
+[single-class combinations]."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from repro.campaign.optimal import OptimalScenarios
+from repro.campaign.records import BenchmarkRecord, MixKey
+from repro.common.errors import ConfigurationError
+from repro.testbed.benchmarks import (
+    BenchmarkSpec,
+    WorkloadClass,
+    canonical_benchmark,
+)
+from repro.testbed.contention import ContentionParams
+from repro.testbed.meter import PowerMeter
+from repro.testbed.runner import VMInstance, run_mix
+from repro.testbed.spec import ServerSpec
+
+
+def expected_combination_count(osc: int, osm: int, osi: int) -> int:
+    """The paper's experiment-count formula for the combined tests."""
+    for name, value in (("osc", osc), ("osm", osm), ("osi", osi)):
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    return (osc + 1) * (osm + 1) * (osi + 1) - (1 + osc + osm + osi)
+
+
+def combination_grid(osc: int, osm: int, osi: int) -> Iterator[MixKey]:
+    """Yield the combined-test keys in ascending (Ncpu, Nmem, Nio) order.
+
+    Excludes the all-zero key and the pure single-class keys (base
+    tests); yields exactly :func:`expected_combination_count` keys.
+    """
+    for ncpu in range(osc + 1):
+        for nmem in range(osm + 1):
+            for nio in range(osi + 1):
+                nonzero_dims = (ncpu > 0) + (nmem > 0) + (nio > 0)
+                if nonzero_dims >= 2:
+                    yield (ncpu, nmem, nio)
+
+
+def build_mix_instances(
+    key: MixKey,
+    benchmarks: Mapping[WorkloadClass, BenchmarkSpec] | None = None,
+) -> list[VMInstance]:
+    """Materialize the VM instances of a (Ncpu, Nmem, Nio) mix."""
+    ncpu, nmem, nio = key
+    instances: list[VMInstance] = []
+    for workload_class, count in (
+        (WorkloadClass.CPU, ncpu),
+        (WorkloadClass.MEM, nmem),
+        (WorkloadClass.IO, nio),
+    ):
+        benchmark = (
+            benchmarks[workload_class]
+            if benchmarks is not None
+            else canonical_benchmark(workload_class)
+        )
+        for i in range(count):
+            instances.append(VMInstance(f"{workload_class.value}-{i}", benchmark))
+    return instances
+
+
+def run_combined_tests(
+    server: ServerSpec,
+    optima: OptimalScenarios,
+    params: ContentionParams | None = None,
+    benchmarks: Mapping[WorkloadClass, BenchmarkSpec] | None = None,
+    meter: PowerMeter | None = None,
+    progress: Callable[[MixKey], None] | None = None,
+) -> list[BenchmarkRecord]:
+    """Run every combined-test mix and return its Table II records.
+
+    The grid bounds come from the base tests' Table I via
+    ``optima.grid_bounds``; mixes larger than the server's VM limit are
+    rejected up front (a configuration problem: the base tests should
+    have bounded OSx below it).
+    """
+    osc, osm, osi = optima.grid_bounds
+    worst_case = osc + osm + osi
+    if worst_case > server.max_vms:
+        raise ConfigurationError(
+            f"grid corner ({osc},{osm},{osi}) needs {worst_case} VMs but the "
+            f"server supports {server.max_vms}; re-run base tests with a "
+            f"tighter max or a larger server"
+        )
+    records: list[BenchmarkRecord] = []
+    for key in combination_grid(osc, osm, osi):
+        if progress is not None:
+            progress(key)
+        instances = build_mix_instances(key, benchmarks)
+        result = run_mix(server, instances, params=params, meter=meter)
+        if meter is not None and result.meter_reading is not None:
+            energy = float(result.meter_reading.energy_j)
+            max_power = float(result.meter_reading.max_power_w)
+        else:
+            energy = float(result.energy_j)
+            max_power = float(result.max_power_w)
+        records.append(
+            BenchmarkRecord.from_measurement(
+                key,
+                time_s=float(result.total_time_s),
+                energy_j=energy,
+                max_power_w=max_power,
+            )
+        )
+    return records

@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the reproduction end to end:
+
+* ``profile``   -- profile benchmarks, print Fig. 1-style summaries,
+* ``campaign``  -- run the benchmarking campaign and write the CSV
+  database + auxiliary file,
+* ``allocate``  -- load a model from disk and place a described batch,
+* ``evaluate``  -- the Figs. 5-7 evaluation at a chosen VM budget,
+* ``fig2``      -- print the FFTW base curve as an ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.campaign.platformrunner import run_campaign
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.model import ModelDatabase
+from repro.experiments.ascii import bar_chart, line_curve
+from repro.experiments.config import LARGER, SMALLER
+from repro.experiments.evaluation import run_evaluation
+from repro.experiments.fig2_basecurve import fig2_basecurve
+from repro.experiments.report import headline_claims
+from repro.profiling.profiler import ApplicationProfiler
+from repro.testbed.benchmarks import BENCHMARKS, WorkloadClass, get_benchmark
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-aware application-centric VM allocation (IPDPS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="profile benchmark workloads")
+    profile.add_argument("benchmarks", nargs="*", default=[], metavar="NAME")
+
+    campaign = sub.add_parser("campaign", help="run the benchmarking campaign")
+    campaign.add_argument("--output", "-o", required=True, help="directory for the CSV files")
+    campaign.add_argument("--meter-accuracy", type=float, default=0.0)
+    campaign.add_argument("--quiet", action="store_true")
+
+    allocate = sub.add_parser("allocate", help="allocate a VM batch through a stored model")
+    allocate.add_argument("--model", required=True, help="directory holding model_database.csv")
+    allocate.add_argument("--alpha", type=float, default=0.5)
+    allocate.add_argument("--servers", type=int, default=4)
+    allocate.add_argument(
+        "--vms",
+        default="4cpu,2mem,2io",
+        help="batch spec, e.g. '4cpu,2mem,1io'",
+    )
+
+    evaluate = sub.add_parser("evaluate", help="run the Figs. 5-7 evaluation")
+    evaluate.add_argument("--vm-budget", type=int, default=2500)
+    evaluate.add_argument("--quiet", action="store_true")
+
+    fig2 = sub.add_parser("fig2", help="print the FFTW base-test curve")
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every paper artifact and print the summary"
+    )
+    reproduce.add_argument("--vm-budget", type=int, default=2500)
+    reproduce.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def _parse_batch(spec: str) -> list[VMRequest]:
+    requests: list[VMRequest] = []
+    for part in spec.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        for class_name in ("cpu", "mem", "io"):
+            if part.endswith(class_name):
+                count = int(part[: -len(class_name)] or "1")
+                for i in range(count):
+                    requests.append(
+                        VMRequest(f"{class_name}-{len(requests)}", WorkloadClass(class_name))
+                    )
+                break
+        else:
+            raise SystemExit(f"bad batch component {part!r}; expected e.g. '4cpu'")
+    if not requests:
+        raise SystemExit("empty batch")
+    return requests
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    names = args.benchmarks or list(BENCHMARKS)
+    profiler = ApplicationProfiler()
+    for name in names:
+        report = profiler.profile(get_benchmark(name))
+        print(report.summary())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else print
+    campaign = run_campaign(meter_accuracy=args.meter_accuracy, progress=progress)
+    db_path, aux_path = campaign.save(args.output)
+    print(f"wrote {db_path}")
+    print(f"wrote {aux_path}")
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    import os
+
+    db_path = os.path.join(args.model, "model_database.csv")
+    aux_path = os.path.join(args.model, "auxiliary.csv")
+    database = ModelDatabase.from_files(db_path, aux_path)
+    requests = _parse_batch(args.vms)
+    servers = [ServerState(f"s{i}") for i in range(args.servers)]
+    plan = ProactiveAllocator(database, alpha=args.alpha).allocate(requests, servers)
+    for assignment in plan.assignments:
+        print(
+            f"{assignment.server_id}: {assignment.block} "
+            f"(mix {assignment.combined_key}, est {assignment.estimate.time_s:.0f}s)"
+        )
+    print(
+        f"makespan {plan.estimated_makespan_s:.0f}s, "
+        f"energy {plan.estimated_energy_j / 1000:.0f}kJ, QoS ok: {plan.qos_satisfied}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else print
+    configs = [SMALLER.scaled(args.vm_budget), LARGER.scaled(args.vm_budget)]
+    result = run_evaluation(configs=configs, progress=progress)
+    print()
+    print(bar_chart(result.series("makespan_s"), title="Fig. 5: makespan (s)"))
+    print()
+    print(bar_chart(result.series("energy_j"), title="Fig. 6: energy (J)"))
+    print()
+    print(
+        bar_chart(
+            result.series("sla_violation_pct"),
+            title="Fig. 7: SLA violations (%)",
+            value_format="{:.1f}",
+        )
+    )
+    for claims in headline_claims(result):
+        print(
+            f"{claims.cloud}: makespan -{claims.max_makespan_improvement_pct:.1f}% "
+            f"(vs worst FF), energy -{claims.avg_energy_saving_pct:.1f}% "
+            f"(vs FF family average)"
+        )
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    result = fig2_basecurve()
+    print(
+        line_curve(
+            [float(n) for n in result.n_vms],
+            list(result.avg_time_vm_s),
+            title="Fig. 2: FFTW average execution time per VM",
+            x_label="#VMs",
+            y_label="avgTimeVM (s)",
+        )
+    )
+    print(f"optimum at {result.optimal_n} VMs (paper: 9)")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.paper_summary import reproduce_paper
+
+    progress = None if args.quiet else print
+    reproduction = reproduce_paper(vm_budget=args.vm_budget, progress=progress)
+    print()
+    print(reproduction.report)
+    return 0
+
+
+_COMMANDS = {
+    "profile": _cmd_profile,
+    "campaign": _cmd_campaign,
+    "allocate": _cmd_allocate,
+    "evaluate": _cmd_evaluate,
+    "fig2": _cmd_fig2,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised intentionally by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+masking programming errors (``TypeError``/``ValueError`` raised by
+argument validation are allowed to propagate as-is when they indicate
+caller bugs; domain failures use this hierarchy).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with an inconsistent configuration.
+
+    Examples: a server specification with zero CPU capacity, a campaign
+    plan whose VM-count ceiling is smaller than one, or an experiment
+    config whose cloud sizes are non-positive.
+    """
+
+
+class ModelLookupError(ReproError, KeyError):
+    """A (Ncpu, Nmem, Nio) key could not be resolved in the model database.
+
+    Derives from :class:`KeyError` so that dictionary-style callers can
+    use their usual handling; carries the offending key.
+    """
+
+    def __init__(self, key: tuple[int, int, int], message: str | None = None):
+        self.key = key
+        super().__init__(message or f"no model record for VM mix {key!r}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
+
+
+class AllocationError(ReproError):
+    """Base class for failures of the VM allocation algorithm."""
+
+
+class InfeasibleAllocationError(AllocationError):
+    """No partition/server assignment satisfies the capacity constraints."""
+
+
+class QoSViolationError(AllocationError):
+    """Every feasible allocation violates at least one QoS deadline.
+
+    Raised only when the allocator runs in strict-QoS mode; the relaxed
+    mode described in the paper returns the best-effort allocation
+    instead.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A workload trace (raw grid log or SWF) could not be parsed."""
+
+    def __init__(self, message: str, *, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

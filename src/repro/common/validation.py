@@ -1,0 +1,72 @@
+"""Argument-validation helpers shared by public entry points.
+
+Small, explicit checkers that raise ``ValueError``/``TypeError`` with
+messages that name the offending parameter.  Library-internal hot paths
+skip these; they guard the public constructors and functions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it as float."""
+    value = float(value)
+    if not value > 0.0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it as float."""
+    value = float(value)
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it as float.
+
+    Used for utilizations and for the alpha trade-off knob ("alpha in
+    (0,...,1)" in the paper's notation).
+    """
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Require an integral value >= 1; return it as int."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(name: str, value: int) -> int:
+    """Require an integral value >= 0; return it as int."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_nonempty(name: str, seq: Sequence) -> Sequence:
+    """Require a non-empty sequence; return it."""
+    if len(seq) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return seq
+
+
+def check_sorted(name: str, values: Iterable[float]) -> None:
+    """Require a non-decreasing iterable of floats."""
+    prev = None
+    for i, v in enumerate(values):
+        if prev is not None and v < prev:
+            raise ValueError(f"{name} must be sorted non-decreasingly (index {i}: {v} < {prev})")
+        prev = v

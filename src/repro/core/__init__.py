@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the empirical allocation model and
+the proactive application-centric VM allocation algorithm (Sect. III).
+
+* :mod:`~repro.core.model` -- the model database: Table II records,
+  binary-search lookup, proportional estimation for off-grid mixes.
+* :mod:`~repro.core.partitions` -- set-partition generation (Orlov's
+  restricted-growth-string scheme) and the type-aware multiset
+  variant the allocator uses as its fast path.
+* :mod:`~repro.core.scoring` -- the alpha trade-off objective.
+* :mod:`~repro.core.allocator` -- the brute-force proactive allocator
+  with QoS constraints.
+* :mod:`~repro.core.plan` -- allocation plans (the algorithm's output).
+"""
+
+from repro.core.model import EstimatedOutcome, ModelDatabase
+from repro.core.partitions import (
+    bell_number,
+    set_partitions,
+    type_partitions,
+)
+from repro.core.scoring import ScoreWeights, score_candidates
+from repro.core.plan import AllocationPlan, BlockAssignment
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.whatif import GoalComparison, GoalOutcome, compare_goals
+
+__all__ = [
+    "EstimatedOutcome",
+    "ModelDatabase",
+    "bell_number",
+    "set_partitions",
+    "type_partitions",
+    "ScoreWeights",
+    "score_candidates",
+    "AllocationPlan",
+    "BlockAssignment",
+    "ProactiveAllocator",
+    "ServerState",
+    "VMRequest",
+    "GoalComparison",
+    "GoalOutcome",
+    "compare_goals",
+]

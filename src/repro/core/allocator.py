@@ -1,0 +1,448 @@
+"""The proactive application-centric VM allocation algorithm (Sect. III-D).
+
+Inputs, per the paper: "(i) the database with the allocation model,
+(ii) values from the base experiments such as OSC/OSM/OSI (can be
+extracted from the auxiliary file), (iii) a set of VMs and the
+application's profile and maximum execution time (QoS guarantees) for
+each of them, and (iv) the optimization goal (alpha).  The algorithm
+returns the allocation of VMs that best matches the input optimization
+goal while satisfying the QoS constraints."
+
+Search: brute force over partitions of the input VM set.  Because VMs
+are interchangeable within a workload class, the default fast path
+enumerates *type partitions* (multiset partitions over class counts)
+instead of raw Orlov set partitions -- the candidate spaces are
+equivalent for scoring purposes and the type-aware one is exponentially
+smaller.  Each partition's blocks are assigned greedily to the first
+feasible server in list order (feasible = the server's combined mix
+stays inside the database grid and under its VM limit); candidates are
+ranked by the alpha objective with ties resolving to the
+earliest-enumerated candidate, which implements "if two partitions have
+the same rank in different servers, we select the first server of the
+list".
+
+QoS: a candidate is compliant when, for every placed VM, the estimated
+execution time of its server's combined mix is within the VM's maximum
+execution time.  Strict mode raises when no compliant candidate exists
+("The algorithm can be relaxed by disregarding the QoS guarantees but
+it might be not acceptable for production system"); relaxed mode then
+falls back to the best non-compliant candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.campaign.records import MixKey, key_for_classes, total_vms
+from repro.common.errors import (
+    ConfigurationError,
+    InfeasibleAllocationError,
+    ModelLookupError,
+    QoSViolationError,
+)
+from repro.core.model import EstimatedOutcome, ModelDatabase
+from repro.core.partitions import type_partitions
+from repro.core.plan import AllocationPlan, BlockAssignment
+from repro.core.scoring import ScoreWeights, score_candidates
+from repro.testbed.benchmarks import WorkloadClass
+
+
+@dataclass(frozen=True)
+class VMRequest:
+    """One VM awaiting allocation.
+
+    ``max_exec_time_s`` is the QoS guarantee (maximum execution time);
+    ``None`` means no deadline.
+    """
+
+    vm_id: str
+    workload_class: WorkloadClass
+    max_exec_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.vm_id:
+            raise ConfigurationError("vm_id must be non-empty")
+        if self.max_exec_time_s is not None and self.max_exec_time_s <= 0:
+            raise ConfigurationError(
+                f"max_exec_time_s must be positive or None, got {self.max_exec_time_s}"
+            )
+        object.__setattr__(self, "workload_class", WorkloadClass(self.workload_class))
+
+
+@dataclass(frozen=True)
+class ServerState:
+    """A server's identity and its current (already running) mix."""
+
+    server_id: str
+    allocated: MixKey = (0, 0, 0)
+    max_vms: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.server_id:
+            raise ConfigurationError("server_id must be non-empty")
+        if min(self.allocated) < 0:
+            raise ConfigurationError(f"allocated counts must be >= 0, got {self.allocated}")
+        if self.max_vms is not None and self.max_vms < 1:
+            raise ConfigurationError(f"max_vms must be >= 1 or None, got {self.max_vms}")
+
+    def combined(self, block: MixKey) -> MixKey:
+        return (
+            self.allocated[0] + block[0],
+            self.allocated[1] + block[1],
+            self.allocated[2] + block[2],
+        )
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """Internal: one fully assigned partition, pre-scoring.
+
+    ``rank_time_s`` is the time aggregate used for ranking: the
+    estimated completion of the slowest touched server.  (An
+    alternative ranking by average-execution-time-per-VM -- the
+    paper's Sect. III metric -- rewards density so strongly that the
+    greedy assignment over-consolidates into thrashing mixes; see
+    DESIGN.md, "Key design choices".)  ``makespan_s`` keeps the
+    wall-clock completion estimate for QoS and plan reporting; with
+    this ranking the two coincide.
+    """
+
+    assignments: tuple[tuple[str, MixKey, MixKey, EstimatedOutcome], ...]
+    rank_time_s: float
+    makespan_s: float
+    energy_j: float
+    qos_ok: bool
+
+
+class ProactiveAllocator:
+    """The paper's allocation algorithm, bound to one model database.
+
+    Parameters
+    ----------
+    database:
+        The empirical model (records + Table I bounds).
+    alpha:
+        Optimization goal: 1 = minimize energy (PA-1), 0 = minimize
+        execution time (PA-0), 0.5 = balanced (PA-0.5).
+    strict_qos:
+        Raise :class:`QoSViolationError` when no QoS-compliant
+        allocation exists (otherwise return the best non-compliant
+        one).
+    max_candidates:
+        Safety valve on the brute-force enumeration; exceeding it
+        raises :class:`ConfigurationError` so callers learn they
+        passed an unreasonably large batch instead of hanging.
+    """
+
+    def __init__(
+        self,
+        database: ModelDatabase,
+        alpha: float = 0.5,
+        strict_qos: bool = True,
+        max_candidates: int = 2_000_000,
+    ):
+        self._db = database
+        self._weights = ScoreWeights(alpha)
+        self._strict_qos = bool(strict_qos)
+        if max_candidates < 1:
+            raise ConfigurationError(f"max_candidates must be >= 1, got {max_candidates}")
+        self._max_candidates = int(max_candidates)
+
+    @property
+    def database(self) -> ModelDatabase:
+        return self._db
+
+    @property
+    def alpha(self) -> float:
+        return self._weights.alpha
+
+    @property
+    def strict_qos(self) -> bool:
+        return self._strict_qos
+
+    def allocate(
+        self,
+        requests: Sequence[VMRequest],
+        servers: Sequence[ServerState],
+    ) -> AllocationPlan:
+        """Allocate a batch of VM requests onto the given servers.
+
+        Returns the best-scoring :class:`AllocationPlan`.
+
+        Raises
+        ------
+        InfeasibleAllocationError
+            No partition fits the servers' residual capacities.
+        QoSViolationError
+            (strict mode) capacity-feasible plans exist but all break
+            some VM's deadline.
+        """
+        if not requests:
+            return AllocationPlan(assignments=(), alpha=self.alpha, score=0.0, qos_satisfied=True)
+        if not servers:
+            raise InfeasibleAllocationError("no servers available")
+        ids = [r.vm_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate vm_id in batch: {ids}")
+
+        counts = key_for_classes([r.workload_class for r in requests])
+        deadlines = _tightest_deadlines(requests)
+        candidates = self._enumerate_candidates(counts, servers, deadlines)
+        if not candidates:
+            raise InfeasibleAllocationError(
+                f"no feasible partition of mix {counts} across {len(servers)} servers"
+            )
+
+        compliant = [c for c in candidates if c.qos_ok]
+        pool = compliant
+        qos_satisfied = True
+        if not compliant:
+            if self._strict_qos:
+                raise QoSViolationError(
+                    f"every feasible allocation of mix {counts} violates a deadline"
+                )
+            pool = candidates
+            qos_satisfied = False
+
+        scores = score_candidates([(c.rank_time_s, c.energy_j) for c in pool], self._weights)
+        best_index = 0
+        for i in range(1, len(scores)):
+            if scores[i] < scores[best_index] - 1e-12:
+                best_index = i
+        chosen = pool[best_index]
+        return self._materialize(chosen, requests, scores[best_index], qos_satisfied)
+
+    # -- internals ---------------------------------------------------
+
+    def _enumerate_candidates(
+        self,
+        counts: MixKey,
+        servers: Sequence[ServerState],
+        deadlines: "dict[WorkloadClass, float]",
+    ) -> list[_Candidate]:
+        """All (partition, greedy assignment) candidates with estimates."""
+        candidates: list[_Candidate] = []
+        bounds = self._db.grid_bounds
+        produced = 0
+        for partition in type_partitions(counts, bounds):
+            produced += 1
+            if produced > self._max_candidates:
+                raise ConfigurationError(
+                    f"partition enumeration exceeded {self._max_candidates} "
+                    f"candidates for mix {counts}; split the batch"
+                )
+            candidate = self._assign_partition(partition, servers, deadlines)
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    def _assign_partition(
+        self,
+        partition: tuple[MixKey, ...],
+        servers: Sequence[ServerState],
+        deadlines: "dict[WorkloadClass, float]",
+    ) -> _Candidate | None:
+        """Score-driven assignment of one partition's blocks to servers.
+
+        For every block (largest first -- hardest to fit, and the pass
+        is order-sensitive) each feasible server is evaluated by the
+        alpha objective over the *marginal* cost of hosting the block:
+        marginal energy (combined-mix energy minus what the server's
+        existing mix was already going to consume -- waking an empty
+        server pays its idle draw, joining a busy one amortizes it)
+        and the combined mix's completion time.  The block goes to the
+        best-scoring server, ties resolving to the first in list order
+        (the paper's rule).  Servers whose (current mix, VM cap) are
+        identical are interchangeable, so only the first of each
+        equivalence class is evaluated.
+
+        Returns None when some block cannot be placed anywhere.
+        """
+        max_time = self._db.time_range_s[1]
+        max_energy = self._db.energy_range_j[1]
+        residual: list[MixKey] = [s.allocated for s in servers]
+        base_energy: list[float | None] = [None] * len(servers)  # lazy
+        picks: list[tuple[str, MixKey, MixKey, EstimatedOutcome]] = []
+        touched: dict[int, tuple[float, EstimatedOutcome]] = {}  # index -> (energy0, final est)
+
+        for block in sorted(partition, key=total_vms, reverse=True):
+            block_deadline = _block_deadline(block, deadlines)
+            best_index: int | None = None
+            best_score = float("inf")
+            best_estimate: EstimatedOutcome | None = None
+            best_compliant = False
+            seen_classes: set[tuple[MixKey, int | None]] = set()
+            for index, server in enumerate(servers):
+                equivalence = (residual[index], server.max_vms)
+                if equivalence in seen_classes:
+                    continue
+                seen_classes.add(equivalence)
+                combined = (
+                    residual[index][0] + block[0],
+                    residual[index][1] + block[1],
+                    residual[index][2] + block[2],
+                )
+                if not self._db.within_bounds(combined):
+                    continue
+                if server.max_vms is not None and total_vms(combined) > server.max_vms:
+                    continue
+                try:
+                    estimate = self._db.estimate(combined)
+                except ModelLookupError:
+                    continue
+                if base_energy[index] is None:
+                    base_energy[index] = self._existing_energy(residual[index])
+                marginal_energy = max(0.0, estimate.energy_j - base_energy[index])
+                score = (
+                    self._weights.energy_weight * (marginal_energy / max_energy)
+                    + self._weights.time_weight * (estimate.time_s / max_time)
+                )
+                compliant = block_deadline is None or estimate.time_s <= block_deadline
+                # Deadline-compliant placements always beat non-compliant
+                # ones; within a compliance tier the alpha score decides.
+                better = (compliant, -score) > (best_compliant, -best_score)
+                if best_index is None or better:
+                    best_score = score
+                    best_index = index
+                    best_estimate = estimate
+                    best_compliant = compliant
+            if best_index is None:
+                return None
+            assert best_estimate is not None
+            if best_index not in touched:
+                energy0 = base_energy[best_index]
+                assert energy0 is not None
+                touched[best_index] = (energy0, best_estimate)
+            else:
+                touched[best_index] = (touched[best_index][0], best_estimate)
+            residual[best_index] = best_estimate.key
+            base_energy[best_index] = best_estimate.energy_j
+            picks.append(
+                (servers[best_index].server_id, block, best_estimate.key, best_estimate)
+            )
+
+        makespan = max(est.time_s for _, est in touched.values())
+        rank_time = makespan
+        energy = sum(max(0.0, est.energy_j - energy0) for energy0, est in touched.values())
+        qos_ok = all(
+            _block_meets_deadline(block, estimate, deadlines)
+            for _, block, _, estimate in picks
+        )
+        return _Candidate(
+            assignments=tuple(picks),
+            rank_time_s=rank_time,
+            makespan_s=makespan,
+            energy_j=energy,
+            qos_ok=qos_ok,
+        )
+
+    def _existing_energy(self, mix: MixKey) -> float:
+        """Energy the server's existing mix is already committed to.
+
+        Zero for an idle server: placing nothing there costs nothing,
+        so a block placed on it is charged the full combined-mix energy
+        including the idle draw it wakes up.
+        """
+        if total_vms(mix) == 0:
+            return 0.0
+        try:
+            return self._db.estimate(mix).energy_j
+        except ModelLookupError:
+            return 0.0
+
+    def _materialize(
+        self,
+        chosen: _Candidate,
+        requests: Sequence[VMRequest],
+        score: float,
+        qos_satisfied: bool,
+    ) -> AllocationPlan:
+        """Bind concrete VM ids to the chosen partition's blocks."""
+        queues: dict[WorkloadClass, list[str]] = {
+            WorkloadClass.CPU: [],
+            WorkloadClass.MEM: [],
+            WorkloadClass.IO: [],
+        }
+        for request in requests:
+            queues[request.workload_class].append(request.vm_id)
+
+        assignments: list[BlockAssignment] = []
+        for server_id, block, combined, estimate in chosen.assignments:
+            vm_ids: list[str] = []
+            for class_index, workload_class in enumerate(
+                (WorkloadClass.CPU, WorkloadClass.MEM, WorkloadClass.IO)
+            ):
+                take = block[class_index]
+                vm_ids.extend(queues[workload_class][:take])
+                del queues[workload_class][:take]
+            assignments.append(
+                BlockAssignment(
+                    server_id=server_id,
+                    block=block,
+                    vm_ids=tuple(vm_ids),
+                    combined_key=combined,
+                    estimate=estimate,
+                )
+            )
+        return AllocationPlan(
+            assignments=tuple(assignments),
+            alpha=self.alpha,
+            score=score,
+            qos_satisfied=qos_satisfied,
+        )
+
+def _tightest_deadlines(requests: Iterable[VMRequest]) -> dict[WorkloadClass, float]:
+    """Per-class minimum of the requests' QoS deadlines.
+
+    The paper defines QoS "per application type and not for each
+    specific request", so the class-level minimum is the binding
+    constraint for every block containing that class.
+    """
+    deadlines: dict[WorkloadClass, float] = {}
+    for request in requests:
+        if request.max_exec_time_s is None:
+            continue
+        current = deadlines.get(request.workload_class)
+        if current is None or request.max_exec_time_s < current:
+            deadlines[request.workload_class] = request.max_exec_time_s
+    return deadlines
+
+
+def _block_deadline(
+    block: MixKey,
+    deadlines: dict[WorkloadClass, float],
+) -> float | None:
+    """Tightest deadline among the classes a block contains."""
+    tightest: float | None = None
+    for class_index, workload_class in enumerate(
+        (WorkloadClass.CPU, WorkloadClass.MEM, WorkloadClass.IO)
+    ):
+        if block[class_index] == 0:
+            continue
+        deadline = deadlines.get(workload_class)
+        if deadline is not None and (tightest is None or deadline < tightest):
+            tightest = deadline
+    return tightest
+
+
+def _block_meets_deadline(
+    block: MixKey,
+    estimate: EstimatedOutcome,
+    deadlines: dict[WorkloadClass, float],
+) -> bool:
+    """QoS check for one block under its server's combined estimate.
+
+    The estimated execution time of every VM in the mix is the mix's
+    total time (the conservative bound); a block complies when that
+    bound fits the tightest deadline among the block's classes.
+    """
+    for class_index, workload_class in enumerate(
+        (WorkloadClass.CPU, WorkloadClass.MEM, WorkloadClass.IO)
+    ):
+        if block[class_index] == 0:
+            continue
+        deadline = deadlines.get(workload_class)
+        if deadline is not None and estimate.time_s > deadline:
+            return False
+    return True

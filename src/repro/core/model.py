@@ -1,0 +1,229 @@
+"""The empirical allocation model database (paper Sect. III-C).
+
+Wraps the Table II records produced by the benchmarking campaign in a
+query interface:
+
+* **exact lookup** by the (Ncpu, Nmem, Nio) key via binary search
+  ("As the registers of the database are accessed using binary search,
+  the searching cost is O(log(num_tests))");
+* **proportional estimation** for keys not present in the database
+  ("we lookup in our model database and use the matching values
+  proportionally"): the largest dominated in-grid mix is scaled by the
+  VM-count ratio;
+* grid-bound feasibility checks the allocator uses to decide whether a
+  mix may be placed on a server at all.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.campaign.csvdb import (
+    read_auxiliary_file,
+    read_records_csv,
+    write_auxiliary_file,
+    write_records_csv,
+)
+from repro.campaign.optimal import OptimalScenarios
+from repro.campaign.records import BenchmarkRecord, MixKey, total_vms
+from repro.common.errors import ConfigurationError, ModelLookupError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign.platformrunner import CampaignResult
+
+
+@dataclass(frozen=True)
+class EstimatedOutcome:
+    """Estimated time/energy for running one mix to completion.
+
+    ``exact`` distinguishes direct database hits from proportional
+    estimates.
+    """
+
+    key: MixKey
+    time_s: float
+    energy_j: float
+    exact: bool
+
+    @property
+    def n_vms(self) -> int:
+        return total_vms(self.key)
+
+    @property
+    def avg_time_vm_s(self) -> float:
+        return self.time_s / self.n_vms
+
+    @property
+    def avg_power_w(self) -> float:
+        """Mean power over the run; the per-interval draw the simulator
+        charges while this mix is active."""
+        if self.time_s == 0:
+            return 0.0
+        return self.energy_j / self.time_s
+
+
+class ModelDatabase:
+    """Sorted, binary-searched view over the campaign's Table II records.
+
+    Parameters
+    ----------
+    records:
+        The measured rows (base + combined tests); any order, unique
+        keys.
+    optima:
+        The Table I parameters (grid bounds OSC/OSM/OSI and reference
+        times TC/TM/TI) from the auxiliary file.
+    """
+
+    def __init__(self, records: Iterable[BenchmarkRecord], optima: OptimalScenarios):
+        ordered = sorted(records)
+        if not ordered:
+            raise ConfigurationError("model database needs at least one record")
+        keys = [r.key for r in ordered]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ConfigurationError(f"duplicate record keys: {dupes}")
+        self._records: tuple[BenchmarkRecord, ...] = tuple(ordered)
+        self._keys: list[MixKey] = keys
+        self._optima = optima
+        self._time_range = (
+            min(r.time_s for r in ordered),
+            max(r.time_s for r in ordered),
+        )
+        self._energy_range = (
+            min(r.energy_j for r in ordered),
+            max(r.energy_j for r in ordered),
+        )
+
+    # -- construction ------------------------------------------------
+
+    @classmethod
+    def from_campaign(cls, result: "CampaignResult") -> "ModelDatabase":
+        """Build directly from a campaign run (no file round-trip)."""
+        return cls(result.records, result.optima)
+
+    @classmethod
+    def from_files(
+        cls, db_path: str | os.PathLike, aux_path: str | os.PathLike
+    ) -> "ModelDatabase":
+        """Load the CSV database and auxiliary file from disk."""
+        return cls(read_records_csv(db_path), read_auxiliary_file(aux_path))
+
+    def save(self, db_path: str | os.PathLike, aux_path: str | os.PathLike) -> None:
+        """Persist to the paper's plain-text formats."""
+        write_records_csv(self._records, db_path)
+        write_auxiliary_file(self._optima, aux_path)
+
+    # -- introspection -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[BenchmarkRecord]:
+        return self._records
+
+    @property
+    def optima(self) -> OptimalScenarios:
+        return self._optima
+
+    @property
+    def grid_bounds(self) -> tuple[int, int, int]:
+        """(OSC, OSM, OSI): per-dimension maxima of placeable mixes."""
+        return self._optima.grid_bounds
+
+    @property
+    def time_range_s(self) -> tuple[float, float]:
+        """(min, max) of the Time column; used for score normalization."""
+        return self._time_range
+
+    @property
+    def energy_range_j(self) -> tuple[float, float]:
+        """(min, max) of the Energy column; used for score normalization."""
+        return self._energy_range
+
+    def keys(self) -> Sequence[MixKey]:
+        return tuple(self._keys)
+
+    # -- queries -----------------------------------------------------
+
+    def within_bounds(self, key: MixKey) -> bool:
+        """Whether a mix lies inside the measured grid (placeable)."""
+        osc, osm, osi = self.grid_bounds
+        ncpu, nmem, nio = key
+        return 0 <= ncpu <= osc and 0 <= nmem <= osm and 0 <= nio <= osi
+
+    def __contains__(self, key: MixKey) -> bool:
+        index = bisect_left(self._keys, key)
+        return index < len(self._keys) and self._keys[index] == key
+
+    def lookup(self, key: MixKey) -> BenchmarkRecord:
+        """Exact O(log n) lookup of one record.
+
+        Raises
+        ------
+        ModelLookupError
+            If the key has no record.
+        """
+        index = bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return self._records[index]
+        raise ModelLookupError(key)
+
+    def estimate(self, key: MixKey) -> EstimatedOutcome:
+        """Estimated outcome for a mix, exact when measured.
+
+        For keys inside the grid but missing from the database (which
+        can only happen with a partial campaign) and for callers that
+        tolerate off-grid mixes, the estimate scales the *largest
+        dominated* record -- the in-database mix with component-wise
+        counts <= the query maximizing total VM count -- by the ratio
+        of VM totals.  This is the "use the matching values
+        proportionally" rule; it underestimates contention (linear in
+        VM count) and is therefore an optimistic bound, which the
+        evaluation acknowledges by always simulating ground truth
+        through the testbed model.
+
+        Raises
+        ------
+        ModelLookupError
+            If no record is dominated by the query (cannot happen for
+            a complete campaign database queried with a non-empty mix).
+        """
+        if total_vms(key) == 0:
+            raise ValueError("cannot estimate the empty mix")
+        try:
+            record = self.lookup(key)
+            return EstimatedOutcome(
+                key=key, time_s=record.time_s, energy_j=record.energy_j, exact=True
+            )
+        except ModelLookupError:
+            pass
+
+        best: BenchmarkRecord | None = None
+        for record in self._records:
+            if (
+                record.ncpu <= key[0]
+                and record.nmem <= key[1]
+                and record.nio <= key[2]
+            ):
+                if best is None or record.n_vms > best.n_vms or (
+                    record.n_vms == best.n_vms and record.key > best.key
+                ):
+                    best = record
+        if best is None:
+            raise ModelLookupError(key, f"no record dominated by mix {key!r}")
+        scale = total_vms(key) / best.n_vms
+        return EstimatedOutcome(
+            key=key,
+            time_s=best.time_s * scale,
+            energy_j=best.energy_j * scale,
+            exact=False,
+        )
+
+    def reference_time(self, workload_class) -> float:
+        """Tx: solo runtime of one VM of the given class."""
+        return self._optima.reference_time(workload_class)

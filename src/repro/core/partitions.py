@@ -1,0 +1,181 @@
+"""Set-partition generation (paper Sect. III-D).
+
+"As the number of partitions of a set might be large, we used the
+search algorithm discussed in [21] [M. Orlov, 'Efficient Generation of
+Set Partitions', 2002], which is efficient in terms of complexity."
+
+Two generators live here:
+
+* :func:`set_partitions` -- Orlov's restricted-growth-string scheme:
+  iterates all partitions of a set of *n* distinguishable items in
+  constant amortized time per partition;
+* :func:`type_partitions` -- the allocator's fast path.  VMs are
+  interchangeable within a workload class, so a partition block is
+  fully described by its (Ncpu, Nmem, Nio) counts and the search space
+  collapses from Bell(n) set partitions to the much smaller family of
+  multiset partitions.  Blocks are emitted in non-increasing
+  lexicographic order, which canonicalizes each multiset of blocks and
+  avoids duplicates.  Per-dimension bounds prune blocks the model
+  database could not score.
+
+``tests/core`` cross-checks the two against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+from repro.campaign.records import MixKey
+
+T = TypeVar("T")
+
+
+def bell_number(n: int) -> int:
+    """Number of partitions of an n-element set (Bell triangle)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return 1
+    row = [1]
+    for _ in range(n - 1):
+        nxt = [row[-1]]
+        for value in row:
+            nxt.append(nxt[-1] + value)
+        row = nxt
+    return row[-1]
+
+
+def set_partitions(items: Sequence[T]) -> Iterator[list[list[T]]]:
+    """Generate all partitions of ``items`` (Orlov's RGS scheme).
+
+    Each partition is a list of non-empty blocks; blocks appear in
+    order of their smallest member, members keep input order.  The
+    number of partitions is Bell(len(items)) -- callers are expected
+    to keep ``items`` small (the paper's allocator operates on burst
+    batches of at most ~20 VMs and prunes via the type-aware variant).
+
+    Yields fresh lists; mutating them does not affect iteration.
+    """
+    n = len(items)
+    if n == 0:
+        yield []
+        return
+    # Restricted growth string kappa with running prefix maxima M,
+    # per Orlov: M[i] = max(kappa[0..i]).  A digit at position i may
+    # grow while kappa[i] <= M[i-1] (it can open at most one new block
+    # beyond the prefix's largest block id).
+    kappa = [0] * n
+    maxima = [0] * n
+
+    def emit() -> list[list[T]]:
+        n_blocks = max(kappa) + 1
+        blocks: list[list[T]] = [[] for _ in range(n_blocks)]
+        for index, block_id in enumerate(kappa):
+            blocks[block_id].append(items[index])
+        return blocks
+
+    yield emit()
+    while True:
+        for i in range(n - 1, 0, -1):
+            if kappa[i] <= maxima[i - 1]:
+                kappa[i] += 1
+                maxima[i] = max(maxima[i], kappa[i])
+                for j in range(i + 1, n):
+                    kappa[j] = 0
+                    maxima[j] = maxima[i]
+                yield emit()
+                break
+        else:
+            return
+
+
+def count_set_partitions(n: int) -> int:
+    """Alias of :func:`bell_number`, matching the generator's output size."""
+    return bell_number(n)
+
+
+def type_partitions(
+    counts: MixKey,
+    bounds: tuple[int, int, int] | None = None,
+) -> Iterator[tuple[MixKey, ...]]:
+    """Generate all multiset partitions of a typed VM batch.
+
+    Parameters
+    ----------
+    counts:
+        (Ncpu, Nmem, Nio) of the batch to partition.
+    bounds:
+        Optional per-dimension block bounds (OSC, OSM, OSI): blocks
+        exceeding them are pruned during generation, not after -- this
+        is the key efficiency win over naive set partitions.
+
+    Yields
+    ------
+    Tuples of block keys in non-increasing lexicographic order (the
+    canonical form); every multiset of blocks appears exactly once.
+
+    Notes
+    -----
+    A batch of (2, 1, 0) yields::
+
+        ((2, 1, 0),)
+        ((2, 0, 0), (0, 1, 0))
+        ((1, 1, 0), (1, 0, 0))
+        ((1, 0, 0), (1, 0, 0), (0, 1, 0))
+
+    which are the 4 distinct ways of grouping two interchangeable
+    CPU VMs and one MEM VM, versus Bell(3) = 5 raw set partitions.
+    """
+    ncpu, nmem, nio = counts
+    if min(ncpu, nmem, nio) < 0:
+        raise ValueError(f"counts must be non-negative, got {counts}")
+    if bounds is not None and min(bounds) < 0:
+        raise ValueError(f"bounds must be non-negative, got {bounds}")
+    if ncpu + nmem + nio == 0:
+        yield ()
+        return
+
+    def candidate_blocks(remaining: MixKey, ceiling: MixKey) -> Iterator[MixKey]:
+        """Non-empty blocks <= remaining (component-wise), <= bounds,
+        and lexicographically <= ceiling, in descending lex order."""
+        max_c = min(remaining[0], ceiling[0], bounds[0] if bounds else remaining[0])
+        for c in range(max_c, -1, -1):
+            m_hi = min(
+                remaining[1],
+                bounds[1] if bounds else remaining[1],
+            )
+            if c == ceiling[0]:
+                m_hi = min(m_hi, ceiling[1])
+            for m in range(m_hi, -1, -1):
+                i_hi = min(
+                    remaining[2],
+                    bounds[2] if bounds else remaining[2],
+                )
+                if c == ceiling[0] and m == ceiling[1]:
+                    i_hi = min(i_hi, ceiling[2])
+                for i in range(i_hi, -1, -1):
+                    if c + m + i > 0:
+                        yield (c, m, i)
+
+    top = (ncpu, nmem, nio)
+
+    def recurse(remaining: MixKey, ceiling: MixKey, prefix: list[MixKey]) -> Iterator[tuple[MixKey, ...]]:
+        if remaining == (0, 0, 0):
+            yield tuple(prefix)
+            return
+        for block in candidate_blocks(remaining, ceiling):
+            rest = (
+                remaining[0] - block[0],
+                remaining[1] - block[1],
+                remaining[2] - block[2],
+            )
+            prefix.append(block)
+            yield from recurse(rest, block, prefix)
+            prefix.pop()
+
+    yield from recurse(top, top, [])
+
+
+def count_type_partitions(counts: MixKey, bounds: tuple[int, int, int] | None = None) -> int:
+    """Number of type partitions (by exhaustion; used in tests/benches)."""
+    return sum(1 for _ in type_partitions(counts, bounds))

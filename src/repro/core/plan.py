@@ -1,0 +1,95 @@
+"""Allocation plans: the output of the VM allocation algorithm.
+
+A plan maps each partition block to a server, together with the model
+database's estimate for the server's resulting combined mix; plans are
+what strategies hand to the datacenter simulator for enactment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.records import MixKey, total_vms
+from repro.core.model import EstimatedOutcome
+
+
+@dataclass(frozen=True)
+class BlockAssignment:
+    """One partition block placed on one server.
+
+    Attributes
+    ----------
+    server_id:
+        The receiving server.
+    block:
+        The (Ncpu, Nmem, Nio) counts of the newly placed VMs.
+    vm_ids:
+        Concrete VM identifiers backing the block, ordered CPU-class
+        first, then MEM, then IO.
+    combined_key:
+        The server's mix *after* placement (existing + block).
+    estimate:
+        Database estimate for running the combined mix.
+    """
+
+    server_id: str
+    block: MixKey
+    vm_ids: tuple[str, ...]
+    combined_key: MixKey
+    estimate: EstimatedOutcome
+
+    def __post_init__(self) -> None:
+        if total_vms(self.block) != len(self.vm_ids):
+            raise ValueError(
+                f"block {self.block} holds {total_vms(self.block)} VMs but "
+                f"{len(self.vm_ids)} ids were supplied"
+            )
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """The chosen partition/assignment for one VM batch.
+
+    ``qos_satisfied`` records whether every placed VM's estimated
+    execution time respects its deadline; in relaxed-QoS mode the best
+    plan may carry ``qos_satisfied=False``.
+    """
+
+    assignments: tuple[BlockAssignment, ...]
+    alpha: float
+    score: float
+    qos_satisfied: bool
+
+    @property
+    def estimated_makespan_s(self) -> float:
+        """Estimated completion of the slowest server's mix."""
+        if not self.assignments:
+            return 0.0
+        return max(a.estimate.time_s for a in self.assignments)
+
+    @property
+    def estimated_energy_j(self) -> float:
+        """Summed estimated energy over the servers receiving blocks."""
+        return sum(a.estimate.energy_j for a in self.assignments)
+
+    @property
+    def n_vms(self) -> int:
+        return sum(len(a.vm_ids) for a in self.assignments)
+
+    @property
+    def servers_used(self) -> tuple[str, ...]:
+        return tuple(a.server_id for a in self.assignments)
+
+    def assignment_of(self, vm_id: str) -> BlockAssignment:
+        for assignment in self.assignments:
+            if vm_id in assignment.vm_ids:
+                return assignment
+        raise KeyError(f"VM {vm_id!r} not in this plan")
+
+    def placements(self) -> dict[str, str]:
+        """Flat {vm_id: server_id} view."""
+        mapping: dict[str, str] = {}
+        for assignment in self.assignments:
+            for vm_id in assignment.vm_ids:
+                mapping[vm_id] = assignment.server_id
+        return mapping

@@ -1,0 +1,100 @@
+"""The alpha trade-off objective (paper Sect. III-D).
+
+"we use a parameter alpha to adjust the possible trade-off between
+energy efficiency and performance ... alpha emphasizes the energy
+efficiency goal while 1-alpha emphasizes performance.  For example, if
+alpha=0.7 the algorithm will try to minimize the energy consumption
+first (70% of preference) and then the performance but with less
+intensity (30% of preference)."
+
+The score of a candidate allocation is::
+
+    score = alpha * E_hat + (1 - alpha) * T_hat
+
+with ``E_hat``/``T_hat`` the candidate's estimated energy/makespan
+normalized by the maximum among the candidate set being ranked
+(relative normalization keeps both terms commensurate regardless of
+units), lower is better.  alpha = 1 ranks purely by energy (PA-1),
+alpha = 0 purely by time (PA-0), alpha = 0.5 the balanced goal
+(PA-0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """The optimization goal: the alpha knob."""
+
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_fraction("alpha", self.alpha)
+
+    @property
+    def energy_weight(self) -> float:
+        return self.alpha
+
+    @property
+    def time_weight(self) -> float:
+        return 1.0 - self.alpha
+
+    def describe(self) -> str:
+        """Strategy label in the paper's naming (PA-0, PA-0.5, PA-1...)."""
+        alpha = self.alpha
+        text = f"{alpha:g}"
+        return f"PA-{text}"
+
+
+def score_candidates(
+    candidates: Sequence[tuple[float, float]],
+    weights: ScoreWeights,
+) -> list[float]:
+    """Score (time_s, energy_j) candidate pairs; lower is better.
+
+    Both dimensions are normalized by the maximum over the candidate
+    set; a degenerate dimension (all zeros) contributes zero for every
+    candidate, leaving the other dimension to discriminate.
+
+    Raises
+    ------
+    ValueError
+        On an empty candidate set or negative inputs.
+    """
+    if not candidates:
+        raise ValueError("cannot score an empty candidate set")
+    for time_s, energy_j in candidates:
+        if time_s < 0 or energy_j < 0:
+            raise ValueError(f"negative candidate values: ({time_s}, {energy_j})")
+    max_time = max(t for t, _ in candidates)
+    max_energy = max(e for _, e in candidates)
+    scores: list[float] = []
+    for time_s, energy_j in candidates:
+        t_hat = time_s / max_time if max_time > 0 else 0.0
+        e_hat = energy_j / max_energy if max_energy > 0 else 0.0
+        scores.append(weights.energy_weight * e_hat + weights.time_weight * t_hat)
+    return scores
+
+
+def best_candidate_index(
+    candidates: Sequence[tuple[float, float]],
+    weights: ScoreWeights,
+) -> int:
+    """Index of the best-scoring candidate; ties resolve to the earliest.
+
+    The earliest-wins tie-break implements the paper's rule "If two
+    partitions have the same rank in different servers, we select the
+    first server of the list" (candidates are enumerated in
+    server-list order).
+    """
+    scores = score_candidates(candidates, weights)
+    best = 0
+    for i in range(1, len(scores)):
+        if scores[i] < scores[best] - 1e-12:
+            best = i
+    return best

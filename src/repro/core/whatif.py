@@ -1,0 +1,115 @@
+"""What-if analysis: one batch, every optimization goal.
+
+Operators tuning alpha want to see the frontier before committing; the
+paper itself reports only three points (0, 0.5, 1) and mentions 0.75
+changed little.  :func:`compare_goals` evaluates the allocator across
+an alpha grid for a single batch/cluster state and returns comparable
+summaries, including which plans are Pareto-optimal in the
+(time, energy) plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import AllocationError, ConfigurationError
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.model import ModelDatabase
+from repro.core.plan import AllocationPlan
+
+
+@dataclass(frozen=True)
+class GoalOutcome:
+    """The allocator's answer under one alpha."""
+
+    alpha: float
+    plan: AllocationPlan | None
+    error: str | None = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.plan is not None
+
+    @property
+    def makespan_s(self) -> float:
+        if self.plan is None:
+            return float("inf")
+        return self.plan.estimated_makespan_s
+
+    @property
+    def energy_j(self) -> float:
+        if self.plan is None:
+            return float("inf")
+        return self.plan.estimated_energy_j
+
+    @property
+    def n_servers_used(self) -> int:
+        if self.plan is None:
+            return 0
+        return len(set(self.plan.servers_used))
+
+
+@dataclass(frozen=True)
+class GoalComparison:
+    """Outcomes across the alpha grid."""
+
+    outcomes: tuple[GoalOutcome, ...]
+
+    def outcome(self, alpha: float) -> GoalOutcome:
+        for entry in self.outcomes:
+            if abs(entry.alpha - alpha) < 1e-12:
+                return entry
+        raise KeyError(f"no outcome for alpha={alpha}")
+
+    def pareto_front(self) -> tuple[GoalOutcome, ...]:
+        """Feasible outcomes not dominated in (makespan, energy)."""
+        feasible = [o for o in self.outcomes if o.feasible]
+        front = []
+        for candidate in feasible:
+            dominated = any(
+                other.makespan_s <= candidate.makespan_s
+                and other.energy_j <= candidate.energy_j
+                and (
+                    other.makespan_s < candidate.makespan_s
+                    or other.energy_j < candidate.energy_j
+                )
+                for other in feasible
+            )
+            if not dominated:
+                front.append(candidate)
+        return tuple(front)
+
+    def rows(self) -> list[tuple[float, float, float, int]]:
+        """(alpha, makespan, energy, servers used) per outcome."""
+        return [
+            (o.alpha, o.makespan_s, o.energy_j, o.n_servers_used)
+            for o in self.outcomes
+        ]
+
+
+def compare_goals(
+    database: ModelDatabase,
+    requests: Sequence[VMRequest],
+    servers: Sequence[ServerState],
+    alphas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    strict_qos: bool = False,
+) -> GoalComparison:
+    """Evaluate the allocator across an alpha grid.
+
+    Infeasible goals (e.g. a strict-QoS failure under a tight deadline)
+    are captured as failed outcomes rather than raising, so the caller
+    always sees the full grid.
+    """
+    if not alphas:
+        raise ConfigurationError("at least one alpha is required")
+    outcomes: list[GoalOutcome] = []
+    for alpha in alphas:
+        allocator = ProactiveAllocator(database, alpha=alpha, strict_qos=strict_qos)
+        try:
+            plan = allocator.allocate(requests, servers)
+        except AllocationError as exc:
+            outcomes.append(GoalOutcome(alpha=alpha, plan=None, error=str(exc)))
+            continue
+        outcomes.append(GoalOutcome(alpha=alpha, plan=plan))
+    return GoalComparison(outcomes=tuple(outcomes))

@@ -1,0 +1,94 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmark harness prints numeric series; these helpers render them
+the way the paper displays them -- grouped bar charts for Figs. 5-7 and
+a line curve for Fig. 2 -- for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BAR = "#"
+
+
+def bar_chart(
+    series: Mapping[str, Sequence[tuple[str, float]]],
+    title: str = "",
+    width: int = 48,
+    value_format: str = "{:.0f}",
+) -> str:
+    """Render a {group: [(label, value), ...]} mapping as grouped bars.
+
+    Bars are scaled to the global maximum; one row per (group, label)
+    pair, grouped by label like the paper's figures (one cluster per
+    strategy, one bar per cloud).
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    groups = list(series)
+    labels: list[str] = []
+    for group in groups:
+        for label, _ in series[group]:
+            if label not in labels:
+                labels.append(label)
+    values = {
+        (group, label): value for group in groups for label, value in series[group]
+    }
+    peak = max((v for v in values.values() if v == v), default=0.0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(l) for l in labels), default=4) + 2
+    group_width = max((len(g) for g in groups), default=4) + 2
+    for label in labels:
+        for group in groups:
+            value = values.get((group, label))
+            if value is None:
+                continue
+            bar_len = 0 if peak <= 0 else round(width * value / peak)
+            lines.append(
+                f"{label:<{label_width}}{group:<{group_width}}"
+                f"|{_BAR * bar_len:<{width}}| " + value_format.format(value)
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def line_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: str = "",
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one (x, y) series as a fixed-height ASCII scatter/curve.
+
+    Columns map 1:1 to the points (Fig. 2 has 16 of them); rows span
+    [0, max(y)].
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"xs and ys lengths differ: {len(xs)} vs {len(ys)}")
+    if height < 3:
+        raise ValueError(f"height must be >= 3, got {height}")
+    if not xs:
+        return title
+    peak = max(ys)
+    rows: list[list[str]] = [[" "] * len(xs) for _ in range(height)]
+    for column, y in enumerate(ys):
+        level = 0 if peak <= 0 else min(height - 1, int((y / peak) * (height - 1)))
+        rows[height - 1 - level][column] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        marker = f"{peak:8.0f} " if i == 0 else " " * 9
+        if i == height - 1:
+            marker = f"{0.0:8.0f} "
+        lines.append(marker + "|" + " ".join(row))
+    lines.append(" " * 9 + "+" + "-" * (2 * len(xs) - 1))
+    lines.append(" " * 10 + " ".join(str(int(x) % 10) for x in xs))
+    if x_label or y_label:
+        lines.append(f"          x: {x_label}   y: {y_label}")
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,189 @@
+"""Figs. 5-7: the full strategy evaluation over both cloud sizes.
+
+One call to :func:`run_evaluation` produces the makespan (Fig. 5),
+energy (Fig. 6) and %-SLA-violation (Fig. 7) series for every strategy
+on both the SMALLER and LARGER clouds, from a single shared workload
+trace requesting (about) 10,000 VMs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.campaign.platformrunner import CampaignResult, run_campaign
+from repro.common.rng import SeedSequenceFactory
+from repro.core.model import ModelDatabase
+from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
+from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator, SimulationResult
+from repro.strategies import paper_strategies
+from repro.strategies.base import AllocationStrategy
+from repro.testbed.contention import ContentionParams
+from repro.testbed.spec import ServerSpec, default_server
+from repro.workloads.assignment import (
+    PreparedJob,
+    assign_profiles_and_vms,
+    total_vms_requested,
+    truncate_to_vm_budget,
+)
+from repro.workloads.cleaning import clean_trace
+from repro.workloads.qos import QoSPolicy
+from repro.workloads.synthetic import EGEETraceConfig, generate_egee_like_trace
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """One bar of Figs. 5-7: a (cloud, strategy) cell."""
+
+    cloud: str
+    strategy: str
+    makespan_s: float
+    energy_j: float
+    sla_violation_pct: float
+    mean_response_s: float
+    max_queue_length: int
+    wall_time_s: float
+
+    @classmethod
+    def from_result(
+        cls, cloud: str, result: SimulationResult, wall_time_s: float
+    ) -> "StrategyOutcome":
+        return cls(
+            cloud=cloud,
+            strategy=result.strategy_name,
+            makespan_s=result.metrics.makespan_s,
+            energy_j=result.metrics.energy_j,
+            sla_violation_pct=result.metrics.sla_violation_pct,
+            mean_response_s=result.metrics.mean_response_s,
+            max_queue_length=result.metrics.max_queue_length,
+            wall_time_s=wall_time_s,
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """All cells of Figs. 5-7 plus provenance."""
+
+    outcomes: tuple[StrategyOutcome, ...]
+    n_jobs: int
+    n_vms: int
+    campaign: CampaignResult
+
+    def cell(self, cloud: str, strategy: str) -> StrategyOutcome:
+        for outcome in self.outcomes:
+            if outcome.cloud == cloud and outcome.strategy == strategy:
+                return outcome
+        raise KeyError(f"no outcome for ({cloud!r}, {strategy!r})")
+
+    def series(self, metric: str) -> Mapping[str, "list[tuple[str, float]]"]:
+        """{cloud: [(strategy, value), ...]} for one metric attribute."""
+        by_cloud: dict[str, list[tuple[str, float]]] = {}
+        for outcome in self.outcomes:
+            by_cloud.setdefault(outcome.cloud, []).append(
+                (outcome.strategy, getattr(outcome, metric))
+            )
+        return by_cloud
+
+    @property
+    def strategies(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for outcome in self.outcomes:
+            if outcome.strategy not in seen:
+                seen.append(outcome.strategy)
+        return tuple(seen)
+
+
+def prepare_workload(
+    config: EvaluationConfig,
+) -> tuple[list[PreparedJob], int]:
+    """Generate, convert, clean, complete and budget the trace.
+
+    Returns (prepared jobs, total VMs requested).  Fully deterministic
+    given ``config.seed``.
+    """
+    seeds = SeedSequenceFactory(config.seed)
+    raw = generate_egee_like_trace(
+        EGEETraceConfig(
+            n_jobs=config.raw_jobs,
+            mean_burst_gap_s=config.mean_burst_gap_s,
+        ),
+        rng=seeds.child("trace"),
+    )
+    cleaned, _report = clean_trace(raw)
+    prepared = assign_profiles_and_vms(cleaned, rng=seeds.child("profiles"))
+    prepared = truncate_to_vm_budget(prepared, config.vm_budget)
+    return prepared, total_vms_requested(prepared)
+
+
+def run_evaluation(
+    configs: Sequence[EvaluationConfig] = (SMALLER, LARGER),
+    server: ServerSpec | None = None,
+    params: ContentionParams | None = None,
+    strategies: Callable[[ModelDatabase], "list[AllocationStrategy]"] = paper_strategies,
+    campaign: CampaignResult | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> EvaluationResult:
+    """Run the full Figs. 5-7 evaluation.
+
+    Both clouds replay the *same* trace (the paper controls load
+    pressure via cloud size, not the trace), produced from the first
+    config's trace parameters.
+
+    Parameters
+    ----------
+    configs:
+        The cloud scenarios; default (SMALLER, LARGER).
+    server / params:
+        Testbed configuration shared by the campaign and the clouds.
+    strategies:
+        Factory from a model database to the strategy lineup.
+    campaign:
+        Reuse a previously run campaign (saves rebuilding the model).
+    progress:
+        Optional ``progress(message)`` callback.
+    """
+    server = server or default_server()
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    if campaign is None:
+        say("running benchmarking campaign")
+        campaign = run_campaign(server=server, params=params)
+    database = ModelDatabase.from_campaign(campaign)
+
+    say("preparing workload trace")
+    jobs, n_vms = prepare_workload(configs[0])
+    say(f"trace: {len(jobs)} jobs, {n_vms} VMs")
+
+    outcomes: list[StrategyOutcome] = []
+    for config in configs:
+        qos = QoSPolicy.from_optima(campaign.optima, factor=config.qos_factor)
+        simulator = DatacenterSimulator(
+            DatacenterConfig(
+                n_servers=config.n_servers,
+                server_spec=server,
+                params=params,
+            )
+        )
+        for strategy in strategies(database):
+            started = time.perf_counter()
+            result = simulator.run(jobs, strategy, qos)
+            elapsed = time.perf_counter() - started
+            outcome = StrategyOutcome.from_result(config.label, result, elapsed)
+            outcomes.append(outcome)
+            say(
+                f"{config.label:8s} {outcome.strategy:8s} "
+                f"makespan={outcome.makespan_s:.0f}s "
+                f"energy={outcome.energy_j / 1e3:.0f}kJ "
+                f"SLA={outcome.sla_violation_pct:.1f}% [{elapsed:.1f}s]"
+            )
+
+    return EvaluationResult(
+        outcomes=tuple(outcomes),
+        n_jobs=len(jobs),
+        n_vms=n_vms,
+        campaign=campaign,
+    )

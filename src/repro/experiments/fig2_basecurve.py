@@ -1,0 +1,61 @@
+"""Fig. 2: execution times of the FFTW benchmark vs VM count.
+
+"...the shortest average execution time (the optimal scenario) is
+obtained with 9 VMs running on a single server.  With more than 11 VMs
+the average execution time increases significantly."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.base_tests import run_base_tests
+from repro.testbed.benchmarks import WorkloadClass, get_benchmark
+from repro.testbed.contention import ContentionParams
+from repro.testbed.spec import ServerSpec, default_server
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """The FFTW base-test curve."""
+
+    n_vms: tuple[int, ...]
+    avg_time_vm_s: tuple[float, ...]
+    total_time_s: tuple[float, ...]
+
+    @property
+    def optimal_n(self) -> int:
+        """The paper's optimum: 9 VMs."""
+        best = min(range(len(self.n_vms)), key=lambda i: self.avg_time_vm_s[i])
+        return self.n_vms[best]
+
+    @property
+    def solo_time_s(self) -> float:
+        return self.avg_time_vm_s[self.n_vms.index(1)]
+
+    def degradation_at(self, n: int) -> float:
+        """avg time at n relative to the optimum (1.0 = optimal)."""
+        at_n = self.avg_time_vm_s[self.n_vms.index(n)]
+        return at_n / self.avg_time_vm_s[self.n_vms.index(self.optimal_n)]
+
+
+def fig2_basecurve(
+    server: ServerSpec | None = None,
+    params: ContentionParams | None = None,
+    max_vms: int = 16,
+) -> Fig2Result:
+    """Run the FFTW base-test sweep and return the Fig. 2 curve."""
+    server = server or default_server()
+    curves = run_base_tests(
+        server,
+        params=params,
+        max_vms=max_vms,
+        classes=[WorkloadClass.CPU],
+        benchmarks={WorkloadClass.CPU: get_benchmark("fftw")},
+    )
+    curve = curves[WorkloadClass.CPU]
+    return Fig2Result(
+        n_vms=tuple(p.n_vms for p in curve),
+        avg_time_vm_s=tuple(p.avg_time_vm_s for p in curve),
+        total_time_s=tuple(p.record.time_s for p in curve),
+    )

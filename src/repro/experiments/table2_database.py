@@ -1,0 +1,49 @@
+"""Table II: the model database build and its access properties.
+
+Regenerates the full database (base + combined tests), verifies the
+paper's experiment-count formula, and exposes the schema rows for
+display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.combined_tests import expected_combination_count
+from repro.campaign.csvdb import records_to_rows
+from repro.campaign.platformrunner import CampaignResult, run_campaign
+from repro.core.model import ModelDatabase
+from repro.testbed.contention import ContentionParams
+from repro.testbed.spec import ServerSpec
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The built database plus provenance."""
+
+    campaign: CampaignResult
+    database: ModelDatabase
+
+    @property
+    def n_records(self) -> int:
+        return len(self.database)
+
+    @property
+    def expected_combined(self) -> int:
+        osc, osm, osi = self.campaign.optima.grid_bounds
+        return expected_combination_count(osc, osm, osi)
+
+    def sample_rows(self, limit: int = 10) -> list[list[str]]:
+        """First ``limit`` display rows (header included)."""
+        rows = records_to_rows(self.database.records)
+        return rows[: limit + 1]
+
+
+def table2_database(
+    server: ServerSpec | None = None,
+    params: ContentionParams | None = None,
+    max_base_vms: int = 16,
+) -> Table2Result:
+    """Run the campaign and wrap the resulting database."""
+    campaign = run_campaign(server=server, params=params, max_base_vms=max_base_vms)
+    return Table2Result(campaign=campaign, database=ModelDatabase.from_campaign(campaign))

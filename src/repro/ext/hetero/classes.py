@@ -1,0 +1,112 @@
+"""Server classes and per-class model databases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.campaign.platformrunner import run_campaign
+from repro.common.errors import ConfigurationError
+from repro.core.model import ModelDatabase
+from repro.testbed.contention import ContentionParams
+from repro.testbed.spec import PowerSpec, ServerSpec, Subsystem, default_server
+
+
+@dataclass(frozen=True)
+class ServerClass:
+    """One hardware configuration present in the heterogeneous cloud."""
+
+    name: str
+    spec: ServerSpec
+    params: ContentionParams | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("server class name must be non-empty")
+
+
+def default_classes() -> list[ServerClass]:
+    """A two-class cloud: the paper's Dell box plus a newer,
+    higher-capacity but hotter 8-core node."""
+    legacy = default_server("dell-x3220")
+    modern_power = PowerSpec(
+        idle_w=150.0,
+        dynamic_w={
+            Subsystem.CPU: 130.0,
+            Subsystem.MEMORY: 35.0,
+            Subsystem.DISK: 15.0,
+            Subsystem.NETWORK: 12.0,
+        },
+        per_vm_w=1.0,
+    )
+    modern = ServerSpec(
+        name="modern-8core",
+        capacities={
+            Subsystem.CPU: 8.0,
+            Subsystem.MEMORY: 4.0,
+            Subsystem.DISK: 3.0,
+            Subsystem.NETWORK: 4.0,
+        },
+        ram_gb=8.0,
+        reserved_ram_gb=0.9,
+        # Generous guest limit: the 8-core node's combined-test grid
+        # corner (OSC+OSM+OSI) lands in the mid-30s.
+        max_vms=40,
+        power=modern_power,
+    )
+    return [
+        ServerClass("legacy", legacy),
+        ServerClass("modern", modern),
+    ]
+
+
+def build_class_databases(
+    classes: Sequence[ServerClass],
+    max_base_vms: int = 16,
+) -> Mapping[str, ModelDatabase]:
+    """Run one benchmarking campaign per server class.
+
+    This is the heterogeneous analogue of the paper's single-platform
+    campaign; each class's database carries its own Table I bounds.
+    """
+    if not classes:
+        raise ConfigurationError("at least one server class is required")
+    names = [c.name for c in classes]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate class names: {names}")
+    databases: dict[str, ModelDatabase] = {}
+    for server_class in classes:
+        campaign = run_campaign(
+            server=server_class.spec,
+            params=server_class.params,
+            max_base_vms=min(max_base_vms, server_class.spec.max_vms),
+        )
+        databases[server_class.name] = ModelDatabase.from_campaign(campaign)
+    return databases
+
+
+def class_specs(
+    classes: Sequence[ServerClass],
+    counts: Mapping[str, int],
+) -> tuple[tuple[ServerSpec, ...], tuple[str, ...]]:
+    """Expand per-class server counts into per-server (spec, class) rows.
+
+    Returns parallel tuples suitable for
+    :class:`repro.sim.datacenter.DatacenterConfig` (``server_specs``)
+    and :class:`HeteroProactiveStrategy` (``class_of_server``, by
+    position).
+    """
+    by_name = {c.name: c for c in classes}
+    specs: list[ServerSpec] = []
+    labels: list[str] = []
+    for name, count in counts.items():
+        if name not in by_name:
+            raise ConfigurationError(f"unknown server class {name!r}")
+        if count < 0:
+            raise ConfigurationError(f"count for {name!r} must be >= 0, got {count}")
+        for i in range(count):
+            specs.append(replace(by_name[name].spec, name=f"{name}-{i}"))
+            labels.append(name)
+    if not specs:
+        raise ConfigurationError("heterogeneous cloud needs at least one server")
+    return tuple(specs), tuple(labels)

@@ -1,0 +1,16 @@
+"""Learned surrogate models (paper Sect. V, future work).
+
+"Our current research efforts are geared towards using machine
+learning techniques to extract on-the-fly a model out of the
+sub-system utilization data collected from offline experiments..."
+
+:mod:`~repro.ext.learning.surrogate` fits polynomial ridge regressions
+for time and energy over the (Ncpu, Nmem, Nio) grid from a *subset* of
+the measured records and exposes the model-database interface, so the
+stock allocator runs unmodified on the learned model.  The ablation
+benchmark quantifies the accuracy/coverage trade-off.
+"""
+
+from repro.ext.learning.surrogate import LearnedModel, fit_learned_model
+
+__all__ = ["LearnedModel", "fit_learned_model"]

@@ -1,0 +1,101 @@
+"""Learning curves: surrogate accuracy vs measurement budget.
+
+The paper's campaign "took several days to be completed"; its future
+work proposes machine learning precisely to avoid exhaustive
+measurement.  :func:`learning_curve` quantifies the trade: fit the
+surrogate on increasing fractions of the measured grid and report its
+error over the full grid -- the answer to "how many combined tests do
+you actually need?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngLike, derive_rng
+from repro.core.model import ModelDatabase
+from repro.ext.learning.surrogate import LearnedModel, fit_learned_model
+
+
+@dataclass(frozen=True)
+class LearningCurvePoint:
+    """Surrogate quality at one training budget."""
+
+    fraction: float
+    n_train: int
+    median_time_error: float
+    p90_time_error: float
+    median_energy_error: float
+    p90_energy_error: float
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """Accuracy as a function of the measurement budget."""
+
+    points: tuple[LearningCurvePoint, ...]
+
+    def smallest_fraction_below(self, error: float) -> float | None:
+        """Smallest training fraction whose median time error is below
+        ``error``; None when no budget achieves it."""
+        for point in self.points:
+            if point.median_time_error < error:
+                return point.fraction
+        return None
+
+    def rows(self) -> list[tuple[float, int, float, float]]:
+        """(fraction, n_train, median time err, median energy err)."""
+        return [
+            (p.fraction, p.n_train, p.median_time_error, p.median_energy_error)
+            for p in self.points
+        ]
+
+
+def _errors(model: LearnedModel, database: ModelDatabase) -> tuple[np.ndarray, np.ndarray]:
+    pairs = np.array([model.relative_error(r) for r in database.records])
+    return pairs[:, 0], pairs[:, 1]
+
+
+def learning_curve(
+    database: ModelDatabase,
+    fractions: Sequence[float] = (0.1, 0.2, 0.35, 0.5, 0.75, 1.0),
+    rng: RngLike = None,
+) -> LearningCurve:
+    """Fit surrogates across training budgets and score them.
+
+    Fractions must be increasing in (0, 1]; each fit draws its own
+    subset from a child seed so points are independent.
+    """
+    if not fractions:
+        raise ConfigurationError("at least one fraction is required")
+    previous = 0.0
+    for fraction in fractions:
+        if not previous < fraction <= 1.0:
+            raise ConfigurationError(
+                f"fractions must be strictly increasing in (0, 1], got {fractions}"
+            )
+        previous = fraction
+    rng = derive_rng(rng)
+    points: list[LearningCurvePoint] = []
+    for fraction in fractions:
+        model = fit_learned_model(
+            database,
+            sample_fraction=fraction,
+            rng=int(rng.integers(0, 2**31 - 1)),
+        )
+        time_errors, energy_errors = _errors(model, database)
+        points.append(
+            LearningCurvePoint(
+                fraction=fraction,
+                n_train=max(13, int(round(len(database) * fraction))),
+                median_time_error=float(np.median(time_errors)),
+                p90_time_error=float(np.percentile(time_errors, 90)),
+                median_energy_error=float(np.median(energy_errors)),
+                p90_energy_error=float(np.percentile(energy_errors, 90)),
+            )
+        )
+    return LearningCurve(points=tuple(points))

@@ -1,0 +1,30 @@
+"""Thermal-aware allocation (paper Sect. V, future work).
+
+A lumped-parameter RC thermal model per server plus a power-capped view
+of the model database: allocating under a temperature redline reduces
+to refusing mixes whose steady-state draw would exceed the server's
+thermal power budget.
+"""
+
+from repro.ext.thermal.model import ThermalParams, ThermalState, steady_state_temp_c
+from repro.ext.thermal.capped import PowerCappedDatabase, thermal_power_cap_w
+from repro.ext.thermal.strategy import ThermalAwareProactiveStrategy
+from repro.ext.thermal.replay import (
+    ServerThermalSummary,
+    ThermalReplayResult,
+    replay_chronicle,
+    replay_thermal,
+)
+
+__all__ = [
+    "ThermalParams",
+    "ThermalState",
+    "steady_state_temp_c",
+    "PowerCappedDatabase",
+    "thermal_power_cap_w",
+    "ThermalAwareProactiveStrategy",
+    "ServerThermalSummary",
+    "ThermalReplayResult",
+    "replay_chronicle",
+    "replay_thermal",
+]

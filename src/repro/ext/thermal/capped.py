@@ -1,0 +1,106 @@
+"""Power-capped view of the model database.
+
+Allocating under a temperature redline with the RC model reduces to a
+*power budget*: steady state is ``T_amb + P * R``, so the hottest
+sustainable draw is ``P_max = (T_redline - T_amb - margin) / R``.
+A :class:`PowerCappedDatabase` exposes the full
+:class:`~repro.core.model.ModelDatabase` interface while treating any
+mix whose average draw exceeds the budget as out of bounds, which makes
+*every* existing consumer (the allocator, the strategies) thermal-aware
+without modification.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.records import MixKey, total_vms
+from repro.common.errors import ConfigurationError, ModelLookupError
+from repro.core.model import EstimatedOutcome, ModelDatabase
+from repro.ext.thermal.model import ThermalParams
+
+
+def thermal_power_cap_w(params: ThermalParams, margin_c: float = 3.0) -> float:
+    """Max sustainable draw keeping steady state ``margin_c`` below the
+    redline."""
+    if margin_c < 0:
+        raise ConfigurationError(f"margin must be >= 0, got {margin_c}")
+    headroom_c = params.redline_c - params.ambient_c - margin_c
+    if headroom_c <= 0:
+        raise ConfigurationError(
+            f"margin {margin_c} leaves no thermal headroom "
+            f"(redline {params.redline_c}, ambient {params.ambient_c})"
+        )
+    return headroom_c / params.resistance_k_per_w
+
+
+class PowerCappedDatabase:
+    """A ModelDatabase proxy that rejects mixes above a power budget.
+
+    Duck-types the parts of :class:`~repro.core.model.ModelDatabase`
+    the allocator and strategies consume.
+    """
+
+    def __init__(self, database: ModelDatabase, power_cap_w: float):
+        if power_cap_w <= 0:
+            raise ConfigurationError(f"power cap must be positive, got {power_cap_w}")
+        self._db = database
+        self._cap_w = float(power_cap_w)
+
+    @property
+    def inner(self) -> ModelDatabase:
+        return self._db
+
+    @property
+    def power_cap_w(self) -> float:
+        return self._cap_w
+
+    # -- ModelDatabase interface --------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for r in self._db.records if r.avg_power_w <= self._cap_w)
+
+    @property
+    def optima(self):
+        return self._db.optima
+
+    @property
+    def grid_bounds(self) -> tuple[int, int, int]:
+        return self._db.grid_bounds
+
+    @property
+    def records(self):
+        return tuple(r for r in self._db.records if r.avg_power_w <= self._cap_w)
+
+    @property
+    def time_range_s(self) -> tuple[float, float]:
+        return self._db.time_range_s
+
+    @property
+    def energy_range_j(self) -> tuple[float, float]:
+        return self._db.energy_range_j
+
+    def reference_time(self, workload_class) -> float:
+        return self._db.reference_time(workload_class)
+
+    def within_bounds(self, key: MixKey) -> bool:
+        """In the grid *and* below the thermal power budget."""
+        if not self._db.within_bounds(key):
+            return False
+        if total_vms(key) == 0:
+            return True
+        try:
+            estimate = self._db.estimate(key)
+        except ModelLookupError:
+            return False
+        return estimate.avg_power_w <= self._cap_w
+
+    def lookup(self, key: MixKey):
+        record = self._db.lookup(key)
+        if record.avg_power_w > self._cap_w:
+            raise ModelLookupError(key, f"mix {key} exceeds thermal cap {self._cap_w:.0f}W")
+        return record
+
+    def estimate(self, key: MixKey) -> EstimatedOutcome:
+        estimate = self._db.estimate(key)
+        if estimate.avg_power_w > self._cap_w:
+            raise ModelLookupError(key, f"mix {key} exceeds thermal cap {self._cap_w:.0f}W")
+        return estimate

@@ -1,0 +1,113 @@
+"""Lumped-parameter (RC) server thermal model.
+
+The standard first-order model used across datacenter thermal
+literature: the server is one thermal mass with heat capacity ``C``
+(J/K) coupled to the cold-aisle ambient through thermal resistance
+``R`` (K/W)::
+
+    dT/dt = (P * R - (T - T_ambient)) / (R * C)
+
+Steady state under constant draw P is ``T_ambient + P * R``; steps are
+integrated exactly (the ODE is linear) rather than with Euler steps,
+so arbitrary interval lengths are safe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Thermal constants of one server class.
+
+    Defaults approximate a 1U rack server: ~0.18 K/W inlet-to-CPU
+    resistance and a few kJ/K of thermal mass give minutes-scale time
+    constants, with the redline at a typical 70 degC CPU case limit.
+    """
+
+    resistance_k_per_w: float = 0.18
+    capacity_j_per_k: float = 4000.0
+    ambient_c: float = 22.0
+    redline_c: float = 70.0
+
+    def __post_init__(self) -> None:
+        if self.resistance_k_per_w <= 0:
+            raise ConfigurationError(
+                f"resistance must be positive, got {self.resistance_k_per_w}"
+            )
+        if self.capacity_j_per_k <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {self.capacity_j_per_k}"
+            )
+        if self.redline_c <= self.ambient_c:
+            raise ConfigurationError(
+                f"redline ({self.redline_c}) must exceed ambient ({self.ambient_c})"
+            )
+
+    @property
+    def time_constant_s(self) -> float:
+        """RC: time to cover ~63% of a step change."""
+        return self.resistance_k_per_w * self.capacity_j_per_k
+
+
+def steady_state_temp_c(power_w: float, params: ThermalParams) -> float:
+    """Equilibrium temperature under a constant draw."""
+    if power_w < 0:
+        raise ValueError(f"power must be >= 0, got {power_w}")
+    return params.ambient_c + power_w * params.resistance_k_per_w
+
+
+class ThermalState:
+    """Mutable temperature state of one server."""
+
+    def __init__(self, params: ThermalParams, initial_c: float | None = None):
+        self._params = params
+        self._temp_c = params.ambient_c if initial_c is None else float(initial_c)
+        self._peak_c = self._temp_c
+
+    @property
+    def temperature_c(self) -> float:
+        return self._temp_c
+
+    @property
+    def peak_c(self) -> float:
+        return self._peak_c
+
+    @property
+    def over_redline(self) -> bool:
+        return self._temp_c > self._params.redline_c
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the temperature under constant draw for ``dt_s``.
+
+        Exact solution of the linear ODE:
+        ``T(t+dt) = T_inf + (T(t) - T_inf) * exp(-dt / RC)`` with
+        ``T_inf`` the steady state for ``power_w``.
+        """
+        if dt_s < 0:
+            raise ValueError(f"dt must be >= 0, got {dt_s}")
+        t_inf = steady_state_temp_c(power_w, self._params)
+        decay = math.exp(-dt_s / self._params.time_constant_s)
+        self._temp_c = t_inf + (self._temp_c - t_inf) * decay
+        self._peak_c = max(self._peak_c, self._temp_c)
+        return self._temp_c
+
+    def time_to_redline_s(self, power_w: float) -> float:
+        """Time until the redline is crossed under constant draw.
+
+        ``inf`` when the steady state stays below the redline (never
+        crosses), 0 when already above it.
+        """
+        params = self._params
+        if self._temp_c > params.redline_c:
+            return 0.0
+        t_inf = steady_state_temp_c(power_w, params)
+        if t_inf <= params.redline_c:
+            return float("inf")
+        # Solve redline = t_inf + (T0 - t_inf) e^{-t/RC} for t.
+        ratio = (params.redline_c - t_inf) / (self._temp_c - t_inf)
+        return -params.time_constant_s * math.log(ratio)

@@ -1,0 +1,40 @@
+"""Application profiling (paper Sect. III-A).
+
+The paper profiles HPC benchmarks "with respect to their behaviors and
+subsystem usage on individual servers", using OS-level collectors
+(mpstat, iostat, netstat, PowerTOP) and hardware performance counters
+(perfctr/PAPI, with L2 cache misses standing in for memory activity),
+and labels each application CPU-, memory-, I/O- and/or
+network-intensive when its *average* demand for a subsystem is
+significant.
+
+This subpackage reproduces that pipeline against the emulated testbed:
+
+* :mod:`~repro.profiling.traces` -- subsystem-utilization time series,
+* :mod:`~repro.profiling.counters` -- performance-counter emulation
+  (L2-miss-rate proxy for memory activity),
+* :mod:`~repro.profiling.classifier` -- intensity labeling,
+* :mod:`~repro.profiling.profiler` -- end-to-end profiling of a
+  benchmark run (produces Fig. 1-style traces plus the class label).
+"""
+
+from repro.profiling.traces import UtilizationTrace, sample_load_profile
+from repro.profiling.counters import CounterSample, emulate_counters
+from repro.profiling.classifier import (
+    IntensityProfile,
+    ClassifierThresholds,
+    classify_trace,
+)
+from repro.profiling.profiler import ApplicationProfiler, ProfileReport
+
+__all__ = [
+    "UtilizationTrace",
+    "sample_load_profile",
+    "CounterSample",
+    "emulate_counters",
+    "IntensityProfile",
+    "ClassifierThresholds",
+    "classify_trace",
+    "ApplicationProfiler",
+    "ProfileReport",
+]

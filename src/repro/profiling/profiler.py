@@ -1,0 +1,105 @@
+"""End-to-end application profiling against the emulated testbed.
+
+Reproduces the methodology step "Profile a comprehensive set of
+applications (standard HPC benchmark workloads)": run the application
+solo on an idle server, sample its subsystem utilizations (Fig. 1),
+synthesize performance-counter readings, and classify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.classifier import (
+    ClassifierThresholds,
+    IntensityProfile,
+    classify_trace,
+)
+from repro.profiling.counters import CounterSample, emulate_counters
+from repro.profiling.traces import UtilizationTrace, sample_load_profile
+from repro.testbed.benchmarks import BenchmarkSpec, WorkloadClass
+from repro.testbed.contention import ContentionParams
+from repro.testbed.runner import VMInstance, run_mix
+from repro.testbed.spec import ServerSpec, default_server
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Everything profiling one application yields."""
+
+    benchmark_name: str
+    trace: UtilizationTrace
+    counters: tuple[CounterSample, ...]
+    profile: IntensityProfile
+    workload_class: WorkloadClass
+    solo_time_s: float
+
+    def summary(self) -> str:
+        """One-line human-readable summary, e.g. for example scripts."""
+        dims = ", ".join(sorted(s.value for s in self.profile.intensive)) or "none"
+        return (
+            f"{self.benchmark_name}: class={self.workload_class.value} "
+            f"intensive=[{dims}] solo_time={self.solo_time_s:.0f}s"
+        )
+
+
+class ApplicationProfiler:
+    """Profiles applications on a dedicated (otherwise idle) server.
+
+    Parameters
+    ----------
+    server:
+        The profiling host; defaults to the reference testbed server.
+    params:
+        Contention parameters (irrelevant for solo runs except the
+        virtualization terms, but kept for consistency).
+    sample_period_s:
+        Collector cadence; 1 s matches mpstat/iostat defaults.
+    thresholds:
+        Classifier significance thresholds.
+    """
+
+    def __init__(
+        self,
+        server: ServerSpec | None = None,
+        params: ContentionParams | None = None,
+        sample_period_s: float = 1.0,
+        thresholds: ClassifierThresholds | None = None,
+    ):
+        if sample_period_s <= 0:
+            raise ValueError(f"sample_period_s must be positive, got {sample_period_s}")
+        self._server = server or default_server()
+        self._params = params
+        self._period = float(sample_period_s)
+        self._thresholds = thresholds or ClassifierThresholds()
+
+    @property
+    def server(self) -> ServerSpec:
+        return self._server
+
+    def profile(self, benchmark: BenchmarkSpec) -> ProfileReport:
+        """Run ``benchmark`` solo and produce its profile report."""
+        result = run_mix(
+            self._server,
+            [VMInstance("profiled", benchmark)],
+            params=self._params,
+        )
+        # Convert whole-server load factors into single-unit utilization
+        # (one core / one bandwidth unit), the per-process view the
+        # paper's collectors report in Fig. 1.
+        scale = {s: self._server.capacity(s) for s in self._server.capacities}
+        trace = sample_load_profile(result.load_profile, self._period, scale=scale)
+        counters = tuple(emulate_counters(trace, benchmark))
+        profile = classify_trace(trace, self._thresholds)
+        return ProfileReport(
+            benchmark_name=benchmark.name,
+            trace=trace,
+            counters=counters,
+            profile=profile,
+            workload_class=profile.workload_class(),
+            solo_time_s=float(result.total_time_s),
+        )
+
+    def profile_many(self, benchmarks: "list[BenchmarkSpec]") -> "list[ProfileReport]":
+        """Profile a suite of benchmarks, preserving order."""
+        return [self.profile(b) for b in benchmarks]

@@ -1,0 +1,357 @@
+"""Top-level datacenter simulation driver (paper Sect. IV).
+
+Binds a prepared workload trace to an allocation strategy over a
+cluster of emulated servers:
+
+* job requests arrive at their trace submit times; each job's VMs are
+  placed atomically by the strategy or queued FCFS (head-of-line
+  blocking, as in batch schedulers) until capacity frees up;
+* VM execution follows the testbed contention model -- the simulation
+  ground truth -- with progress and energy integrated between mix
+  changes (the event-driven realization of Fig. 4's interval-weighted
+  accounting);
+* powered-on servers draw at least the paper's fixed 125 W; empty
+  servers power off by default (consolidation's energy lever);
+* completion, energy, and SLA outcomes feed
+  :mod:`repro.sim.metrics`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.engine import EventQueue
+from repro.sim.metrics import JobOutcome, SimulationMetrics, compute_metrics
+from repro.sim.server import ServerRuntime
+from repro.sim.vm import SimVM
+from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
+from repro.testbed.contention import ContentionParams
+from repro.testbed.spec import ServerSpec, Subsystem, default_server
+from repro.workloads.assignment import PreparedJob
+from repro.workloads.qos import QoSPolicy
+
+_Event = tuple[Literal["arrival", "boundary"], int, int]
+# ("arrival", job_index, 0) or ("boundary", server_index, token)
+
+
+@dataclass(frozen=True)
+class DatacenterConfig:
+    """Cluster configuration for one simulation run.
+
+    ``server_specs`` optionally gives each server its own hardware
+    specification (heterogeneous clusters, paper Sect. V future work);
+    when set its length must equal ``n_servers`` and it overrides
+    ``server_spec``.
+    """
+
+    n_servers: int
+    server_spec: ServerSpec = field(default_factory=default_server)
+    params: ContentionParams | None = None
+    power_off_when_empty: bool = True
+    server_specs: tuple[ServerSpec, ...] | None = None
+    #: Record per-server interval chronicles (power/mix audit trails;
+    #: costs memory proportional to event count).  Consumed by the
+    #: thermal replay and the accounting consistency checks.
+    record_chronicles: bool = False
+    #: Queue discipline: 0 = strict FCFS (a blocked head blocks
+    #: everyone, as in the paper's implicit batch model); N > 0 = EASY
+    #: backfilling, letting up to N queued jobs behind a blocked head
+    #: be placed when capacity suits them.
+    backfill_window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ConfigurationError(f"n_servers must be >= 1, got {self.n_servers}")
+        if self.server_specs is not None and len(self.server_specs) != self.n_servers:
+            raise ConfigurationError(
+                f"server_specs has {len(self.server_specs)} entries but "
+                f"n_servers={self.n_servers}"
+            )
+        if self.backfill_window < 0:
+            raise ConfigurationError(
+                f"backfill_window must be >= 0, got {self.backfill_window}"
+            )
+
+    def spec_of(self, index: int) -> ServerSpec:
+        if self.server_specs is not None:
+            return self.server_specs[index]
+        return self.server_spec
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one run produces.
+
+    ``chronicles`` is populated only when the config asked for
+    recording (one entry per server, in server order).
+    """
+
+    strategy_name: str
+    metrics: SimulationMetrics
+    outcomes: tuple[JobOutcome, ...]
+    per_server_busy_j: tuple[float, ...]
+    per_server_idle_j: tuple[float, ...]
+    n_servers: int
+    chronicles: tuple = ()
+
+    @property
+    def energy_j(self) -> float:
+        return self.metrics.energy_j
+
+    @property
+    def makespan_s(self) -> float:
+        return self.metrics.makespan_s
+
+    @property
+    def sla_violation_pct(self) -> float:
+        return self.metrics.sla_violation_pct
+
+
+class _JobTracker:
+    """Mutable per-job completion bookkeeping."""
+
+    __slots__ = ("job", "vms", "unfinished", "completion_s")
+
+    def __init__(self, job: PreparedJob, vms: list[SimVM]):
+        self.job = job
+        self.vms = vms
+        self.unfinished = len(vms)
+        self.completion_s = float("nan")
+
+
+class DatacenterSimulator:
+    """Simulates one (trace, strategy) combination on a cluster."""
+
+    def __init__(self, config: DatacenterConfig):
+        self._config = config
+
+    @property
+    def config(self) -> DatacenterConfig:
+        return self._config
+
+    def run(
+        self,
+        jobs: Sequence[PreparedJob],
+        strategy: AllocationStrategy,
+        qos: QoSPolicy,
+        rebalancer=None,
+    ) -> SimulationResult:
+        """Run the simulation to completion and aggregate metrics.
+
+        Parameters
+        ----------
+        rebalancer:
+            Optional reactive-migration hook (duck-typed:
+            ``maybe_rebalance(servers, now) -> list[server_id]``, e.g.
+            :class:`repro.ext.migration.rebalancer.ReactiveRebalancer`);
+            invoked after VM completions, with the returned servers'
+            boundary events rescheduled.
+
+        Raises
+        ------
+        SimulationError
+            If some job can never be placed (queue deadlock with an
+            empty cluster -- the strategy rejects the job even with
+            everything idle), to fail loudly instead of looping.
+        """
+        config = self._config
+        servers = [
+            ServerRuntime(
+                server_id=f"s{i:04d}",
+                spec=config.spec_of(i),
+                params=config.params,
+                power_off_when_empty=config.power_off_when_empty,
+                record_chronicle=config.record_chronicles,
+            )
+            for i in range(config.n_servers)
+        ]
+        server_index = {server.server_id: i for i, server in enumerate(servers)}
+
+        ordered_jobs = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
+        trackers: list[_JobTracker] = []
+        for job in ordered_jobs:
+            deadline = qos.deadline_for(job.workload_class, job.submit_time_s)
+            vms = [
+                SimVM(
+                    vm_id=f"j{job.job_id}-{k}",
+                    job_id=job.job_id,
+                    workload_class=job.workload_class,
+                    submit_time_s=job.submit_time_s,
+                    deadline_s=deadline,
+                )
+                for k in range(job.n_vms)
+            ]
+            trackers.append(_JobTracker(job, vms))
+
+        vm_to_tracker: dict[str, _JobTracker] = {
+            vm.vm_id: tracker for tracker in trackers for vm in tracker.vms
+        }
+
+        events: EventQueue[_Event] = EventQueue()
+        for index, tracker in enumerate(trackers):
+            events.schedule(tracker.job.submit_time_s, ("arrival", index, 0))
+
+        boundary_tokens = [0] * len(servers)
+        queue: deque[_JobTracker] = deque()
+        outcomes: list[JobOutcome] = []
+        max_queue_length = 0
+
+        def views() -> list[ServerView]:
+            return [
+                ServerView(
+                    server_id=server.server_id,
+                    mix=server.mix_key(),
+                    max_vms=server.spec.max_vms,
+                    cpu_slots=int(server.spec.capacity(Subsystem.CPU)),
+                    powered_on=server.powered_on,
+                )
+                for server in servers
+            ]
+
+        def schedule_boundary(index: int, now: float) -> None:
+            boundary = servers[index].next_boundary(now)
+            if boundary is None:
+                return
+            boundary_tokens[index] += 1
+            events.schedule(boundary, ("boundary", index, boundary_tokens[index]))
+
+        def try_place(tracker: _JobTracker, now: float) -> bool:
+            """Attempt to place one job; True when it was placed."""
+            descriptors = [
+                VMDescriptor(
+                    vm_id=vm.vm_id,
+                    workload_class=vm.workload_class,
+                    remaining_deadline_s=(
+                        None
+                        if vm.deadline_s == float("inf")
+                        else max(vm.deadline_s - now, 0.0)
+                    ),
+                )
+                for vm in tracker.vms
+            ]
+            placement = strategy.place(descriptors, views())
+            if placement is None:
+                return False
+            missing = {vm.vm_id for vm in tracker.vms} - set(placement)
+            if missing:
+                raise SimulationError(
+                    f"strategy {strategy.name} returned a partial placement "
+                    f"(missing {sorted(missing)})"
+                )
+            touched: set[int] = set()
+            finished_during_sync: list[SimVM] = []
+            for vm in tracker.vms:
+                index = server_index[placement[vm.vm_id]]
+                # A sync at placement time can surface VMs that
+                # complete exactly now; they must not be dropped.
+                finished_during_sync.extend(servers[index].sync(now))
+                servers[index].add_vm(vm, now)
+                touched.add(index)
+            for index in touched:
+                schedule_boundary(index, now)
+            if finished_during_sync:
+                complete_vms(finished_during_sync, now)
+            return True
+
+        def drain_queue(now: float) -> None:
+            nonlocal max_queue_length
+            while queue:
+                if try_place(queue[0], now):
+                    queue.popleft()
+                    continue
+                if all(server.n_vms == 0 for server in servers):
+                    raise SimulationError(
+                        f"strategy {strategy.name} rejects job "
+                        f"{queue[0].job.job_id} on an idle cluster; it can "
+                        f"never be placed"
+                    )
+                # Head blocked: optionally backfill a bounded window of
+                # later jobs (EASY-style; placing them cannot unblock
+                # the head, so one pass suffices).
+                window = config.backfill_window
+                index = 1
+                scanned = 0
+                while window > 0 and index < len(queue) and scanned < window:
+                    if try_place(queue[index], now):
+                        del queue[index]
+                    else:
+                        index += 1
+                    scanned += 1
+                break
+            max_queue_length = max(max_queue_length, len(queue))
+
+        def complete_vms(finished: list[SimVM], now: float) -> bool:
+            any_job_done = False
+            for vm in finished:
+                vm.finish(now)
+                tracker = vm_to_tracker[vm.vm_id]
+                tracker.unfinished -= 1
+                if tracker.unfinished == 0:
+                    tracker.completion_s = now
+                    outcomes.append(
+                        JobOutcome(
+                            job_id=tracker.job.job_id,
+                            workload_class=tracker.job.workload_class.value,
+                            n_vms=tracker.job.n_vms,
+                            submit_time_s=tracker.job.submit_time_s,
+                            completion_time_s=now,
+                            deadline_s=vm.deadline_s,
+                        )
+                    )
+                    any_job_done = True
+            return any_job_done
+
+        while events:
+            now, (kind, index, token) = events.pop()
+            if kind == "arrival":
+                queue.append(trackers[index])
+                max_queue_length = max(max_queue_length, len(queue))
+                drain_queue(now)
+            else:  # boundary
+                if token != boundary_tokens[index]:
+                    continue  # stale prediction: the mix changed since
+                finished = servers[index].sync(now)
+                schedule_boundary(index, now)
+                if finished:
+                    complete_vms(finished, now)
+                    if rebalancer is not None:
+                        touched_ids, done_vms = rebalancer.maybe_rebalance(servers, now)
+                        if done_vms:
+                            complete_vms(done_vms, now)
+                        for server_id in touched_ids:
+                            moved_index = server_index[server_id]
+                            # Migration syncs the server itself; only
+                            # the boundary prediction needs refreshing.
+                            schedule_boundary(moved_index, now)
+                    drain_queue(now)
+
+        if queue or any(tracker.unfinished for tracker in trackers):
+            stuck = [t.job.job_id for t in trackers if t.unfinished]
+            raise SimulationError(f"simulation ended with unfinished jobs: {stuck[:10]}")
+
+        end_time = max((o.completion_time_s for o in outcomes), default=0.0)
+        for server in servers:
+            server.sync(end_time)
+
+        metrics = compute_metrics(
+            outcomes,
+            energy_busy_j=sum(s.energy().busy_j for s in servers),
+            energy_idle_j=sum(s.energy().idle_j for s in servers),
+            max_queue_length=max_queue_length,
+        )
+        return SimulationResult(
+            strategy_name=strategy.name,
+            metrics=metrics,
+            outcomes=tuple(outcomes),
+            per_server_busy_j=tuple(s.energy().busy_j for s in servers),
+            per_server_idle_j=tuple(s.energy().idle_j for s in servers),
+            n_servers=len(servers),
+            chronicles=(
+                tuple(s.chronicle for s in servers)
+                if config.record_chronicles
+                else ()
+            ),
+        )

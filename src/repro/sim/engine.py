@@ -1,0 +1,68 @@
+"""Generic discrete-event engine: a time-ordered event queue.
+
+Deliberately minimal -- a heap of (time, sequence, payload) with a
+monotonic clock.  The sequence number makes ordering stable for
+simultaneous events (FIFO among equals), which keeps simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generic, TypeVar
+
+from repro.common.errors import SimulationError
+
+T = TypeVar("T")
+
+
+class EventQueue(Generic[T]):
+    """A deterministic priority queue of timestamped events."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, T]] = []
+        self._sequence = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (the timestamp of the last pop)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: float, payload: T) -> None:
+        """Add an event; scheduling in the past is an engine bug."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (max(time, self._now), self._sequence, payload))
+        self._sequence += 1
+
+    def pop(self) -> tuple[float, T]:
+        """Remove and return the earliest (time, payload); advances the clock."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, _, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, payload
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest event, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def drain(self, handler: Callable[[float, T], Any]) -> int:
+        """Pop-and-handle until empty; returns the number of events."""
+        count = 0
+        while self._heap:
+            time, payload = self.pop()
+            handler(time, payload)
+            count += 1
+        return count

@@ -1,0 +1,108 @@
+"""Evaluation metrics (paper Sect. IV-C).
+
+"We evaluate the impact of our approach in terms of the following
+metrics: makespan (workload execution time in seconds, which is the
+difference between the earliest time of submission of any of the
+workload tasks, and the latest time of completion of any of its
+tasks), energy consumption (in Joules), and percentage of SLA
+violations.  The number of SLA violations were calculated by summing
+the number of missed deadlines of all applications."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Completion record of one job request (all of its VMs)."""
+
+    job_id: int
+    workload_class: str
+    n_vms: int
+    submit_time_s: float
+    completion_time_s: float
+    deadline_s: float
+
+    @property
+    def response_time_s(self) -> float:
+        return self.completion_time_s - self.submit_time_s
+
+    @property
+    def missed_deadline(self) -> bool:
+        return self.completion_time_s > self.deadline_s
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Aggregate metrics of one simulation run."""
+
+    makespan_s: float
+    energy_j: float
+    busy_energy_j: float
+    idle_energy_j: float
+    n_jobs: int
+    n_vms: int
+    sla_violations: int
+    mean_response_s: float
+    p95_response_s: float
+    max_queue_length: int
+
+    @property
+    def sla_violation_pct(self) -> float:
+        """Percentage of jobs that missed their deadline."""
+        if self.n_jobs == 0:
+            return 0.0
+        return 100.0 * self.sla_violations / self.n_jobs
+
+    @property
+    def energy_kj(self) -> float:
+        return self.energy_j / 1000.0
+
+    def summary(self) -> str:
+        return (
+            f"makespan={self.makespan_s:.0f}s energy={self.energy_kj:.0f}kJ "
+            f"SLA-violations={self.sla_violation_pct:.1f}% "
+            f"({self.sla_violations}/{self.n_jobs} jobs, {self.n_vms} VMs)"
+        )
+
+
+def compute_metrics(
+    outcomes: Sequence[JobOutcome],
+    energy_busy_j: float,
+    energy_idle_j: float,
+    max_queue_length: int,
+) -> SimulationMetrics:
+    """Fold job outcomes and server energy into the paper's metrics."""
+    if not outcomes:
+        return SimulationMetrics(
+            makespan_s=0.0,
+            energy_j=energy_busy_j + energy_idle_j,
+            busy_energy_j=energy_busy_j,
+            idle_energy_j=energy_idle_j,
+            n_jobs=0,
+            n_vms=0,
+            sla_violations=0,
+            mean_response_s=0.0,
+            p95_response_s=0.0,
+            max_queue_length=max_queue_length,
+        )
+    earliest_submit = min(o.submit_time_s for o in outcomes)
+    latest_completion = max(o.completion_time_s for o in outcomes)
+    responses = np.array([o.response_time_s for o in outcomes])
+    return SimulationMetrics(
+        makespan_s=latest_completion - earliest_submit,
+        energy_j=energy_busy_j + energy_idle_j,
+        busy_energy_j=energy_busy_j,
+        idle_energy_j=energy_idle_j,
+        n_jobs=len(outcomes),
+        n_vms=sum(o.n_vms for o in outcomes),
+        sla_violations=sum(1 for o in outcomes if o.missed_deadline),
+        mean_response_s=float(np.mean(responses)),
+        p95_response_s=float(np.percentile(responses, 95)),
+        max_queue_length=max_queue_length,
+    )

@@ -1,0 +1,262 @@
+"""Per-server runtime state for the datacenter simulation.
+
+A :class:`ServerRuntime` integrates VM progress and energy between mix
+changes.  Between two consecutive mix changes (VM arrival, VM finish,
+or an init-to-work stage transition) every VM's slowdown and the
+server's power draw are constant, so the simulation only needs to
+re-evaluate the contention model at those boundaries -- this is the
+event-driven equivalent of the paper's interval-weighted accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.records import MixKey
+from repro.common.errors import SimulationError
+from repro.sim.vm import SimVM, VMState
+from repro.testbed.contention import ContentionParams, MixModel
+from repro.testbed.power import instantaneous_power
+from repro.testbed.spec import SUBSYSTEMS, ServerSpec
+from repro.testbed.benchmarks import WorkloadClass
+
+_EPSILON_S = 1e-9
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy accounting of one server over the simulation."""
+
+    busy_j: float
+    idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.busy_j + self.idle_j
+
+
+class ServerRuntime:
+    """One powered server hosting VMs under the contention model.
+
+    Lifecycle contract with the datacenter driver:
+
+    * ``sync(now)`` MUST be called before any mutation (add/remove) so
+      progress and energy are integrated up to ``now`` under the
+      pre-change mix;
+    * after mutations, ``next_boundary(now)`` tells the driver when the
+      server next needs attention (stage transition or VM completion);
+    * ``epoch`` increments on every mix change, letting the driver
+      lazily invalidate stale scheduled events.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        spec: ServerSpec,
+        params: ContentionParams | None = None,
+        power_off_when_empty: bool = True,
+        record_chronicle: bool = False,
+    ):
+        self.server_id = server_id
+        self.spec = spec
+        self._model = MixModel(spec, params)
+        self._vms: list[SimVM] = []
+        self._last_sync_s = 0.0
+        self._busy_energy_j = 0.0
+        self._idle_energy_j = 0.0
+        self._power_off_when_empty = power_off_when_empty
+        self._powered_since_s: float | None = None  # None = off
+        self.epoch = 0
+        if record_chronicle:
+            from repro.sim.chronicle import Chronicle
+
+            self.chronicle: "Chronicle | None" = Chronicle(server_id)
+        else:
+            self.chronicle = None
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def vms(self) -> tuple[SimVM, ...]:
+        return tuple(self._vms)
+
+    @property
+    def n_vms(self) -> int:
+        return len(self._vms)
+
+    @property
+    def powered_on(self) -> bool:
+        return self._powered_since_s is not None
+
+    def mix_key(self) -> MixKey:
+        """Current (Ncpu, Nmem, Nio) counts."""
+        ncpu = sum(1 for vm in self._vms if vm.workload_class is WorkloadClass.CPU)
+        nmem = sum(1 for vm in self._vms if vm.workload_class is WorkloadClass.MEM)
+        nio = sum(1 for vm in self._vms if vm.workload_class is WorkloadClass.IO)
+        return (ncpu, nmem, nio)
+
+    def energy(self) -> EnergyBreakdown:
+        return EnergyBreakdown(busy_j=self._busy_energy_j, idle_j=self._idle_energy_j)
+
+    def current_power_w(self) -> float:
+        """Instantaneous draw under the current mix (0 when off)."""
+        if not self.powered_on:
+            return 0.0
+        views = [vm.active_view() for vm in self._vms]
+        loads = self._model.subsystem_loads(views)
+        return instantaneous_power(loads, len(self._vms), self.spec.power)
+
+    # -- integration -----------------------------------------------------
+
+    def sync(self, now_s: float) -> list[SimVM]:
+        """Integrate progress/energy up to ``now_s``.
+
+        Correct for arbitrary jumps: the integration steps through
+        every internal stage boundary (init-to-work transitions and VM
+        completions change the mix, hence everyone's rates), re-solving
+        the contention model at each.  When the driver syncs exactly at
+        predicted boundaries this loop runs a single step.
+
+        Returns the VMs that completed within the interval; their
+        ``done`` flag is set, but lifecycle completion
+        (:meth:`SimVM.finish`) is the caller's job.
+        """
+        if now_s < self._last_sync_s - 1e-9:
+            raise SimulationError(
+                f"server {self.server_id}: sync to {now_s} before {self._last_sync_s}"
+            )
+        finished: list[SimVM] = []
+        t = self._last_sync_s
+        while now_s - t > _EPSILON_S:
+            if not self._vms:
+                if self.powered_on:
+                    if self._power_off_when_empty:
+                        self._powered_since_s = None
+                    else:
+                        idle_power = self._idle_power_w()
+                        self._idle_energy_j += idle_power * (now_s - t)
+                        if self.chronicle is not None:
+                            self.chronicle.record(t, now_s, (0, 0, 0), idle_power, ())
+                t = now_s
+                break
+            views = [vm.active_view() for vm in self._vms]
+            slowdowns = self._model.slowdowns(views)
+            loads = self._model.subsystem_loads(views)
+            power = instantaneous_power(loads, len(self._vms), self.spec.power)
+            next_boundary = min(
+                vm.remaining[vm.stage] * s for vm, s in zip(self._vms, slowdowns)
+            )
+            step = min(now_s - t, max(next_boundary, _EPSILON_S))
+            self._busy_energy_j += power * step
+            if self.chronicle is not None:
+                self.chronicle.record(
+                    t, t + step, self.mix_key(), power, [vm.vm_id for vm in self._vms]
+                )
+            for vm, slowdown in zip(self._vms, slowdowns):
+                vm.advance(step, slowdown, _EPSILON_S)
+            for vm in list(self._vms):
+                if vm.done:
+                    finished.append(vm)
+                    self._vms.remove(vm)
+            t += step
+        if finished:
+            # The mix changed: outstanding boundary predictions are stale.
+            self.epoch += 1
+        if not self._vms and self._power_off_when_empty and self.powered_on:
+            self._powered_since_s = None
+        self._last_sync_s = now_s
+        return finished
+
+    def _idle_power_w(self) -> float:
+        idle_loads = {s: 0.0 for s in SUBSYSTEMS}
+        return instantaneous_power(idle_loads, 0, self.spec.power)
+
+    def add_vm(self, vm: SimVM, now_s: float) -> None:
+        """Place a VM; caller must have synced to ``now_s`` first."""
+        if abs(now_s - self._last_sync_s) > 1e-6:
+            raise SimulationError(
+                f"server {self.server_id}: add_vm at {now_s} without sync "
+                f"(last sync {self._last_sync_s})"
+            )
+        if not self.powered_on:
+            self._powered_since_s = now_s
+        vm.place(self.server_id, now_s)
+        self._vms.append(vm)
+        self.epoch += 1
+
+    def attach_vm(self, vm: SimVM, now_s: float) -> None:
+        """Attach an already-running VM (migration arrival).
+
+        Unlike :meth:`add_vm` this does not run the PENDING->RUNNING
+        lifecycle transition; the VM keeps its progress state.  Caller
+        must have synced to ``now_s`` first.
+        """
+        if abs(now_s - self._last_sync_s) > 1e-6:
+            raise SimulationError(
+                f"server {self.server_id}: attach_vm at {now_s} without sync"
+            )
+        if vm.done:
+            raise SimulationError(f"cannot attach finished VM {vm.vm_id!r}")
+        if not self.powered_on:
+            self._powered_since_s = now_s
+        vm.server_id = self.server_id
+        self._vms.append(vm)
+        self.epoch += 1
+
+    def detach_vm(self, vm: SimVM, now_s: float) -> SimVM:
+        """Remove a running VM without completing it (for migration).
+
+        Caller must have synced to ``now_s`` first; the VM keeps its
+        remaining-work state and can be re-attached to another server
+        via :func:`repro.ext.migration.controller.attach_migrated`.
+        """
+        if abs(now_s - self._last_sync_s) > 1e-6:
+            raise SimulationError(
+                f"server {self.server_id}: detach_vm at {now_s} without sync"
+            )
+        try:
+            self._vms.remove(vm)
+        except ValueError:
+            raise SimulationError(
+                f"server {self.server_id}: VM {vm.vm_id!r} is not hosted here"
+            ) from None
+        self.epoch += 1
+        if not self._vms and self._power_off_when_empty:
+            self._powered_since_s = None
+        return vm
+
+    def next_boundary(self, now_s: float) -> float | None:
+        """Earliest future time a VM completes its current stage.
+
+        None when the server is idle.  Stage *transitions* (init to
+        work) are boundaries too: they change the mix's demand vector,
+        hence every co-tenant's rate.
+        """
+        if not self._vms:
+            return None
+        views = [vm.active_view() for vm in self._vms]
+        slowdowns = self._model.slowdowns(views)
+        earliest = None
+        for vm, slowdown in zip(self._vms, slowdowns):
+            eta = vm.remaining[vm.stage] * slowdown
+            if earliest is None or eta < earliest:
+                earliest = eta
+        assert earliest is not None
+        return now_s + max(earliest, _EPSILON_S)
+
+    # -- power management -------------------------------------------------
+
+    def power_on(self, now_s: float) -> None:
+        """Explicitly power the server on (for always-on policies)."""
+        self.sync(now_s)
+        if not self.powered_on:
+            self._powered_since_s = now_s
+
+    def force_power_off(self, now_s: float) -> None:
+        """Power off an idle server (error if VMs are running)."""
+        self.sync(now_s)
+        if self._vms:
+            raise SimulationError(
+                f"server {self.server_id}: cannot power off with {len(self._vms)} VMs"
+            )
+        self._powered_since_s = None

@@ -1,0 +1,42 @@
+"""BEST-FIT baseline (related-work family, for ablations).
+
+Classic best-fit over CPU slots: each VM goes to the feasible server
+with the *least* remaining headroom, packing servers tightly.  Not one
+of the paper's evaluated strategies but the standard bin-packing
+contender it cites ("using heuristics like first fit, best fit,
+etc."), included for comparison benches.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
+
+
+class BestFitStrategy(AllocationStrategy):
+    """Best-fit over CPU slots with a multiplexing level."""
+
+    def __init__(self, multiplex: int = 1):
+        if multiplex < 1:
+            raise ConfigurationError(f"multiplex must be >= 1, got {multiplex}")
+        self.multiplex = int(multiplex)
+        self.name = "BF" if multiplex == 1 else f"BF-{multiplex}"
+
+    def place(
+        self,
+        vms: Sequence[VMDescriptor],
+        servers: Sequence[ServerView],
+    ) -> Optional[Mapping[str, str]]:
+        placement: dict[str, str] = {}
+        headroom = {s.server_id: s.free_slots(self.multiplex) for s in servers}
+        for vm in vms:
+            candidates = [s for s in servers if headroom[s.server_id] > 0]
+            if not candidates:
+                return None
+            # Least free headroom, but non-zero; ties resolve to list order.
+            chosen = min(candidates, key=lambda s: headroom[s.server_id]).server_id
+            headroom[chosen] -= 1
+            placement[vm.vm_id] = chosen
+        return placement

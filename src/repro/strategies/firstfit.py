@@ -1,0 +1,52 @@
+"""FIRST-FIT and its multiplexing variants (paper Sect. IV-D).
+
+"FIRST-FIT (FF), in which job requests are allocated following the
+first-fit policy based on CPU slots.  It means that an incoming job
+request is allocated to the first available server until the number of
+allocated VMs is equal to the number of CPUs (VM multiplexing on CPUs
+is not allowed).  FIRST-FIT-2 (FF-2) and FIRST-FIT-3 (FF-3) are two
+variants of FIRST-FIT that allow multiplexing up to 2 and 3 VMs on
+each CPU, respectively."
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
+
+
+class FirstFitStrategy(AllocationStrategy):
+    """First-fit over CPU slots with a multiplexing level.
+
+    ``multiplex=1`` is the paper's FF, 2 is FF-2, 3 is FF-3.  A job's
+    VMs may span several servers: each VM goes to the first server
+    with slot headroom (the classic first-fit bin packing over the
+    running prefix of the server list).
+    """
+
+    def __init__(self, multiplex: int = 1):
+        if multiplex < 1:
+            raise ConfigurationError(f"multiplex must be >= 1, got {multiplex}")
+        self.multiplex = int(multiplex)
+        self.name = "FF" if multiplex == 1 else f"FF-{multiplex}"
+
+    def place(
+        self,
+        vms: Sequence[VMDescriptor],
+        servers: Sequence[ServerView],
+    ) -> Optional[Mapping[str, str]]:
+        placement: dict[str, str] = {}
+        headroom = {s.server_id: s.free_slots(self.multiplex) for s in servers}
+        for vm in vms:
+            chosen = None
+            for server in servers:
+                if headroom[server.server_id] > 0:
+                    chosen = server.server_id
+                    break
+            if chosen is None:
+                return None
+            headroom[chosen] -= 1
+            placement[vm.vm_id] = chosen
+        return placement

@@ -1,0 +1,126 @@
+"""The PROACTIVE strategy: model-driven application-centric placement.
+
+Wraps :class:`repro.core.allocator.ProactiveAllocator` behind the
+simulator's strategy interface.  PA-1 (alpha = 1) minimizes energy,
+PA-0 minimizes execution time, PA-0.5 balances the two.
+
+QoS handling ("the algorithm ... returns the allocation of VMs that
+best matches the input optimization goal while satisfying the QoS
+constraints"):
+
+* while a QoS-compliant placement exists, take the best-scoring one;
+* when every candidate would break a deadline, the job *waits* in the
+  queue -- the QoS constraint doubles as admission control, which is
+  what keeps the proactive strategy from over-consolidating under
+  load;
+* once a job's remaining budget drops below its class's solo runtime
+  Tx, compliance is impossible forever, so the job is placed
+  best-effort (relaxed mode) rather than blocking the queue -- the
+  missed deadline is then counted by the metrics, matching Fig. 7
+  where PROACTIVE also shows violations under high load.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.common.errors import AllocationError, QoSViolationError
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.model import ModelDatabase
+from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
+
+
+class ProactiveStrategy(AllocationStrategy):
+    """Application-centric proactive placement (paper Sect. III-D).
+
+    Parameters
+    ----------
+    database:
+        The empirical model database.
+    alpha:
+        Optimization goal (1 = energy, 0 = time, 0.5 = balanced).
+    use_qos:
+        Whether deadlines steer admission and placement; without QoS
+        the strategy always places the best-scoring candidate.
+    """
+
+    def __init__(self, database: ModelDatabase, alpha: float = 0.5, use_qos: bool = True):
+        self._strict = ProactiveAllocator(database, alpha=alpha, strict_qos=True)
+        self._relaxed = ProactiveAllocator(database, alpha=alpha, strict_qos=False)
+        self._use_qos = bool(use_qos)
+        self.name = f"PA-{alpha:g}"
+
+    @property
+    def alpha(self) -> float:
+        return self._strict.alpha
+
+    @property
+    def database(self) -> ModelDatabase:
+        return self._strict.database
+
+    def place(
+        self,
+        vms: Sequence[VMDescriptor],
+        servers: Sequence[ServerView],
+    ) -> Optional[Mapping[str, str]]:
+        states = [
+            ServerState(
+                server_id=server.server_id,
+                allocated=server.mix,
+                max_vms=server.max_vms,
+            )
+            for server in servers
+        ]
+        if not self._use_qos:
+            requests = [
+                VMRequest(vm_id=vm.vm_id, workload_class=vm.workload_class)
+                for vm in vms
+            ]
+            try:
+                return self._relaxed.allocate(requests, states).placements()
+            except AllocationError:
+                return None
+
+        requests = [
+            VMRequest(
+                vm_id=vm.vm_id,
+                workload_class=vm.workload_class,
+                max_exec_time_s=(
+                    vm.remaining_deadline_s
+                    if vm.remaining_deadline_s is not None and vm.remaining_deadline_s > 0
+                    else None
+                ),
+            )
+            for vm in vms
+        ]
+        try:
+            return self._strict.allocate(requests, states).placements()
+        except QoSViolationError:
+            if self._hopeless(vms):
+                # The deadline cannot be met anywhere anymore; waiting
+                # longer only makes it worse.  Place best-effort.
+                relaxed_requests = [
+                    VMRequest(vm_id=vm.vm_id, workload_class=vm.workload_class)
+                    for vm in vms
+                ]
+                try:
+                    return self._relaxed.allocate(relaxed_requests, states).placements()
+                except AllocationError:
+                    return None
+            return None  # wait for capacity that can honor the deadline
+        except AllocationError:
+            return None
+
+    def _hopeless(self, vms: Sequence[VMDescriptor]) -> bool:
+        """True when no future placement can meet some VM's deadline.
+
+        Any placement runs a VM for at least its class's solo runtime
+        Tx; a remaining budget below that can never be honored.
+        """
+        optima = self._strict.database.optima
+        for vm in vms:
+            if vm.remaining_deadline_s is None:
+                continue
+            if vm.remaining_deadline_s < optima.reference_time(vm.workload_class):
+                return True
+        return False

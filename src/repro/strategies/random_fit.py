@@ -1,0 +1,41 @@
+"""RANDOM-FIT baseline: uniform placement among feasible servers.
+
+A sanity-check contender: any strategy worth running should beat
+uniform random placement on at least one metric.  Deterministic given
+its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngLike, derive_rng
+from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
+
+
+class RandomFitStrategy(AllocationStrategy):
+    """Uniform-random placement over CPU slots."""
+
+    def __init__(self, multiplex: int = 1, rng: RngLike = None):
+        if multiplex < 1:
+            raise ConfigurationError(f"multiplex must be >= 1, got {multiplex}")
+        self.multiplex = int(multiplex)
+        self._rng = derive_rng(rng)
+        self.name = "RAND" if multiplex == 1 else f"RAND-{multiplex}"
+
+    def place(
+        self,
+        vms: Sequence[VMDescriptor],
+        servers: Sequence[ServerView],
+    ) -> Optional[Mapping[str, str]]:
+        placement: dict[str, str] = {}
+        headroom = {s.server_id: s.free_slots(self.multiplex) for s in servers}
+        for vm in vms:
+            candidates = [s.server_id for s in servers if headroom[s.server_id] > 0]
+            if not candidates:
+                return None
+            chosen = candidates[int(self._rng.integers(0, len(candidates)))]
+            headroom[chosen] -= 1
+            placement[vm.vm_id] = chosen
+        return placement

@@ -1,0 +1,76 @@
+"""Strategy registry: build strategies by their paper names.
+
+``make_strategy("FF-2")`` or ``make_strategy("PA-0.5", database=db)``;
+:func:`paper_strategies` returns the exact lineup of Figs. 5-7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngLike
+from repro.core.model import ModelDatabase
+from repro.strategies.base import AllocationStrategy
+from repro.strategies.bestfit import BestFitStrategy
+from repro.strategies.firstfit import FirstFitStrategy
+from repro.strategies.proactive import ProactiveStrategy
+from repro.strategies.random_fit import RandomFitStrategy
+from repro.strategies.worstfit import WorstFitStrategy
+
+#: Builders for the slot-based strategies (no database needed).
+STRATEGY_BUILDERS: Mapping[str, Callable[[], AllocationStrategy]] = {
+    "FF": lambda: FirstFitStrategy(1),
+    "FF-2": lambda: FirstFitStrategy(2),
+    "FF-3": lambda: FirstFitStrategy(3),
+    "BF": lambda: BestFitStrategy(1),
+    "BF-2": lambda: BestFitStrategy(2),
+    "BF-3": lambda: BestFitStrategy(3),
+    "WF": lambda: WorstFitStrategy(1),
+    "WF-2": lambda: WorstFitStrategy(2),
+    "WF-3": lambda: WorstFitStrategy(3),
+}
+
+
+def make_strategy(
+    name: str,
+    database: Optional[ModelDatabase] = None,
+    rng: RngLike = None,
+) -> AllocationStrategy:
+    """Build a strategy from its display name.
+
+    Slot-based names come from :data:`STRATEGY_BUILDERS`; ``PA-<alpha>``
+    needs ``database``; ``RAND[-k]`` accepts an optional seed.
+    """
+    if name in STRATEGY_BUILDERS:
+        return STRATEGY_BUILDERS[name]()
+    if name.startswith("RAND"):
+        multiplex = 1
+        if "-" in name:
+            try:
+                multiplex = int(name.split("-", 1)[1])
+            except ValueError:
+                raise ConfigurationError(f"bad random-fit name {name!r}") from None
+        return RandomFitStrategy(multiplex, rng=rng)
+    if name.startswith("PA-"):
+        if database is None:
+            raise ConfigurationError(f"strategy {name!r} requires a model database")
+        try:
+            alpha = float(name[3:])
+        except ValueError:
+            raise ConfigurationError(f"bad proactive name {name!r}") from None
+        return ProactiveStrategy(database, alpha=alpha)
+    known = sorted(STRATEGY_BUILDERS) + ["PA-<alpha>", "RAND[-k]"]
+    raise ConfigurationError(f"unknown strategy {name!r}; known: {known}")
+
+
+def paper_strategies(database: ModelDatabase) -> list[AllocationStrategy]:
+    """The six strategies of Figs. 5-7, in the paper's presentation order."""
+    return [
+        FirstFitStrategy(1),
+        FirstFitStrategy(2),
+        FirstFitStrategy(3),
+        ProactiveStrategy(database, alpha=1.0),  # PA-1: minimize energy
+        ProactiveStrategy(database, alpha=0.0),  # PA-0: minimize time
+        ProactiveStrategy(database, alpha=0.5),  # PA-0.5: balanced
+    ]

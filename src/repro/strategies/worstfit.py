@@ -1,0 +1,40 @@
+"""WORST-FIT baseline (load-spreading contender, for ablations).
+
+Each VM goes to the feasible server with the *most* headroom --
+spreading load instead of consolidating.  The natural antithesis of
+energy-aware consolidation: it minimizes contention at the cost of
+keeping many servers powered.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
+
+
+class WorstFitStrategy(AllocationStrategy):
+    """Worst-fit over CPU slots with a multiplexing level."""
+
+    def __init__(self, multiplex: int = 1):
+        if multiplex < 1:
+            raise ConfigurationError(f"multiplex must be >= 1, got {multiplex}")
+        self.multiplex = int(multiplex)
+        self.name = "WF" if multiplex == 1 else f"WF-{multiplex}"
+
+    def place(
+        self,
+        vms: Sequence[VMDescriptor],
+        servers: Sequence[ServerView],
+    ) -> Optional[Mapping[str, str]]:
+        placement: dict[str, str] = {}
+        headroom = {s.server_id: s.free_slots(self.multiplex) for s in servers}
+        for vm in vms:
+            candidates = [s for s in servers if headroom[s.server_id] > 0]
+            if not candidates:
+                return None
+            chosen = max(candidates, key=lambda s: headroom[s.server_id]).server_id
+            headroom[chosen] -= 1
+            placement[vm.vm_id] = chosen
+        return placement

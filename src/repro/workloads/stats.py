@@ -1,0 +1,125 @@
+"""Workload trace statistics.
+
+Summaries the paper's workload section implies (burstiness, runtime
+spread, failure shares) in one place, both for validating the synthetic
+generator against its EGEE-like targets and for characterizing any SWF
+trace a user brings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.workloads.assignment import PreparedJob
+from repro.workloads.swf import JobStatus, SWFRecord
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one SWF trace."""
+
+    n_jobs: int
+    span_s: float
+    completed_fraction: float
+    failed_fraction: float
+    cancelled_fraction: float
+    runtime_median_s: float
+    runtime_p90_s: float
+    interarrival_mean_s: float
+    #: Squared coefficient of variation of inter-arrival gaps; > 1
+    #: indicates burstier-than-Poisson arrivals.
+    interarrival_cv2: float
+
+    @property
+    def is_bursty(self) -> bool:
+        return self.interarrival_cv2 > 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_jobs} jobs over {self.span_s:.0f}s; "
+            f"completed {self.completed_fraction:.0%}, "
+            f"failed {self.failed_fraction:.0%}, "
+            f"cancelled {self.cancelled_fraction:.0%}; "
+            f"runtime median {self.runtime_median_s:.0f}s "
+            f"(p90 {self.runtime_p90_s:.0f}s); "
+            f"arrivals CV^2={self.interarrival_cv2:.1f}"
+            f"{' (bursty)' if self.is_bursty else ''}"
+        )
+
+
+def trace_stats(records: Sequence[SWFRecord]) -> TraceStats:
+    """Compute :class:`TraceStats` over an SWF trace.
+
+    Raises
+    ------
+    ValueError
+        On an empty trace (no statistics to compute).
+    """
+    if not records:
+        raise ValueError("cannot summarize an empty trace")
+    n = len(records)
+    submits = np.array(sorted(r.submit_time for r in records), dtype=float)
+    statuses = [r.job_status for r in records]
+    runtimes = np.array([r.run_time for r in records if r.run_time > 0], dtype=float)
+
+    gaps = np.diff(submits)
+    if len(gaps) and gaps.mean() > 0:
+        cv2 = float(gaps.var() / gaps.mean() ** 2)
+        mean_gap = float(gaps.mean())
+    else:
+        cv2 = 0.0
+        mean_gap = 0.0
+
+    return TraceStats(
+        n_jobs=n,
+        span_s=float(submits[-1] - submits[0]),
+        completed_fraction=statuses.count(JobStatus.COMPLETED) / n,
+        failed_fraction=statuses.count(JobStatus.FAILED) / n,
+        cancelled_fraction=statuses.count(JobStatus.CANCELLED) / n,
+        runtime_median_s=float(np.median(runtimes)) if len(runtimes) else 0.0,
+        runtime_p90_s=float(np.percentile(runtimes, 90)) if len(runtimes) else 0.0,
+        interarrival_mean_s=mean_gap,
+        interarrival_cv2=cv2,
+    )
+
+
+@dataclass(frozen=True)
+class PreparedStats:
+    """Summary of a prepared (profile-assigned, VM-scaled) trace."""
+
+    n_jobs: int
+    n_vms: int
+    class_shares: Mapping[str, float]
+    mean_vms_per_job: float
+    mean_burst_size: float
+
+    def summary(self) -> str:
+        shares = ", ".join(f"{k}={v:.0%}" for k, v in sorted(self.class_shares.items()))
+        return (
+            f"{self.n_jobs} jobs / {self.n_vms} VMs "
+            f"({self.mean_vms_per_job:.2f} VMs/job, "
+            f"bursts ~{self.mean_burst_size:.1f} jobs); classes: {shares}"
+        )
+
+
+def prepared_stats(jobs: Sequence[PreparedJob]) -> PreparedStats:
+    """Compute :class:`PreparedStats` over a prepared trace."""
+    if not jobs:
+        raise ValueError("cannot summarize an empty prepared trace")
+    n = len(jobs)
+    n_vms = sum(j.n_vms for j in jobs)
+    by_class: dict[str, int] = {}
+    bursts: dict[int, int] = {}
+    for job in jobs:
+        by_class[job.workload_class.value] = by_class.get(job.workload_class.value, 0) + 1
+        bursts[job.burst_id] = bursts.get(job.burst_id, 0) + 1
+    return PreparedStats(
+        n_jobs=n,
+        n_vms=n_vms,
+        class_shares={k: v / n for k, v in by_class.items()},
+        mean_vms_per_job=n_vms / n,
+        mean_burst_size=n / len(bursts),
+    )

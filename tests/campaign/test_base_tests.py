@@ -1,0 +1,69 @@
+"""Unit tests for the base-test sweeps."""
+
+import pytest
+
+from repro.campaign.base_tests import run_base_tests
+from repro.common.errors import ConfigurationError
+from repro.testbed.benchmarks import WORKLOAD_CLASSES, WorkloadClass
+from repro.testbed.meter import PowerMeter
+from repro.testbed.spec import default_server
+
+
+@pytest.fixture(scope="module")
+def small_curves():
+    return run_base_tests(default_server(), max_vms=4)
+
+
+class TestRunBaseTests:
+    def test_all_classes_swept(self, small_curves):
+        assert set(small_curves) == set(WORKLOAD_CLASSES)
+
+    def test_curve_covers_range(self, small_curves):
+        for curve in small_curves.values():
+            assert [p.n_vms for p in curve] == [1, 2, 3, 4]
+
+    def test_keys_are_single_class(self, small_curves):
+        for workload_class, curve in small_curves.items():
+            for point in curve:
+                key = point.record.key
+                assert sum(1 for v in key if v > 0) == 1
+                assert sum(key) == point.n_vms
+
+    def test_avg_time_definition(self, small_curves):
+        for curve in small_curves.values():
+            for point in curve:
+                assert point.avg_time_vm_s == pytest.approx(
+                    point.record.time_s / point.n_vms
+                )
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        run_base_tests(
+            default_server(),
+            max_vms=2,
+            classes=[WorkloadClass.CPU],
+            progress=lambda c, n: calls.append((c, n)),
+        )
+        assert calls == [(WorkloadClass.CPU, 1), (WorkloadClass.CPU, 2)]
+
+    def test_meter_noise_changes_energy(self):
+        exact = run_base_tests(default_server(), max_vms=1, classes=[WorkloadClass.CPU])
+        noisy = run_base_tests(
+            default_server(),
+            max_vms=1,
+            classes=[WorkloadClass.CPU],
+            meter=PowerMeter(accuracy=0.015, rng=3),
+        )
+        e_exact = exact[WorkloadClass.CPU][0].record.energy_j
+        e_noisy = noisy[WorkloadClass.CPU][0].record.energy_j
+        assert e_noisy != e_exact
+        assert e_noisy == pytest.approx(e_exact, rel=0.02)
+
+    def test_zero_max_vms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_base_tests(default_server(), max_vms=0)
+
+    def test_beyond_server_limit_rejected(self):
+        server = default_server()
+        with pytest.raises(ConfigurationError):
+            run_base_tests(server, max_vms=server.max_vms + 1)

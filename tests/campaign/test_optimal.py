@@ -1,0 +1,115 @@
+"""Unit tests for Table I extraction."""
+
+import pytest
+
+from repro.campaign.base_tests import BaseTestPoint
+from repro.campaign.optimal import ClassOptima, OptimalScenarios, extract_optima
+from repro.campaign.records import BenchmarkRecord
+from repro.common.errors import ConfigurationError
+from repro.testbed.benchmarks import WORKLOAD_CLASSES, WorkloadClass
+
+
+def point(workload_class, n, time_s, energy_j):
+    key = {
+        WorkloadClass.CPU: (n, 0, 0),
+        WorkloadClass.MEM: (0, n, 0),
+        WorkloadClass.IO: (0, 0, n),
+    }[workload_class]
+    record = BenchmarkRecord.from_measurement(key, time_s, energy_j, 200.0)
+    return BaseTestPoint(workload_class, n, record)
+
+
+def synthetic_curves():
+    """CPU: time-optimal at 3, energy-optimal at 2."""
+    curves = {}
+    cpu = [
+        point(WorkloadClass.CPU, 1, 100.0, 15_000.0),
+        point(WorkloadClass.CPU, 2, 140.0, 16_000.0),  # E/VM = 8000 (min)
+        point(WorkloadClass.CPU, 3, 150.0, 27_000.0),  # avg = 50 (min)
+        point(WorkloadClass.CPU, 4, 400.0, 60_000.0),
+    ]
+    curves[WorkloadClass.CPU] = cpu
+    for workload_class in (WorkloadClass.MEM, WorkloadClass.IO):
+        curves[workload_class] = [
+            point(workload_class, 1, 100.0, 10_000.0),
+            point(workload_class, 2, 150.0, 18_000.0),
+        ]
+    return curves
+
+
+class TestExtractOptima:
+    def test_osp_minimizes_avg_time(self):
+        optima = extract_optima(synthetic_curves())
+        assert optima.optima(WorkloadClass.CPU).osp == 3
+
+    def test_ose_minimizes_energy_per_vm(self):
+        optima = extract_optima(synthetic_curves())
+        assert optima.optima(WorkloadClass.CPU).ose == 2
+
+    def test_os_bound_is_max(self):
+        optima = extract_optima(synthetic_curves())
+        assert optima.osc == 3
+
+    def test_reference_time_is_solo_run(self):
+        optima = extract_optima(synthetic_curves())
+        assert optima.tc == 100.0
+
+    def test_tie_breaks_to_smaller_n(self):
+        curves = synthetic_curves()
+        # Make n=4 tie n=3's avg time: 4 * 50 = 200.
+        curves[WorkloadClass.CPU][3] = point(WorkloadClass.CPU, 4, 200.0, 60_000.0)
+        optima = extract_optima(curves)
+        assert optima.optima(WorkloadClass.CPU).osp == 3
+
+    def test_empty_curve_rejected(self):
+        curves = synthetic_curves()
+        curves[WorkloadClass.MEM] = []
+        with pytest.raises(ConfigurationError):
+            extract_optima(curves)
+
+    def test_missing_n1_rejected(self):
+        curves = synthetic_curves()
+        curves[WorkloadClass.IO] = [point(WorkloadClass.IO, 2, 100.0, 100.0)]
+        with pytest.raises(ConfigurationError, match="n=1"):
+            extract_optima(curves)
+
+    def test_grid_bounds_tuple(self):
+        optima = extract_optima(synthetic_curves())
+        assert optima.grid_bounds == (optima.osc, optima.osm, optima.osi)
+
+    def test_table_rows_order(self):
+        optima = extract_optima(synthetic_curves())
+        rows = optima.table_rows()
+        assert [r[0] for r in rows] == ["cpu", "mem", "io"]
+
+
+class TestRealCampaignOptima:
+    def test_paper_fftw_optimum(self, campaign):
+        # Fig. 2: FFTW's performance-optimal scenario is 9 VMs.
+        assert campaign.optima.optima(WorkloadClass.CPU).osp == 9
+
+    def test_reference_times_match_benchmarks(self, campaign):
+        assert campaign.optima.tc == pytest.approx(600.0, rel=1e-6)
+        assert campaign.optima.tm == pytest.approx(700.0, rel=1e-6)
+        assert campaign.optima.ti == pytest.approx(800.0, rel=1e-6)
+
+    def test_all_classes_present(self, campaign):
+        for workload_class in WORKLOAD_CLASSES:
+            entry = campaign.optima.optima(workload_class)
+            assert entry.osp >= 1
+            assert entry.ose >= 1
+
+
+class TestClassOptimaValidation:
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassOptima(WorkloadClass.CPU, osp=0, ose=1, t_single_s=10.0)
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassOptima(WorkloadClass.CPU, osp=1, ose=1, t_single_s=0.0)
+
+    def test_missing_class_rejected(self):
+        entry = ClassOptima(WorkloadClass.CPU, osp=1, ose=1, t_single_s=10.0)
+        with pytest.raises(ConfigurationError):
+            OptimalScenarios(per_class={WorkloadClass.CPU: entry})

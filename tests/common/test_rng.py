@@ -1,0 +1,70 @@
+"""Unit tests for repro.common.rng."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import DEFAULT_SEED, SeedSequenceFactory, derive_rng
+
+
+class TestDeriveRng:
+    def test_none_is_deterministic_default(self):
+        a = derive_rng(None).random()
+        b = derive_rng(None).random()
+        assert a == b  # None maps to a fixed seed, NOT OS entropy
+
+    def test_int_seed(self):
+        assert derive_rng(7).random() == derive_rng(7).random()
+
+    def test_distinct_seeds_distinct_streams(self):
+        assert derive_rng(1).random() != derive_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert derive_rng(gen) is gen
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            derive_rng("seed")  # type: ignore[arg-type]
+
+    def test_numpy_integer_accepted(self):
+        seed = np.int64(11)
+        assert derive_rng(seed).random() == derive_rng(11).random()
+
+
+class TestSeedSequenceFactory:
+    def test_children_differ_by_label(self):
+        factory = SeedSequenceFactory(99)
+        assert factory.child("a").random() != factory.child("b").random()
+
+    def test_same_label_same_stream(self):
+        assert (
+            SeedSequenceFactory(99).child("x").random()
+            == SeedSequenceFactory(99).child("x").random()
+        )
+
+    def test_different_roots_differ(self):
+        assert (
+            SeedSequenceFactory(1).child("x").random()
+            != SeedSequenceFactory(2).child("x").random()
+        )
+
+    def test_child_seed_stable(self):
+        assert (
+            SeedSequenceFactory(5).child_seed("trace")
+            == SeedSequenceFactory(5).child_seed("trace")
+        )
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(1).child("")
+
+    def test_negative_root_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-2)
+
+    def test_default_seed_exposed(self):
+        assert SeedSequenceFactory().root_seed == DEFAULT_SEED

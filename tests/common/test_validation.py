@@ -1,0 +1,74 @@
+"""Unit tests for repro.common.validation."""
+
+import pytest
+
+from repro.common.validation import (
+    check_fraction,
+    check_non_negative,
+    check_non_negative_int,
+    check_nonempty,
+    check_positive,
+    check_positive_int,
+    check_sorted,
+)
+
+
+class TestScalarCheckers:
+    def test_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_fraction_accepts(self, value):
+        assert check_fraction("alpha", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_fraction_rejects(self, value):
+        with pytest.raises(ValueError, match="alpha"):
+            check_fraction("alpha", value)
+
+
+class TestIntCheckers:
+    def test_positive_int(self):
+        assert check_positive_int("n", 3) == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 3.0)  # type: ignore[arg-type]
+
+    def test_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int("n", 0) == 0
+
+
+class TestSequenceCheckers:
+    def test_nonempty_passes_through(self):
+        assert check_nonempty("xs", [1]) == [1]
+
+    def test_nonempty_rejects(self):
+        with pytest.raises(ValueError, match="xs"):
+            check_nonempty("xs", [])
+
+    def test_sorted_ok(self):
+        check_sorted("xs", [1.0, 1.0, 2.0])
+
+    def test_sorted_rejects(self):
+        with pytest.raises(ValueError, match="index 2"):
+            check_sorted("xs", [1.0, 3.0, 2.0])

@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+The expensive artifacts -- the benchmarking campaign and the model
+database built from it -- are session-scoped: they are deterministic
+(no meter noise) and read-only, so every test can share them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.platformrunner import CampaignResult, run_campaign
+from repro.core.model import ModelDatabase
+from repro.testbed.spec import ServerSpec, default_server
+
+
+@pytest.fixture(scope="session")
+def server() -> ServerSpec:
+    """The reference testbed server."""
+    return default_server()
+
+
+@pytest.fixture(scope="session")
+def campaign(server: ServerSpec) -> CampaignResult:
+    """A full deterministic benchmarking campaign (base + combined)."""
+    return run_campaign(server=server)
+
+
+@pytest.fixture(scope="session")
+def database(campaign: CampaignResult) -> ModelDatabase:
+    """The model database built from the shared campaign."""
+    return ModelDatabase.from_campaign(campaign)

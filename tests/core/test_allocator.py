@@ -1,0 +1,182 @@
+"""Unit tests for the proactive allocation algorithm."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    InfeasibleAllocationError,
+    QoSViolationError,
+)
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.testbed.benchmarks import WorkloadClass
+
+
+def cpu_requests(n, deadline=None):
+    return [VMRequest(f"c{i}", WorkloadClass.CPU, deadline) for i in range(n)]
+
+
+def servers(n):
+    return [ServerState(f"s{i}") for i in range(n)]
+
+
+class TestValidation:
+    def test_vm_request_fields(self):
+        with pytest.raises(ConfigurationError):
+            VMRequest("", WorkloadClass.CPU)
+        with pytest.raises(ConfigurationError):
+            VMRequest("a", WorkloadClass.CPU, max_exec_time_s=0.0)
+
+    def test_server_state_fields(self):
+        with pytest.raises(ConfigurationError):
+            ServerState("")
+        with pytest.raises(ConfigurationError):
+            ServerState("s0", allocated=(-1, 0, 0))
+        with pytest.raises(ConfigurationError):
+            ServerState("s0", max_vms=0)
+
+    def test_duplicate_vm_ids_rejected(self, database):
+        allocator = ProactiveAllocator(database)
+        requests = [VMRequest("x", WorkloadClass.CPU), VMRequest("x", WorkloadClass.CPU)]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            allocator.allocate(requests, servers(2))
+
+    def test_bad_alpha_rejected(self, database):
+        with pytest.raises(ValueError):
+            ProactiveAllocator(database, alpha=1.5)
+
+    def test_bad_candidate_limit_rejected(self, database):
+        with pytest.raises(ConfigurationError):
+            ProactiveAllocator(database, max_candidates=0)
+
+
+class TestBasicAllocation:
+    def test_empty_batch_is_empty_plan(self, database):
+        plan = ProactiveAllocator(database).allocate([], servers(2))
+        assert plan.assignments == ()
+        assert plan.qos_satisfied
+
+    def test_no_servers_raises(self, database):
+        with pytest.raises(InfeasibleAllocationError):
+            ProactiveAllocator(database).allocate(cpu_requests(1), [])
+
+    def test_all_vms_placed_exactly_once(self, database):
+        plan = ProactiveAllocator(database).allocate(cpu_requests(6), servers(3))
+        placements = plan.placements()
+        assert sorted(placements) == [f"c{i}" for i in range(6)]
+
+    def test_blocks_respect_grid_bounds(self, database):
+        osc, osm, osi = database.grid_bounds
+        plan = ProactiveAllocator(database).allocate(cpu_requests(osc + 3), servers(4))
+        for a in plan.assignments:
+            assert database.within_bounds(a.combined_key)
+
+    def test_existing_allocations_respected(self, database):
+        osc = database.grid_bounds[0]
+        # One server nearly full of CPU VMs: a big batch must spill over.
+        busy = ServerState("busy", allocated=(osc - 1, 0, 0))
+        idle = ServerState("idle")
+        plan = ProactiveAllocator(database, alpha=0.0).allocate(
+            cpu_requests(4), [busy, idle]
+        )
+        for a in plan.assignments:
+            assert database.within_bounds(a.combined_key)
+        assert any(a.server_id == "idle" for a in plan.assignments)
+
+    def test_infeasible_when_everything_full(self, database):
+        osc, osm, osi = database.grid_bounds
+        full = [ServerState(f"s{i}", allocated=(osc, osm, osi)) for i in range(2)]
+        with pytest.raises(InfeasibleAllocationError):
+            ProactiveAllocator(database).allocate(cpu_requests(1), full)
+
+    def test_mixed_class_batch(self, database):
+        requests = [
+            VMRequest("c0", WorkloadClass.CPU),
+            VMRequest("m0", WorkloadClass.MEM),
+            VMRequest("i0", WorkloadClass.IO),
+        ]
+        plan = ProactiveAllocator(database).allocate(requests, servers(3))
+        assert set(plan.placements()) == {"c0", "m0", "i0"}
+
+    def test_class_ids_bound_to_matching_blocks(self, database):
+        requests = [
+            VMRequest("c0", WorkloadClass.CPU),
+            VMRequest("c1", WorkloadClass.CPU),
+            VMRequest("m0", WorkloadClass.MEM),
+        ]
+        plan = ProactiveAllocator(database).allocate(requests, servers(2))
+        for a in plan.assignments:
+            ncpu, nmem, nio = a.block
+            cpu_ids = [v for v in a.vm_ids if v.startswith("c")]
+            mem_ids = [v for v in a.vm_ids if v.startswith("m")]
+            assert len(cpu_ids) == ncpu
+            assert len(mem_ids) == nmem
+
+
+class TestOptimizationGoals:
+    def test_energy_goal_consolidates(self, database):
+        plan = ProactiveAllocator(database, alpha=1.0).allocate(
+            cpu_requests(4), servers(4)
+        )
+        # Energy goal: amortize idle power, use few servers.
+        assert len(set(plan.servers_used)) <= 2
+
+    def test_time_goal_no_worse_makespan_than_energy_goal(self, database):
+        fast = ProactiveAllocator(database, alpha=0.0).allocate(
+            cpu_requests(8), servers(4)
+        )
+        frugal = ProactiveAllocator(database, alpha=1.0).allocate(
+            cpu_requests(8), servers(4)
+        )
+        assert fast.estimated_makespan_s <= frugal.estimated_makespan_s + 1e-9
+
+    def test_energy_goal_no_worse_energy_than_time_goal(self, database):
+        fast = ProactiveAllocator(database, alpha=0.0).allocate(
+            cpu_requests(8), servers(4)
+        )
+        frugal = ProactiveAllocator(database, alpha=1.0).allocate(
+            cpu_requests(8), servers(4)
+        )
+        assert frugal.estimated_energy_j <= fast.estimated_energy_j + 1e-9
+
+
+class TestQoS:
+    def test_generous_deadline_satisfied(self, database):
+        plan = ProactiveAllocator(database).allocate(
+            cpu_requests(2, deadline=100_000.0), servers(2)
+        )
+        assert plan.qos_satisfied
+        for a in plan.assignments:
+            assert a.estimate.time_s <= 100_000.0
+
+    def test_impossible_deadline_strict_raises(self, database):
+        with pytest.raises(QoSViolationError):
+            ProactiveAllocator(database, strict_qos=True).allocate(
+                cpu_requests(2, deadline=1.0), servers(2)
+            )
+
+    def test_impossible_deadline_relaxed_places_anyway(self, database):
+        plan = ProactiveAllocator(database, strict_qos=False).allocate(
+            cpu_requests(2, deadline=1.0), servers(2)
+        )
+        assert not plan.qos_satisfied
+        assert len(plan.placements()) == 2
+
+    def test_tight_deadline_forces_spreading(self, database):
+        # A deadline just above the solo runtime rules out heavy
+        # consolidation even for the energy goal.
+        tc = database.reference_time(WorkloadClass.CPU)
+        plan = ProactiveAllocator(database, alpha=1.0).allocate(
+            cpu_requests(6, deadline=tc * 1.3), servers(6)
+        )
+        assert plan.qos_satisfied
+        for a in plan.assignments:
+            assert a.estimate.time_s <= tc * 1.3
+
+
+class TestServerTieBreak:
+    def test_first_server_preferred_on_ties(self, database):
+        # All servers identical and empty: the chosen one must be s0.
+        plan = ProactiveAllocator(database, alpha=1.0).allocate(
+            cpu_requests(2), servers(5)
+        )
+        assert set(plan.servers_used) == {"s0"}

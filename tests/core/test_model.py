@@ -1,0 +1,140 @@
+"""Unit tests for the model database."""
+
+import pytest
+
+from repro.campaign.optimal import ClassOptima, OptimalScenarios
+from repro.campaign.records import BenchmarkRecord
+from repro.common.errors import ConfigurationError, ModelLookupError
+from repro.core.model import ModelDatabase
+from repro.testbed.benchmarks import WorkloadClass
+
+
+def tiny_optima(osc=2, osm=1, osi=1):
+    return OptimalScenarios(
+        per_class={
+            WorkloadClass.CPU: ClassOptima(WorkloadClass.CPU, osc, 1, 100.0),
+            WorkloadClass.MEM: ClassOptima(WorkloadClass.MEM, osm, 1, 150.0),
+            WorkloadClass.IO: ClassOptima(WorkloadClass.IO, osi, 1, 200.0),
+        }
+    )
+
+
+def rec(key, time_s, energy_j=1000.0):
+    return BenchmarkRecord.from_measurement(key, time_s, energy_j, 200.0)
+
+
+@pytest.fixture
+def tiny_db():
+    records = [
+        rec((1, 0, 0), 100.0, 15_000.0),
+        rec((2, 0, 0), 120.0, 20_000.0),
+        rec((0, 1, 0), 150.0, 22_000.0),
+        rec((0, 0, 1), 200.0, 28_000.0),
+        rec((1, 1, 0), 170.0, 30_000.0),
+        rec((1, 0, 1), 210.0, 33_000.0),
+        rec((2, 1, 0), 200.0, 38_000.0),
+        rec((0, 1, 1), 230.0, 36_000.0),
+        rec((1, 1, 1), 260.0, 45_000.0),
+        rec((2, 1, 1), 280.0, 52_000.0),
+        rec((2, 0, 1), 240.0, 40_000.0),
+    ]
+    return ModelDatabase(records, tiny_optima())
+
+
+class TestLookup:
+    def test_exact_hit(self, tiny_db):
+        assert tiny_db.lookup((1, 1, 0)).time_s == 170.0
+
+    def test_miss_raises_with_key(self, tiny_db):
+        with pytest.raises(ModelLookupError) as info:
+            tiny_db.lookup((5, 5, 5))
+        assert info.value.key == (5, 5, 5)
+
+    def test_contains(self, tiny_db):
+        assert (1, 0, 0) in tiny_db
+        assert (9, 9, 9) not in tiny_db
+
+    def test_len(self, tiny_db):
+        assert len(tiny_db) == 11
+
+    def test_keys_sorted(self, tiny_db):
+        keys = list(tiny_db.keys())
+        assert keys == sorted(keys)
+
+
+class TestBounds:
+    def test_within_bounds(self, tiny_db):
+        assert tiny_db.within_bounds((2, 1, 1))
+        assert not tiny_db.within_bounds((3, 0, 0))
+        assert not tiny_db.within_bounds((0, 2, 0))
+
+    def test_grid_bounds(self, tiny_db):
+        assert tiny_db.grid_bounds == (2, 1, 1)
+
+
+class TestEstimate:
+    def test_exact_estimate(self, tiny_db):
+        est = tiny_db.estimate((1, 1, 1))
+        assert est.exact
+        assert est.time_s == 260.0
+        assert est.avg_time_vm_s == pytest.approx(260.0 / 3)
+
+    def test_proportional_estimate_scales_largest_dominated(self, tiny_db):
+        # (3, 1, 1) missing: largest dominated record is (2,1,1) with 4
+        # VMs; scale 5/4.
+        est = tiny_db.estimate((3, 1, 1))
+        assert not est.exact
+        assert est.time_s == pytest.approx(280.0 * 5 / 4)
+        assert est.energy_j == pytest.approx(52_000.0 * 5 / 4)
+
+    def test_estimate_avg_power(self, tiny_db):
+        est = tiny_db.estimate((1, 0, 0))
+        assert est.avg_power_w == pytest.approx(150.0)
+
+    def test_empty_mix_rejected(self, tiny_db):
+        with pytest.raises(ValueError):
+            tiny_db.estimate((0, 0, 0))
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelDatabase([], tiny_optima())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ModelDatabase([rec((1, 0, 0), 1.0), rec((1, 0, 0), 2.0)], tiny_optima())
+
+    def test_ranges(self, tiny_db):
+        assert tiny_db.time_range_s == (100.0, 280.0)
+        assert tiny_db.energy_range_j == (15_000.0, 52_000.0)
+
+    def test_reference_time(self, tiny_db):
+        assert tiny_db.reference_time(WorkloadClass.MEM) == 150.0
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tiny_db, tmp_path):
+        db_path = tmp_path / "db.csv"
+        aux_path = tmp_path / "aux.csv"
+        tiny_db.save(db_path, aux_path)
+        loaded = ModelDatabase.from_files(db_path, aux_path)
+        assert len(loaded) == len(tiny_db)
+        assert loaded.grid_bounds == tiny_db.grid_bounds
+
+
+class TestFromCampaign:
+    def test_full_grid_estimable(self, database):
+        osc, osm, osi = database.grid_bounds
+        for ncpu in range(osc + 1):
+            for nmem in range(osm + 1):
+                for nio in range(osi + 1):
+                    if ncpu + nmem + nio == 0:
+                        continue
+                    est = database.estimate((ncpu, nmem, nio))
+                    assert est.exact, (ncpu, nmem, nio)
+                    assert est.time_s > 0
+
+    def test_binary_search_agrees_with_scan(self, database):
+        for record in database.records:
+            assert database.lookup(record.key) is record

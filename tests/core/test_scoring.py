@@ -1,0 +1,73 @@
+"""Unit tests for the alpha trade-off scoring."""
+
+import pytest
+
+from repro.core.scoring import ScoreWeights, best_candidate_index, score_candidates
+
+
+class TestScoreWeights:
+    def test_weights_sum_to_one(self):
+        weights = ScoreWeights(0.7)
+        assert weights.energy_weight + weights.time_weight == pytest.approx(1.0)
+        assert weights.energy_weight == 0.7
+
+    @pytest.mark.parametrize("alpha", [-0.1, 1.1])
+    def test_out_of_range_rejected(self, alpha):
+        with pytest.raises(ValueError):
+            ScoreWeights(alpha)
+
+    def test_describe_matches_paper_naming(self):
+        assert ScoreWeights(0.5).describe() == "PA-0.5"
+        assert ScoreWeights(1.0).describe() == "PA-1"
+        assert ScoreWeights(0.0).describe() == "PA-0"
+
+
+class TestScoreCandidates:
+    def test_alpha_one_ranks_by_energy(self):
+        candidates = [(100.0, 500.0), (900.0, 100.0)]
+        scores = score_candidates(candidates, ScoreWeights(1.0))
+        assert scores[1] < scores[0]
+
+    def test_alpha_zero_ranks_by_time(self):
+        candidates = [(100.0, 500.0), (900.0, 100.0)]
+        scores = score_candidates(candidates, ScoreWeights(0.0))
+        assert scores[0] < scores[1]
+
+    def test_balanced_blends(self):
+        # Candidate dominating on both dimensions always wins.
+        candidates = [(100.0, 100.0), (200.0, 200.0)]
+        scores = score_candidates(candidates, ScoreWeights(0.5))
+        assert scores[0] < scores[1]
+
+    def test_normalization_relative_to_max(self):
+        scores = score_candidates([(50.0, 50.0), (100.0, 100.0)], ScoreWeights(0.5))
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[0] == pytest.approx(0.5)
+
+    def test_degenerate_dimension_ignored(self):
+        scores = score_candidates([(0.0, 10.0), (0.0, 20.0)], ScoreWeights(0.5))
+        assert scores[0] < scores[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            score_candidates([], ScoreWeights(0.5))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            score_candidates([(-1.0, 5.0)], ScoreWeights(0.5))
+
+
+class TestBestCandidateIndex:
+    def test_picks_minimum(self):
+        index = best_candidate_index(
+            [(300.0, 300.0), (100.0, 100.0), (200.0, 200.0)], ScoreWeights(0.5)
+        )
+        assert index == 1
+
+    def test_tie_breaks_to_first(self):
+        # "If two partitions have the same rank ... we select the first
+        # server of the list."
+        index = best_candidate_index(
+            [(100.0, 100.0), (100.0, 100.0)], ScoreWeights(0.5)
+        )
+        assert index == 0

@@ -1,0 +1,69 @@
+"""Unit tests for the what-if goal comparison."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.allocator import ServerState, VMRequest
+from repro.core.whatif import compare_goals
+from repro.testbed.benchmarks import WorkloadClass
+
+
+def requests(n=6, deadline=None):
+    return [VMRequest(f"v{i}", WorkloadClass.CPU, deadline) for i in range(n)]
+
+
+def servers(n=4):
+    return [ServerState(f"s{i}") for i in range(n)]
+
+
+class TestCompareGoals:
+    def test_grid_evaluated(self, database):
+        comparison = compare_goals(database, requests(), servers())
+        assert [o.alpha for o in comparison.outcomes] == [0.0, 0.25, 0.5, 0.75, 1.0]
+        assert all(o.feasible for o in comparison.outcomes)
+
+    def test_endpoints_ordered(self, database):
+        comparison = compare_goals(database, requests(), servers())
+        fast = comparison.outcome(0.0)
+        frugal = comparison.outcome(1.0)
+        assert fast.makespan_s <= frugal.makespan_s + 1e-9
+        assert frugal.energy_j <= fast.energy_j + 1e-9
+
+    def test_energy_goal_uses_fewer_servers(self, database):
+        comparison = compare_goals(database, requests(), servers())
+        assert comparison.outcome(1.0).n_servers_used <= comparison.outcome(0.0).n_servers_used
+
+    def test_pareto_front_nonempty_and_valid(self, database):
+        comparison = compare_goals(database, requests(), servers())
+        front = comparison.pareto_front()
+        assert front
+        for member in front:
+            for other in comparison.outcomes:
+                if not other.feasible:
+                    continue
+                strictly_better = (
+                    other.makespan_s < member.makespan_s
+                    and other.energy_j < member.energy_j
+                )
+                assert not strictly_better
+
+    def test_infeasible_goal_captured_not_raised(self, database):
+        tight = requests(n=2, deadline=1.0)
+        comparison = compare_goals(database, tight, servers(), strict_qos=True)
+        assert all(not o.feasible for o in comparison.outcomes)
+        assert all(o.error for o in comparison.outcomes)
+        assert comparison.outcome(0.5).makespan_s == float("inf")
+
+    def test_unknown_alpha_lookup(self, database):
+        comparison = compare_goals(database, requests(), servers())
+        with pytest.raises(KeyError):
+            comparison.outcome(0.33)
+
+    def test_rows_shape(self, database):
+        rows = compare_goals(database, requests(), servers()).rows()
+        assert len(rows) == 5
+        assert all(len(r) == 4 for r in rows)
+
+    def test_empty_alphas_rejected(self, database):
+        with pytest.raises(ConfigurationError):
+            compare_goals(database, requests(), servers(), alphas=())

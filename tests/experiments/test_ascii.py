@@ -1,0 +1,81 @@
+"""Unit tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.ascii import bar_chart, line_curve
+
+
+class TestBarChart:
+    SERIES = {
+        "SMALLER": [("FF", 100.0), ("PA-1", 60.0)],
+        "LARGER": [("FF", 80.0), ("PA-1", 55.0)],
+    }
+
+    def test_contains_all_cells(self):
+        text = bar_chart(self.SERIES, title="Makespan")
+        assert "Makespan" in text
+        assert text.count("FF") == 2
+        assert text.count("PA-1") == 2
+
+    def test_bars_scale_with_values(self):
+        text = bar_chart(self.SERIES)
+        lines = [l for l in text.splitlines() if "|" in l]
+        ff_smaller = next(l for l in lines if l.startswith("FF") and "SMALLER" in l)
+        pa_smaller = next(l for l in lines if l.startswith("PA-1") and "SMALLER" in l)
+        assert ff_smaller.count("#") > pa_smaller.count("#")
+
+    def test_value_format(self):
+        text = bar_chart(self.SERIES, value_format="{:.1f}")
+        assert "100.0" in text
+
+    def test_zero_values(self):
+        text = bar_chart({"A": [("x", 0.0)]})
+        assert "|" in text
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            bar_chart(self.SERIES, width=2)
+
+    def test_missing_cell_skipped(self):
+        series = {"A": [("x", 1.0)], "B": [("y", 2.0)]}
+        text = bar_chart(series)
+        assert "x" in text and "y" in text
+
+
+class TestLineCurve:
+    def test_contains_points(self):
+        text = line_curve([1, 2, 3], [10.0, 5.0, 20.0], title="curve")
+        assert "curve" in text
+        assert text.count("*") == 3
+
+    def test_peak_row_annotated(self):
+        text = line_curve([1, 2], [0.0, 50.0])
+        assert "50" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_curve([1, 2], [1.0])
+
+    def test_height_validated(self):
+        with pytest.raises(ValueError):
+            line_curve([1], [1.0], height=2)
+
+    def test_empty_series(self):
+        assert line_curve([], [], title="t") == "t"
+
+    def test_labels_rendered(self):
+        text = line_curve([1], [1.0], x_label="n", y_label="s")
+        assert "x: n" in text and "y: s" in text
+
+    def test_minimum_visible(self):
+        # The Fig. 2 use case: the optimum must be on a lower row than
+        # the solo point.
+        text = line_curve([1, 2, 3], [600.0, 300.0, 650.0])
+        rows = text.splitlines()
+        col_of = {}
+        for r, row in enumerate(rows):
+            for c, ch in enumerate(row):
+                if ch == "*":
+                    col_of[c] = r
+        levels = [col_of[c] for c in sorted(col_of)]
+        assert levels[1] > levels[0]  # middle point lower on screen

@@ -1,0 +1,67 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_batch, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["profile"],
+            ["campaign", "-o", "/tmp/x"],
+            ["allocate", "--model", "/tmp/x"],
+            ["evaluate", "--vm-budget", "100"],
+            ["fig2"],
+        ],
+    )
+    def test_known_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+
+class TestBatchSpec:
+    def test_parse_counts(self):
+        batch = _parse_batch("4cpu,2mem,1io")
+        classes = [r.workload_class.value for r in batch]
+        assert classes.count("cpu") == 4
+        assert classes.count("mem") == 2
+        assert classes.count("io") == 1
+
+    def test_implicit_count_of_one(self):
+        assert len(_parse_batch("cpu")) == 1
+
+    def test_bad_component_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_batch("4gpu")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_batch(",")
+
+
+class TestCommands:
+    def test_profile_command(self, capsys):
+        assert main(["profile", "fftw"]) == 0
+        out = capsys.readouterr().out
+        assert "fftw" in out and "class=cpu" in out
+
+    def test_fig2_command(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum at 9 VMs" in out
+
+    def test_campaign_then_allocate(self, tmp_path, capsys):
+        assert main(["campaign", "-o", str(tmp_path), "--quiet"]) == 0
+        assert (tmp_path / "model_database.csv").exists()
+        assert (tmp_path / "auxiliary.csv").exists()
+        assert main(
+            ["allocate", "--model", str(tmp_path), "--alpha", "1.0", "--vms", "3cpu"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out

@@ -1,0 +1,34 @@
+"""Experiment tests: Fig. 2 FFTW base curve."""
+
+import pytest
+
+from repro.experiments.fig2_basecurve import fig2_basecurve
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2_basecurve()
+
+
+class TestFig2:
+    def test_paper_optimum_nine_vms(self, result):
+        assert result.optimal_n == 9
+
+    def test_covers_one_to_sixteen(self, result):
+        assert result.n_vms == tuple(range(1, 17))
+
+    def test_solo_time_is_reference(self, result):
+        assert result.solo_time_s == pytest.approx(600.0, rel=1e-6)
+
+    def test_significant_degradation_past_eleven(self, result):
+        assert result.degradation_at(12) > 1.5
+        assert result.degradation_at(16) > 3.0
+
+    def test_mild_at_ten(self, result):
+        assert result.degradation_at(10) < 1.3
+
+    def test_total_times_monotone(self, result):
+        # Total completion time always grows with the VM count even
+        # though the per-VM average has an interior optimum.
+        totals = result.total_time_s
+        assert all(b > a for a, b in zip(totals, totals[1:]))

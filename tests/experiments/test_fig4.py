@@ -1,0 +1,26 @@
+"""Experiment tests: the Fig. 4 worked example, exactly as printed."""
+
+import pytest
+
+from repro.experiments.fig4_accounting import (
+    EXPECTED_ENERGY_J,
+    EXPECTED_EXEC_TIME_S,
+    fig4_worked_example,
+)
+
+
+class TestFig4WorkedExample:
+    def test_exec_time_vm1_is_1380s(self):
+        result = fig4_worked_example()
+        assert result.exec_time_vm1_s == pytest.approx(1380.0, abs=1e-12)
+
+    def test_energy_is_14_25_kj(self):
+        result = fig4_worked_example()
+        assert result.energy_j == pytest.approx(14_250.0, abs=1e-12)
+
+    def test_matches_paper_flag(self):
+        assert fig4_worked_example().matches_paper
+
+    def test_expected_constants(self):
+        assert EXPECTED_EXEC_TIME_S == 1380.0
+        assert EXPECTED_ENERGY_J == 14_250.0

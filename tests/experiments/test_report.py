@@ -1,0 +1,102 @@
+"""Unit tests for headline-claim extraction and table formatting."""
+
+import pytest
+
+from repro.experiments.evaluation import EvaluationResult, StrategyOutcome
+from repro.experiments.report import (
+    _correlation,
+    format_series_table,
+    headline_claims,
+)
+
+
+def outcome(cloud, strategy, makespan, energy, sla=0.0):
+    return StrategyOutcome(
+        cloud=cloud,
+        strategy=strategy,
+        makespan_s=makespan,
+        energy_j=energy,
+        sla_violation_pct=sla,
+        mean_response_s=makespan / 10,
+        max_queue_length=0,
+        wall_time_s=1.0,
+    )
+
+
+def synthetic_result():
+    cells = [
+        # FF family: slow and hungry.
+        outcome("SMALLER", "FF", 1000.0, 500.0, sla=30.0),
+        outcome("SMALLER", "FF-2", 900.0, 450.0, sla=10.0),
+        outcome("SMALLER", "FF-3", 1200.0, 700.0, sla=60.0),
+        # PA family: faster and frugal.
+        outcome("SMALLER", "PA-1", 850.0, 300.0, sla=2.0),
+        outcome("SMALLER", "PA-0", 800.0, 330.0, sla=1.0),
+        outcome("SMALLER", "PA-0.5", 820.0, 310.0, sla=1.5),
+    ]
+    return EvaluationResult(outcomes=tuple(cells), n_jobs=10, n_vms=25, campaign=None)
+
+
+class TestHeadlineClaims:
+    def test_improvements_computed(self):
+        claims = headline_claims(synthetic_result())[0]
+        # best PA (800) vs worst FF (1200): 33.3%
+        assert claims.max_makespan_improvement_pct == pytest.approx(100 * 400 / 1200)
+        # vs plain FF (1000): 20%
+        assert claims.makespan_improvement_vs_ff_pct == pytest.approx(20.0)
+
+    def test_energy_savings(self):
+        claims = headline_claims(synthetic_result())[0]
+        ff_avg = (500 + 450 + 700) / 3
+        pa_avg = (300 + 330 + 310) / 3
+        assert claims.avg_energy_saving_pct == pytest.approx(100 * (ff_avg - pa_avg) / ff_avg)
+
+    def test_pa_goal_deltas(self):
+        claims = headline_claims(synthetic_result())[0]
+        assert claims.pa0_vs_pa1_makespan_pct == pytest.approx(100 * 50 / 850)
+        assert claims.pa1_vs_pa0_energy_pct == pytest.approx(100 * 30 / 330)
+
+    def test_sla_comparison(self):
+        claims = headline_claims(synthetic_result())[0]
+        # worst PA 2.0 minus best FF 10.0 = -8 pp.
+        assert claims.pa_worst_minus_ff_best_sla_pp == pytest.approx(-8.0)
+
+    def test_correlation_positive_for_consistent_data(self):
+        claims = headline_claims(synthetic_result())[0]
+        assert claims.makespan_sla_correlation > 0.8
+
+    def test_missing_strategy_raises(self):
+        partial = EvaluationResult(
+            outcomes=(outcome("SMALLER", "FF", 1.0, 1.0),),
+            n_jobs=1,
+            n_vms=1,
+            campaign=None,
+        )
+        with pytest.raises(KeyError, match="missing"):
+            headline_claims(partial)
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert _correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert _correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_constant_side_is_zero(self):
+        assert _correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+class TestFormatSeriesTable:
+    def test_layout(self):
+        series = {
+            "SMALLER": [("FF", 100.0), ("PA-1", 50.0)],
+            "LARGER": [("FF", 90.0)],
+        }
+        text = format_series_table(series, "{:.0f}", title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "LARGER" in lines[1] and "SMALLER" in lines[1]
+        # PA-1 has no LARGER cell: dash placeholder.
+        pa_line = next(l for l in lines if l.startswith("PA-1"))
+        assert "-" in pa_line

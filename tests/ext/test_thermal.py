@@ -1,0 +1,137 @@
+"""Unit tests for the thermal extension."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ModelLookupError
+from repro.core.allocator import ServerState
+from repro.ext.thermal import (
+    PowerCappedDatabase,
+    ThermalAwareProactiveStrategy,
+    ThermalParams,
+    ThermalState,
+    steady_state_temp_c,
+    thermal_power_cap_w,
+)
+from repro.strategies.base import ServerView, VMDescriptor
+from repro.testbed.benchmarks import WorkloadClass
+
+
+class TestThermalModel:
+    def test_steady_state(self):
+        params = ThermalParams(resistance_k_per_w=0.2, ambient_c=20.0)
+        assert steady_state_temp_c(200.0, params) == pytest.approx(60.0)
+
+    def test_step_converges_to_steady_state(self):
+        params = ThermalParams()
+        state = ThermalState(params)
+        for _ in range(50):
+            state.step(200.0, params.time_constant_s)
+        assert state.temperature_c == pytest.approx(
+            steady_state_temp_c(200.0, params), abs=0.01
+        )
+
+    def test_exact_integration_is_step_size_invariant(self):
+        params = ThermalParams()
+        coarse = ThermalState(params)
+        fine = ThermalState(params)
+        coarse.step(180.0, 600.0)
+        for _ in range(600):
+            fine.step(180.0, 1.0)
+        assert coarse.temperature_c == pytest.approx(fine.temperature_c, abs=1e-9)
+
+    def test_cooling_when_power_drops(self):
+        params = ThermalParams()
+        state = ThermalState(params, initial_c=60.0)
+        state.step(0.0, 10_000.0)
+        assert state.temperature_c == pytest.approx(params.ambient_c, abs=0.5)
+
+    def test_peak_tracked(self):
+        state = ThermalState(ThermalParams(), initial_c=50.0)
+        state.step(0.0, 10_000.0)
+        assert state.peak_c == pytest.approx(50.0)
+
+    def test_time_to_redline(self):
+        params = ThermalParams(redline_c=60.0)
+        state = ThermalState(params)
+        hot_power = (70.0 - params.ambient_c) / params.resistance_k_per_w
+        t = state.time_to_redline_s(hot_power)
+        assert 0 < t < float("inf")
+        state.step(hot_power, t)
+        assert state.temperature_c == pytest.approx(params.redline_c, abs=0.01)
+
+    def test_time_to_redline_infinite_when_cool(self):
+        state = ThermalState(ThermalParams())
+        assert state.time_to_redline_s(10.0) == float("inf")
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ThermalParams(resistance_k_per_w=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalParams(ambient_c=80.0, redline_c=70.0)
+
+
+class TestPowerCappedDatabase:
+    def test_cap_formula(self):
+        params = ThermalParams(resistance_k_per_w=0.2, ambient_c=20.0, redline_c=70.0)
+        assert thermal_power_cap_w(params, margin_c=0.0) == pytest.approx(250.0)
+
+    def test_hot_mixes_rejected(self, database):
+        hottest = max(r.avg_power_w for r in database.records)
+        coolest = min(r.avg_power_w for r in database.records)
+        cap = (hottest + coolest) / 2
+        capped = PowerCappedDatabase(database, cap)
+        assert len(capped) < len(database)
+        for record in capped.records:
+            assert record.avg_power_w <= cap
+
+    def test_within_bounds_respects_cap(self, database):
+        hottest_record = max(database.records, key=lambda r: r.avg_power_w)
+        capped = PowerCappedDatabase(database, hottest_record.avg_power_w - 1.0)
+        assert database.within_bounds(hottest_record.key)
+        assert not capped.within_bounds(hottest_record.key)
+
+    def test_estimate_raises_above_cap(self, database):
+        hottest_record = max(database.records, key=lambda r: r.avg_power_w)
+        capped = PowerCappedDatabase(database, hottest_record.avg_power_w - 1.0)
+        with pytest.raises(ModelLookupError):
+            capped.estimate(hottest_record.key)
+
+    def test_cool_mixes_pass_through(self, database):
+        capped = PowerCappedDatabase(database, 1e9)
+        key = database.records[0].key
+        assert capped.estimate(key).time_s == database.estimate(key).time_s
+
+    def test_invalid_cap(self, database):
+        with pytest.raises(ConfigurationError):
+            PowerCappedDatabase(database, 0.0)
+
+
+class TestThermalAwareStrategy:
+    def test_never_places_over_budget(self, database):
+        thermal = ThermalParams()
+        strategy = ThermalAwareProactiveStrategy(database, thermal, alpha=1.0)
+        views = [
+            ServerView(f"s{i}", (0, 0, 0), max_vms=24, cpu_slots=4, powered_on=False)
+            for i in range(6)
+        ]
+        batch = [VMDescriptor(f"v{i}", WorkloadClass.CPU) for i in range(9)]
+        placement = strategy.place(batch, views)
+        assert placement is not None
+        # Reconstruct per-server mixes and check their steady state.
+        from collections import Counter
+
+        per_server = Counter(placement.values())
+        for server_id, count in per_server.items():
+            estimate = database.estimate((count, 0, 0))
+            steady = steady_state_temp_c(estimate.avg_power_w, thermal)
+            assert steady < thermal.redline_c
+
+    def test_worst_case_steady_temp_below_redline(self, database):
+        thermal = ThermalParams()
+        strategy = ThermalAwareProactiveStrategy(database, thermal, margin_c=3.0)
+        assert strategy.worst_case_steady_temp_c() <= thermal.redline_c - 2.9
+
+    def test_name(self, database):
+        assert ThermalAwareProactiveStrategy(database, alpha=0.5).name == "PA-0.5-thermal"

@@ -1,0 +1,27 @@
+"""Integration: database records vs simulator replays agree."""
+
+import pytest
+
+from repro.experiments.crosscheck import crosscheck_database
+
+
+class TestCrossCheck:
+    def test_sampled_mixes_agree(self, database):
+        sample = [r.key for r in database.records[:: max(1, len(database) // 40)]]
+        report = crosscheck_database(database, sample=sample)
+        # Two independent code paths over the same physics: tight
+        # agreement expected (float-integration noise only).
+        assert report.max_time_deviation < 1e-6, report.summary()
+        assert report.max_energy_deviation < 1e-6, report.summary()
+
+    def test_extreme_corners_agree(self, database):
+        osc, osm, osi = database.grid_bounds
+        corners = [(osc, 0, 0), (0, osm, 0), (0, 0, osi), (osc, osm, osi), (1, 1, 1)]
+        report = crosscheck_database(database, sample=corners)
+        assert report.max_time_deviation < 1e-6
+        assert report.max_energy_deviation < 1e-6
+
+    def test_report_summary(self, database):
+        report = crosscheck_database(database, sample=[(1, 0, 0)])
+        assert "1 mixes" in report.summary()
+        assert len(report.rows) == 1

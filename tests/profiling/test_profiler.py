@@ -1,0 +1,60 @@
+"""Unit tests for the end-to-end application profiler."""
+
+import pytest
+
+from repro.profiling.profiler import ApplicationProfiler
+from repro.testbed.benchmarks import BENCHMARKS, WorkloadClass, get_benchmark
+from repro.testbed.spec import Subsystem
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return ApplicationProfiler()
+
+
+class TestProfiler:
+    def test_fftw_is_cpu_class(self, profiler):
+        report = profiler.profile(get_benchmark("fftw"))
+        assert report.workload_class is WorkloadClass.CPU
+        assert report.profile.is_intensive(Subsystem.CPU)
+
+    def test_sysbench_is_mem_class(self, profiler):
+        report = profiler.profile(get_benchmark("sysbench"))
+        assert report.workload_class is WorkloadClass.MEM
+
+    def test_beffio_is_io_class(self, profiler):
+        report = profiler.profile(get_benchmark("b_eff_io"))
+        assert report.workload_class is WorkloadClass.IO
+
+    def test_mpi_compute_is_cpu_and_network_intensive(self, profiler):
+        # The Fig. 1 right panel workload.
+        report = profiler.profile(get_benchmark("mpi_compute"))
+        assert report.profile.is_intensive(Subsystem.CPU)
+        assert report.profile.is_intensive(Subsystem.NETWORK)
+        assert report.workload_class is WorkloadClass.CPU
+
+    def test_every_benchmark_classifies_as_its_declared_class(self, profiler):
+        for spec in BENCHMARKS.values():
+            report = profiler.profile(spec)
+            assert report.workload_class is spec.workload_class, spec.name
+
+    def test_solo_time_matches_t_ref(self, profiler):
+        report = profiler.profile(get_benchmark("hpl"))
+        assert report.solo_time_s == pytest.approx(900.0, rel=1e-6)
+
+    def test_counters_attached(self, profiler):
+        report = profiler.profile(get_benchmark("fftw"))
+        assert len(report.counters) == len(report.trace)
+
+    def test_summary_mentions_class(self, profiler):
+        report = profiler.profile(get_benchmark("fftw"))
+        assert "cpu" in report.summary()
+
+    def test_profile_many_preserves_order(self, profiler):
+        specs = [get_benchmark("fftw"), get_benchmark("bonnie")]
+        reports = profiler.profile_many(specs)
+        assert [r.benchmark_name for r in reports] == ["fftw", "bonnie"]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationProfiler(sample_period_s=0.0)

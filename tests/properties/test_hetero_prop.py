@@ -1,0 +1,75 @@
+"""Property-based tests for the heterogeneous allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ext.hetero import HeteroProactiveStrategy, build_class_databases, default_classes
+from repro.strategies.base import ServerView, VMDescriptor
+from repro.testbed.benchmarks import WorkloadClass
+
+classes = st.sampled_from(list(WorkloadClass))
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@pytest.fixture(scope="module")
+def databases():
+    return build_class_databases(default_classes())
+
+
+def views(labels):
+    return [
+        ServerView(
+            server_id=f"s{i}",
+            mix=(0, 0, 0),
+            max_vms=40 if label == "modern" else 24,
+            cpu_slots=8 if label == "modern" else 4,
+            powered_on=False,
+        )
+        for i, label in enumerate(labels)
+    ]
+
+
+class TestHeteroPlacementProperties:
+    @given(
+        batch=st.lists(classes, min_size=1, max_size=5),
+        alpha=alphas,
+        layout=st.lists(st.sampled_from(["legacy", "modern"]), min_size=1, max_size=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_vm_placed_within_class_bounds(self, databases, batch, alpha, layout):
+        strategy = HeteroProactiveStrategy(
+            databases,
+            {f"s{i}": label for i, label in enumerate(layout)},
+            alpha=alpha,
+        )
+        descriptors = [VMDescriptor(f"v{i}", c) for i, c in enumerate(batch)]
+        placement = strategy.place(descriptors, views(layout))
+        assert placement is not None
+        assert sorted(placement) == sorted(d.vm_id for d in descriptors)
+        # Per-server mixes stay inside the *server's own class* bounds.
+        per_server: dict[str, list[WorkloadClass]] = {}
+        for descriptor in descriptors:
+            per_server.setdefault(placement[descriptor.vm_id], []).append(
+                descriptor.workload_class
+            )
+        for server_id, members in per_server.items():
+            db = strategy.database_for(server_id)
+            key = (
+                sum(1 for c in members if c is WorkloadClass.CPU),
+                sum(1 for c in members if c is WorkloadClass.MEM),
+                sum(1 for c in members if c is WorkloadClass.IO),
+            )
+            assert db.within_bounds(key), (server_id, key)
+
+    @given(batch=st.lists(classes, min_size=1, max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, databases, batch):
+        layout = ["legacy", "modern"]
+        strategy = HeteroProactiveStrategy(
+            databases, {f"s{i}": label for i, label in enumerate(layout)}, alpha=0.5
+        )
+        descriptors = [VMDescriptor(f"v{i}", c) for i, c in enumerate(batch)]
+        assert strategy.place(descriptors, views(layout)) == strategy.place(
+            descriptors, views(layout)
+        )

@@ -1,0 +1,88 @@
+"""Property-based tests for model-database and allocator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.scoring import ScoreWeights, score_candidates
+from repro.testbed.benchmarks import WorkloadClass
+
+
+classes = st.sampled_from(list(WorkloadClass))
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestDatabaseProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_matches_linear_scan(self, database, data):
+        record = data.draw(st.sampled_from(list(database.records)))
+        assert database.lookup(record.key) == record
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_positive_within_grid(self, database, data):
+        osc, osm, osi = database.grid_bounds
+        key = (
+            data.draw(st.integers(0, osc)),
+            data.draw(st.integers(0, osm)),
+            data.draw(st.integers(0, osi)),
+        )
+        if sum(key) == 0:
+            return
+        estimate = database.estimate(key)
+        assert estimate.time_s > 0
+        assert estimate.energy_j > 0
+        assert estimate.avg_power_w > 100.0  # at least near idle draw
+
+
+class TestAllocatorProperties:
+    @given(
+        batch=st.lists(classes, min_size=1, max_size=5),
+        alpha=alphas,
+        n_servers=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_vm_placed_exactly_once(self, database, batch, alpha, n_servers):
+        requests = [VMRequest(f"v{i}", c) for i, c in enumerate(batch)]
+        servers = [ServerState(f"s{i}") for i in range(n_servers)]
+        plan = ProactiveAllocator(database, alpha=alpha).allocate(requests, servers)
+        placements = plan.placements()
+        assert sorted(placements) == sorted(r.vm_id for r in requests)
+        for assignment in plan.assignments:
+            assert database.within_bounds(assignment.combined_key)
+
+    @given(batch=st.lists(classes, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_alpha_extremes_order_objectives(self, database, batch):
+        requests = [VMRequest(f"v{i}", c) for i, c in enumerate(batch)]
+        servers = [ServerState(f"s{i}") for i in range(3)]
+        fast = ProactiveAllocator(database, alpha=0.0).allocate(requests, servers)
+        frugal = ProactiveAllocator(database, alpha=1.0).allocate(requests, servers)
+        assert fast.estimated_makespan_s <= frugal.estimated_makespan_s + 1e-9
+        assert frugal.estimated_energy_j <= fast.estimated_energy_j + 1e-9
+
+
+class TestScoringProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6),
+                st.floats(min_value=0.0, max_value=1e9),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        alphas,
+    )
+    @settings(max_examples=60)
+    def test_scores_in_unit_interval(self, candidates, alpha):
+        scores = score_candidates(candidates, ScoreWeights(alpha))
+        assert all(-1e-9 <= s <= 1.0 + 1e-9 for s in scores)
+
+    @given(alphas)
+    @settings(max_examples=30)
+    def test_dominated_candidate_never_wins(self, alpha):
+        candidates = [(100.0, 100.0), (200.0, 200.0)]
+        scores = score_candidates(candidates, ScoreWeights(alpha))
+        assert scores[0] <= scores[1]

@@ -1,0 +1,130 @@
+"""Unit tests for the datacenter simulation driver."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator
+from repro.strategies import FirstFitStrategy, ProactiveStrategy
+from repro.strategies.base import AllocationStrategy
+from repro.testbed.benchmarks import WorkloadClass
+from repro.workloads.assignment import PreparedJob
+from repro.workloads.qos import QoSPolicy
+
+
+def job(job_id=1, submit=0.0, workload_class=WorkloadClass.CPU, n_vms=1, burst=0):
+    return PreparedJob(
+        job_id=job_id,
+        submit_time_s=submit,
+        workload_class=workload_class,
+        n_vms=n_vms,
+        burst_id=burst,
+    )
+
+
+@pytest.fixture
+def sim():
+    return DatacenterSimulator(DatacenterConfig(n_servers=3))
+
+
+class TestConfig:
+    def test_n_servers_positive(self):
+        with pytest.raises(ConfigurationError):
+            DatacenterConfig(n_servers=0)
+
+
+class TestSingleJob:
+    def test_solo_job_runs_at_reference_time(self, sim):
+        result = sim.run([job()], FirstFitStrategy(1), QoSPolicy.unlimited())
+        assert result.metrics.n_jobs == 1
+        # Solo fftw VM: 600 s reference runtime.
+        assert result.metrics.makespan_s == pytest.approx(600.0, rel=1e-6)
+
+    def test_multi_vm_job_completes_when_last_vm_does(self, sim):
+        result = sim.run([job(n_vms=4)], FirstFitStrategy(1), QoSPolicy.unlimited())
+        outcome = result.outcomes[0]
+        assert outcome.n_vms == 4
+        # 4 co-located fftw VMs contend mildly.
+        assert outcome.completion_time_s > 600.0
+
+    def test_delayed_submission(self, sim):
+        result = sim.run([job(submit=100.0)], FirstFitStrategy(1), QoSPolicy.unlimited())
+        outcome = result.outcomes[0]
+        assert outcome.submit_time_s == 100.0
+        assert outcome.completion_time_s == pytest.approx(700.0, rel=1e-6)
+
+
+class TestQueueing:
+    def test_overload_queues_fcfs(self):
+        # One server, one CPU slot per VM: 3 jobs of 4 VMs each must
+        # serialize under FF (4 slots).
+        sim = DatacenterSimulator(DatacenterConfig(n_servers=1))
+        jobs = [job(job_id=i, n_vms=4) for i in range(1, 4)]
+        result = sim.run(jobs, FirstFitStrategy(1), QoSPolicy.unlimited())
+        completions = sorted(o.completion_time_s for o in result.outcomes)
+        assert completions[1] > completions[0] * 1.8
+        assert result.metrics.max_queue_length >= 2
+
+    def test_unplaceable_job_fails_loudly(self):
+        sim = DatacenterSimulator(DatacenterConfig(n_servers=1))
+
+        class RejectAll(AllocationStrategy):
+            name = "REJECT"
+
+            def place(self, vms, servers):
+                return None
+
+        with pytest.raises(SimulationError, match="never"):
+            sim.run([job()], RejectAll(), QoSPolicy.unlimited())
+
+    def test_partial_placement_fails_loudly(self, sim):
+        class Partial(AllocationStrategy):
+            name = "PARTIAL"
+
+            def place(self, vms, servers):
+                return {vms[0].vm_id: servers[0].server_id}
+
+        with pytest.raises(SimulationError, match="partial"):
+            sim.run([job(n_vms=2)], Partial(), QoSPolicy.unlimited())
+
+
+class TestEnergyAccounting:
+    def test_energy_positive_and_split(self, sim):
+        result = sim.run([job(n_vms=2)], FirstFitStrategy(1), QoSPolicy.unlimited())
+        assert result.metrics.busy_energy_j > 0
+        # Power-off-when-empty: no idle energy for a single job.
+        assert result.metrics.idle_energy_j == 0.0
+
+    def test_per_server_energy_matches_total(self, sim):
+        jobs = [job(job_id=i, n_vms=2, submit=i * 50.0) for i in range(1, 5)]
+        result = sim.run(jobs, FirstFitStrategy(2), QoSPolicy.unlimited())
+        assert sum(result.per_server_busy_j) == pytest.approx(result.metrics.busy_energy_j)
+
+    def test_consolidation_uses_fewer_servers(self, sim, database):
+        # 6 single-VM jobs: FF (4 CPU slots) needs two servers, while
+        # PA-1 can consolidate all six below the OSC grid bound.
+        jobs = [job(job_id=i, n_vms=1, submit=0.0) for i in range(1, 7)]
+        spread = sim.run(jobs, FirstFitStrategy(1), QoSPolicy.unlimited())
+        packed = sim.run(jobs, ProactiveStrategy(database, alpha=1.0), QoSPolicy.unlimited())
+        servers_spread = sum(1 for e in spread.per_server_busy_j if e > 0)
+        servers_packed = sum(1 for e in packed.per_server_busy_j if e > 0)
+        assert servers_packed < servers_spread
+        assert packed.energy_j < spread.energy_j
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outputs(self, sim):
+        jobs = [job(job_id=i, submit=i * 10.0, n_vms=2) for i in range(1, 8)]
+        a = sim.run(jobs, FirstFitStrategy(2), QoSPolicy.unlimited())
+        b = sim.run(jobs, FirstFitStrategy(2), QoSPolicy.unlimited())
+        assert a.metrics.makespan_s == b.metrics.makespan_s
+        assert a.metrics.energy_j == b.metrics.energy_j
+
+
+class TestSLAAccounting:
+    def test_violations_counted(self, campaign):
+        # One server, tight QoS, heavy backlog: later jobs must violate.
+        sim = DatacenterSimulator(DatacenterConfig(n_servers=1))
+        qos = QoSPolicy.from_optima(campaign.optima, factor=1.5)
+        jobs = [job(job_id=i, n_vms=4) for i in range(1, 6)]
+        result = sim.run(jobs, FirstFitStrategy(1), qos)
+        assert result.metrics.sla_violations >= 3

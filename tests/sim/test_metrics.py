@@ -1,0 +1,79 @@
+"""Unit tests for simulation metrics."""
+
+import pytest
+
+from repro.sim.metrics import JobOutcome, SimulationMetrics, compute_metrics
+
+
+def outcome(job_id=1, submit=0.0, complete=100.0, deadline=500.0, n_vms=2):
+    return JobOutcome(
+        job_id=job_id,
+        workload_class="cpu",
+        n_vms=n_vms,
+        submit_time_s=submit,
+        completion_time_s=complete,
+        deadline_s=deadline,
+    )
+
+
+class TestJobOutcome:
+    def test_response_time(self):
+        assert outcome(submit=10.0, complete=110.0).response_time_s == 100.0
+
+    def test_missed_deadline(self):
+        assert outcome(complete=600.0, deadline=500.0).missed_deadline
+        assert not outcome(complete=400.0, deadline=500.0).missed_deadline
+
+
+class TestComputeMetrics:
+    def test_makespan_definition(self):
+        # "the difference between the earliest time of submission of any
+        # of the workload tasks, and the latest time of completion of
+        # any of its tasks"
+        outcomes = [
+            outcome(job_id=1, submit=100.0, complete=500.0),
+            outcome(job_id=2, submit=50.0, complete=300.0),
+        ]
+        metrics = compute_metrics(outcomes, 0.0, 0.0, 0)
+        assert metrics.makespan_s == 450.0
+
+    def test_sla_violation_percentage(self):
+        outcomes = [
+            outcome(job_id=1, complete=600.0, deadline=500.0),
+            outcome(job_id=2, complete=100.0, deadline=500.0),
+            outcome(job_id=3, complete=700.0, deadline=500.0),
+            outcome(job_id=4, complete=100.0, deadline=500.0),
+        ]
+        metrics = compute_metrics(outcomes, 0.0, 0.0, 0)
+        assert metrics.sla_violations == 2
+        assert metrics.sla_violation_pct == 50.0
+
+    def test_energy_split(self):
+        metrics = compute_metrics([outcome()], 900.0, 100.0, 0)
+        assert metrics.energy_j == 1000.0
+        assert metrics.busy_energy_j == 900.0
+        assert metrics.idle_energy_j == 100.0
+        assert metrics.energy_kj == 1.0
+
+    def test_vm_totals(self):
+        metrics = compute_metrics([outcome(n_vms=3), outcome(job_id=2, n_vms=4)], 0, 0, 5)
+        assert metrics.n_vms == 7
+        assert metrics.n_jobs == 2
+        assert metrics.max_queue_length == 5
+
+    def test_response_statistics(self):
+        outcomes = [outcome(job_id=i, complete=100.0 * i) for i in range(1, 11)]
+        metrics = compute_metrics(outcomes, 0, 0, 0)
+        assert metrics.mean_response_s == pytest.approx(550.0)
+        assert metrics.p95_response_s >= metrics.mean_response_s
+
+    def test_empty_outcomes(self):
+        metrics = compute_metrics([], 500.0, 100.0, 0)
+        assert metrics.makespan_s == 0.0
+        assert metrics.energy_j == 600.0
+        assert metrics.sla_violation_pct == 0.0
+
+    def test_summary_format(self):
+        metrics = compute_metrics([outcome()], 1000.0, 0.0, 0)
+        text = metrics.summary()
+        assert "makespan" in text and "SLA" in text

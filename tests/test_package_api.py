@@ -1,0 +1,75 @@
+"""Tests for the top-level package API."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import ModelDatabase, ProactiveAllocator, ServerState, VMRequest, build_model
+
+
+class TestTopLevelAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_build_model_one_liner(self):
+        database = build_model()
+        assert isinstance(database, ModelDatabase)
+        assert len(database) > 0
+
+    def test_docstring_example(self):
+        database = build_model()
+        plan = ProactiveAllocator(database, alpha=1.0).allocate(
+            [VMRequest("vm0", "cpu"), VMRequest("vm1", "cpu")],
+            [ServerState("rack-0")],
+        )
+        assert plan.n_vms == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "allocate" in result.stdout
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.common",
+            "repro.testbed",
+            "repro.profiling",
+            "repro.campaign",
+            "repro.core",
+            "repro.workloads",
+            "repro.sim",
+            "repro.strategies",
+            "repro.experiments",
+            "repro.ext.thermal",
+            "repro.ext.hetero",
+            "repro.ext.learning",
+            "repro.ext.migration",
+        ],
+    )
+    def test_imports_cleanly(self, module):
+        __import__(module)
+
+    def test_no_import_cycles_at_package_root(self):
+        # A fresh interpreter must import the root without the heavy
+        # subpackages being pulled in transitively going sideways.
+        result = subprocess.run(
+            [sys.executable, "-c", "import repro; print('ok')"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.stdout.strip() == "ok"

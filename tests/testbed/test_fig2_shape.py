@@ -1,0 +1,62 @@
+"""Calibration tests: the emulator must reproduce Fig. 2's shape.
+
+The paper (Sect. III-B, Fig. 2) reports for FFTW: "the shortest
+average execution time (the optimal scenario) is obtained with 9 VMs
+running on a single server.  With more than 11 VMs the average
+execution time increases significantly" -- becoming "comparable to the
+average execution time of a VM when a set of benchmarks are executed
+sequentially one after the other."
+"""
+
+import pytest
+
+from repro.testbed.benchmarks import get_benchmark
+from repro.testbed.runner import VMInstance, run_mix
+from repro.testbed.spec import default_server
+
+
+@pytest.fixture(scope="module")
+def fftw_curve():
+    server = default_server()
+    fftw = get_benchmark("fftw")
+    curve = {}
+    for n in range(1, 17):
+        vms = [VMInstance(f"vm{i}", fftw) for i in range(n)]
+        curve[n] = run_mix(server, vms).avg_time_vm_s
+    return curve
+
+
+class TestFig2Shape:
+    def test_optimum_at_nine_vms(self, fftw_curve):
+        best = min(fftw_curve, key=fftw_curve.get)
+        assert best == 9
+
+    def test_avg_time_decreases_up_to_optimum(self, fftw_curve):
+        for n in range(1, 9):
+            assert fftw_curve[n + 1] < fftw_curve[n]
+
+    def test_significant_increase_past_eleven(self, fftw_curve):
+        # > 11 VMs: clearly worse than the optimum.
+        assert fftw_curve[12] > 1.5 * fftw_curve[9]
+
+    def test_sixteen_vms_comparable_to_sequential(self, fftw_curve):
+        # Sequential execution: avg time per VM == solo time.
+        solo = fftw_curve[1]
+        assert fftw_curve[16] == pytest.approx(solo, rel=0.25)
+
+    def test_mild_degradation_at_ten(self, fftw_curve):
+        assert fftw_curve[10] < 1.25 * fftw_curve[9]
+
+
+class TestEnergyCurve:
+    def test_energy_per_vm_has_interior_minimum(self):
+        server = default_server()
+        fftw = get_benchmark("fftw")
+        energies = {}
+        for n in (1, 4, 7, 12, 16):
+            vms = [VMInstance(f"vm{i}", fftw) for i in range(n)]
+            energies[n] = run_mix(server, vms).energy_j / n
+        best = min(energies, key=energies.get)
+        assert 1 < best < 16
+        assert energies[1] > energies[best]
+        assert energies[16] > energies[best]

@@ -1,0 +1,89 @@
+"""Unit tests for profile assignment and VM scaling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.testbed.benchmarks import WorkloadClass
+from repro.workloads.assignment import (
+    AssignmentConfig,
+    assign_profiles_and_vms,
+    total_vms_requested,
+    truncate_to_vm_budget,
+)
+from repro.workloads.swf import SWFRecord
+
+
+def trace(n=50):
+    return [
+        SWFRecord(job_number=i + 1, submit_time=i * 10, run_time=100, status=1, allocated_procs=2)
+        for i in range(n)
+    ]
+
+
+class TestAssignmentConfig:
+    def test_defaults_match_paper(self):
+        config = AssignmentConfig()
+        assert (config.min_burst, config.max_burst) == (1, 5)
+        assert (config.min_vms, config.max_vms) == (1, 4)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AssignmentConfig(min_burst=3, max_burst=2)
+        with pytest.raises(ConfigurationError):
+            AssignmentConfig(min_vms=0)
+
+
+class TestAssignProfiles:
+    def test_every_job_prepared(self):
+        jobs = assign_profiles_and_vms(trace(), rng=1)
+        assert len(jobs) == 50
+
+    def test_vm_counts_in_range(self):
+        jobs = assign_profiles_and_vms(trace(), rng=1)
+        assert all(1 <= j.n_vms <= 4 for j in jobs)
+
+    def test_burst_members_share_profile(self):
+        jobs = assign_profiles_and_vms(trace(200), rng=2)
+        by_burst: dict[int, set] = {}
+        for job in jobs:
+            by_burst.setdefault(job.burst_id, set()).add(job.workload_class)
+        assert all(len(classes) == 1 for classes in by_burst.values())
+
+    def test_burst_sizes_in_range(self):
+        jobs = assign_profiles_and_vms(trace(200), rng=2)
+        sizes: dict[int, int] = {}
+        for job in jobs:
+            sizes[job.burst_id] = sizes.get(job.burst_id, 0) + 1
+        # All bursts within [1, 5]; the final burst may be truncated.
+        assert all(1 <= s <= 5 for s in sizes.values())
+
+    def test_all_classes_appear(self):
+        jobs = assign_profiles_and_vms(trace(300), rng=3)
+        assert {j.workload_class for j in jobs} == set(WorkloadClass)
+
+    def test_deterministic(self):
+        a = assign_profiles_and_vms(trace(), rng=7)
+        b = assign_profiles_and_vms(trace(), rng=7)
+        assert a == b
+
+    def test_submit_order_preserved(self):
+        jobs = assign_profiles_and_vms(trace(), rng=1)
+        submits = [j.submit_time_s for j in jobs]
+        assert submits == sorted(submits)
+
+
+class TestVmBudget:
+    def test_total_vms(self):
+        jobs = assign_profiles_and_vms(trace(), rng=1)
+        assert total_vms_requested(jobs) == sum(j.n_vms for j in jobs)
+
+    def test_truncate_respects_budget(self):
+        jobs = assign_profiles_and_vms(trace(200), rng=1)
+        clipped = truncate_to_vm_budget(jobs, 100)
+        assert total_vms_requested(clipped) <= 100
+        # Keeps whole jobs from the front.
+        assert [j.job_id for j in clipped] == [j.job_id for j in jobs[: len(clipped)]]
+
+    def test_truncate_zero_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            truncate_to_vm_budget([], 0)

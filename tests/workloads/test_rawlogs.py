@@ -1,0 +1,98 @@
+"""Unit tests for raw grid-log parsing and SWF conversion."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.workloads.rawlogs import RawLogDialect, parse_raw_log, raw_log_to_swf
+from repro.workloads.swf import JobStatus
+
+
+CSV_LINES = [
+    "# a comment",
+    "1,1000,1010,1100,4,DONE",
+    "2,1005,-1,-1,2,CANCELLED",
+    "3,1010,1020,1060,1,FAILED",
+]
+
+KV_LINES = [
+    "id=1 submit=1000 start=1010 end=1100 cpus=4 status=DONE",
+    "id=2 submit=1005 start=-1 end=-1 cpus=2 status=CANCELLED",
+]
+
+
+class TestParseCSV:
+    def test_parses_rows(self):
+        rows = parse_raw_log(CSV_LINES, RawLogDialect.CSV)
+        assert len(rows) == 3
+        assert rows[0] == (1, 1000, 1010, 1100, 4, JobStatus.COMPLETED)
+
+    def test_states_mapped(self):
+        rows = parse_raw_log(CSV_LINES, RawLogDialect.CSV)
+        assert rows[1][5] is JobStatus.CANCELLED
+        assert rows[2][5] is JobStatus.FAILED
+
+    def test_wrong_field_count(self):
+        with pytest.raises(TraceFormatError, match="line 1"):
+            parse_raw_log(["1,2,3"], RawLogDialect.CSV)
+
+    def test_unknown_state(self):
+        with pytest.raises(TraceFormatError, match="state"):
+            parse_raw_log(["1,1,1,1,1,EXPLODED"], RawLogDialect.CSV)
+
+    def test_non_integer(self):
+        with pytest.raises(TraceFormatError):
+            parse_raw_log(["x,1,1,1,1,DONE"], RawLogDialect.CSV)
+
+
+class TestParseKeyValue:
+    def test_parses_rows(self):
+        rows = parse_raw_log(KV_LINES, RawLogDialect.KEYVALUE)
+        assert rows[0][:2] == (1, 1000)
+
+    def test_missing_key(self):
+        with pytest.raises(TraceFormatError, match="missing"):
+            parse_raw_log(["id=1 submit=5"], RawLogDialect.KEYVALUE)
+
+    def test_malformed_token(self):
+        with pytest.raises(TraceFormatError, match="malformed"):
+            parse_raw_log(["id=1 submit=5 bogus start=1 end=2 cpus=1 status=DONE"], RawLogDialect.KEYVALUE)
+
+    def test_dialects_agree(self):
+        csv_rows = parse_raw_log(["1,1000,1010,1100,4,DONE"], RawLogDialect.CSV)
+        kv_rows = parse_raw_log(KV_LINES[:1], RawLogDialect.KEYVALUE)
+        assert csv_rows == kv_rows
+
+
+class TestToSWF:
+    def test_rebase_to_zero(self):
+        rows = parse_raw_log(CSV_LINES, RawLogDialect.CSV)
+        records = raw_log_to_swf(rows)
+        assert min(r.submit_time for r in records) == 0
+
+    def test_wait_and_run_derived(self):
+        rows = parse_raw_log(["1,1000,1010,1100,4,DONE"], RawLogDialect.CSV)
+        record = raw_log_to_swf(rows)[0]
+        assert record.wait_time == 10
+        assert record.run_time == 90
+        assert record.allocated_procs == 4
+
+    def test_never_started_jobs_carry_unknowns(self):
+        rows = parse_raw_log(CSV_LINES, RawLogDialect.CSV)
+        records = raw_log_to_swf(rows)
+        cancelled = next(r for r in records if r.status == JobStatus.CANCELLED)
+        assert cancelled.wait_time == -1
+        assert cancelled.run_time == -1
+
+    def test_sorted_output(self):
+        rows = parse_raw_log(CSV_LINES, RawLogDialect.CSV)
+        records = raw_log_to_swf(rows)
+        submits = [r.submit_time for r in records]
+        assert submits == sorted(submits)
+
+    def test_empty(self):
+        assert raw_log_to_swf([]) == []
+
+    def test_no_rebase_option(self):
+        rows = parse_raw_log(["1,1000,1010,1100,4,DONE"], RawLogDialect.CSV)
+        record = raw_log_to_swf(rows, rebase=False)[0]
+        assert record.submit_time == 1000

@@ -1,0 +1,84 @@
+"""Unit tests for workload trace statistics."""
+
+import pytest
+
+from repro.workloads.assignment import assign_profiles_and_vms
+from repro.workloads.cleaning import clean_trace
+from repro.workloads.stats import prepared_stats, trace_stats
+from repro.workloads.swf import JobStatus, SWFRecord
+from repro.workloads.synthetic import EGEETraceConfig, generate_egee_like_trace
+
+
+def record(job=1, submit=0, run=100, status=JobStatus.COMPLETED):
+    return SWFRecord(job_number=job, submit_time=submit, run_time=run, status=int(status), allocated_procs=1)
+
+
+class TestTraceStats:
+    def test_basic_fields(self):
+        records = [record(job=i, submit=i * 10) for i in range(1, 11)]
+        stats = trace_stats(records)
+        assert stats.n_jobs == 10
+        assert stats.span_s == 90.0
+        assert stats.completed_fraction == 1.0
+        assert stats.interarrival_mean_s == pytest.approx(10.0)
+
+    def test_status_fractions(self):
+        records = [
+            record(job=1),
+            record(job=2, status=JobStatus.FAILED),
+            record(job=3, status=JobStatus.CANCELLED),
+            record(job=4, status=JobStatus.FAILED),
+        ]
+        stats = trace_stats(records)
+        assert stats.failed_fraction == 0.5
+        assert stats.cancelled_fraction == 0.25
+
+    def test_uniform_arrivals_not_bursty(self):
+        records = [record(job=i, submit=i * 10) for i in range(1, 50)]
+        assert not trace_stats(records).is_bursty
+
+    def test_synthetic_trace_is_bursty(self):
+        trace = generate_egee_like_trace(EGEETraceConfig(n_jobs=1500), rng=4)
+        stats = trace_stats(trace)
+        assert stats.is_bursty  # cluster-process arrivals
+        assert 0.1 < stats.failed_fraction < 0.3
+
+    def test_runtime_percentiles_ignore_unknowns(self):
+        records = [record(job=1, run=-1), record(job=2, run=100), record(job=3, run=300)]
+        stats = trace_stats(records)
+        assert stats.runtime_median_s == pytest.approx(200.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_stats([])
+
+    def test_summary_renders(self):
+        text = trace_stats([record()]).summary()
+        assert "1 jobs" in text
+
+
+class TestPreparedStats:
+    def test_from_pipeline(self):
+        trace = generate_egee_like_trace(EGEETraceConfig(n_jobs=800), rng=5)
+        cleaned, _ = clean_trace(trace)
+        jobs = assign_profiles_and_vms(cleaned, rng=6)
+        stats = prepared_stats(jobs)
+        assert stats.n_jobs == len(jobs)
+        assert stats.n_vms == sum(j.n_vms for j in jobs)
+        # Paper's parameters: 1-4 VMs/job uniform -> mean ~2.5;
+        # bursts 1-5 uniform -> mean ~3.
+        assert 2.2 < stats.mean_vms_per_job < 2.8
+        assert 2.3 < stats.mean_burst_size < 3.7
+        # Uniform class assignment: roughly even thirds.
+        for share in stats.class_shares.values():
+            assert 0.22 < share < 0.45
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            prepared_stats([])
+
+    def test_summary_renders(self):
+        trace = generate_egee_like_trace(EGEETraceConfig(n_jobs=100), rng=5)
+        cleaned, _ = clean_trace(trace)
+        jobs = assign_profiles_and_vms(cleaned, rng=6)
+        assert "VMs/job" in prepared_stats(jobs).summary()

@@ -1,0 +1,96 @@
+"""Unit tests for the SWF reader/writer/merger."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.workloads.swf import (
+    N_FIELDS,
+    JobStatus,
+    SWFRecord,
+    merge_swf,
+    read_swf,
+    write_swf,
+)
+
+
+def record(job=1, submit=0, run=100, status=JobStatus.COMPLETED, procs=1):
+    return SWFRecord(
+        job_number=job,
+        submit_time=submit,
+        run_time=run,
+        status=int(status),
+        allocated_procs=procs,
+    )
+
+
+class TestRecord:
+    def test_field_count(self):
+        assert len(record().as_fields()) == N_FIELDS
+
+    def test_from_fields_roundtrip(self):
+        original = record(job=7, submit=33)
+        assert SWFRecord.from_fields(original.as_fields()) == original
+
+    def test_from_fields_wrong_arity(self):
+        with pytest.raises(ValueError):
+            SWFRecord.from_fields([1, 2, 3])
+
+    def test_status_enum(self):
+        assert record(status=JobStatus.FAILED).job_status is JobStatus.FAILED
+        assert record().completed
+
+    def test_unknown_status_maps_to_unknown(self):
+        r = SWFRecord(job_number=1, submit_time=0, status=42)
+        assert r.job_status is JobStatus.UNKNOWN
+
+    def test_shifted(self):
+        assert record(submit=10).shifted(5).submit_time == 15
+
+
+class TestFileRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        records = [record(job=1), record(job=2, submit=10)]
+        path = tmp_path / "trace.swf"
+        write_swf(records, path, comments=["; Version: 2.2", "UnixStartTime: 0"])
+        comments, loaded = read_swf(path)
+        assert loaded == records
+        assert comments[0] == "; Version: 2.2"
+        assert comments[1].startswith(";")  # prefix added when missing
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        line = " ".join(str(f) for f in record().as_fields())
+        path.write_text(f"\n{line}\n\n")
+        _, loaded = read_swf(path)
+        assert len(loaded) == 1
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            read_swf(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        fields = ["x"] + ["0"] * (N_FIELDS - 1)
+        path.write_text(" ".join(fields) + "\n")
+        with pytest.raises(TraceFormatError):
+            read_swf(path)
+
+
+class TestMerge:
+    def test_merge_sorts_by_submit(self):
+        a = [record(job=1, submit=100)]
+        b = [record(job=1, submit=50)]
+        merged = merge_swf([a, b])
+        assert [r.submit_time for r in merged] == [50, 100]
+
+    def test_merge_renumbers(self):
+        a = [record(job=1, submit=0), record(job=2, submit=5)]
+        b = [record(job=1, submit=3)]
+        merged = merge_swf([a, b])
+        assert [r.job_number for r in merged] == [1, 2, 3]
+
+    def test_merge_empty(self):
+        assert merge_swf([]) == []
+        assert merge_swf([[], []]) == []

@@ -1,0 +1,70 @@
+"""Tests for SWF header generation and parsing."""
+
+import pytest
+
+from repro.workloads.swf import SWFRecord, read_swf, write_swf
+from repro.workloads.swf_header import build_swf_header, parse_swf_header
+
+
+def record(job=1, submit=0, procs=4):
+    return SWFRecord(
+        job_number=job, submit_time=submit, run_time=100, status=1, allocated_procs=procs
+    )
+
+
+class TestBuildHeader:
+    def test_standard_fields_present(self):
+        lines = build_swf_header([record(), record(job=2, submit=500, procs=8)])
+        parsed = parse_swf_header(lines)
+        assert parsed["Version"] == "2.2"
+        assert parsed["MaxJobs"] == "2"
+        assert parsed["MaxProcs"] == "8"
+        assert parsed["StartTime"] == "0"
+        assert parsed["EndTime"] == "500"
+
+    def test_empty_trace(self):
+        lines = build_swf_header([])
+        parsed = parse_swf_header(lines)
+        assert parsed["MaxJobs"] == "0"
+        assert "StartTime" not in parsed
+
+    def test_extras_override(self):
+        lines = build_swf_header([record()], extra={"Note": "synthetic", "Version": "9.9"})
+        parsed = parse_swf_header(lines)
+        assert parsed["Note"] == "synthetic"
+        assert parsed["Version"] == "9.9"
+
+    def test_standard_order(self):
+        lines = build_swf_header([record()])
+        keys = [parse_swf_header([l]).popitem()[0] for l in lines]
+        assert keys.index("Version") < keys.index("MaxJobs") < keys.index("UnixStartTime")
+
+    def test_unknown_procs_ignored_for_maxprocs(self):
+        lines = build_swf_header([record(procs=-1)])
+        assert "MaxProcs" not in parse_swf_header(lines)
+
+
+class TestParseHeader:
+    def test_skips_malformed(self):
+        parsed = parse_swf_header(["; just a note", "; Key: Value"])
+        assert parsed == {"Key": "Value"}
+
+    def test_last_duplicate_wins(self):
+        parsed = parse_swf_header(["; K: a", "; K: b"])
+        assert parsed["K"] == "b"
+
+    def test_colons_in_value(self):
+        parsed = parse_swf_header(["; TimeZoneString: UTC+01:00"])
+        assert parsed["TimeZoneString"] == "UTC+01:00"
+
+
+class TestFileRoundTrip:
+    def test_header_survives_write_read(self, tmp_path):
+        records = [record(), record(job=2, submit=60)]
+        header = build_swf_header(records)
+        path = tmp_path / "trace.swf"
+        write_swf(records, path, comments=header)
+        comments, loaded = read_swf(path)
+        parsed = parse_swf_header(comments)
+        assert parsed["MaxJobs"] == "2"
+        assert loaded == records
