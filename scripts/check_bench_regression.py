@@ -1,0 +1,90 @@
+"""Gate: fail when allocator latency regresses against the baseline.
+
+Compares a fresh ``benchmarks/BENCH_allocator.json`` (produced by
+``benchmarks/bench_perf_allocator.py``) against the committed
+``benchmarks/BENCH_allocator_baseline.json``.  Exits non-zero when any
+batch's optimized p50 allocate latency regressed by more than the
+allowed fraction (default 20%), or when the streamed frontier stopped
+undercutting the materialized candidate pool.
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_perf_allocator.py
+    python scripts/check_bench_regression.py [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+CURRENT = BENCH_DIR / "BENCH_allocator.json"
+BASELINE = BENCH_DIR / "BENCH_allocator_baseline.json"
+
+
+def load(path: Path) -> dict:
+    if not path.exists():
+        sys.exit(
+            f"missing {path}\n"
+            f"run: PYTHONPATH=src python benchmarks/bench_perf_allocator.py"
+        )
+    return json.loads(path.read_text())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed p50 latency regression fraction (default 0.20)",
+    )
+    parser.add_argument("--current", type=Path, default=CURRENT)
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    for size, base_entry in sorted(baseline["batches"].items(), key=lambda kv: int(kv[0])):
+        entry = current["batches"].get(size)
+        if entry is None:
+            print(f"batch {size}: not present in current run (skipped)")
+            continue
+        base_p50 = base_entry["optimized"]["p50_s"]
+        cur_p50 = entry["optimized"]["p50_s"]
+        ratio = cur_p50 / base_p50 if base_p50 > 0 else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"batch {size}: optimized p50 {cur_p50:.3f}s vs baseline "
+                f"{base_p50:.3f}s ({(ratio - 1.0) * 100:+.0f}%)"
+            )
+        print(
+            f"batch {size:>2s}: p50 {cur_p50:8.3f}s  baseline {base_p50:8.3f}s  "
+            f"{(ratio - 1.0) * 100:+6.1f}%  {verdict}"
+        )
+
+        peak = entry["peak_retained_candidates"]
+        pool = entry["candidates_feasible"]
+        if pool > 10 and peak >= pool:
+            failures.append(
+                f"batch {size}: frontier peak {peak} no longer undercuts "
+                f"the {pool}-candidate pool"
+            )
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall batches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,30 +8,41 @@ the proactive application-centric VM allocation algorithm (Sect. III).
   variant the allocator uses as its fast path.
 * :mod:`~repro.core.scoring` -- the alpha trade-off objective.
 * :mod:`~repro.core.allocator` -- the brute-force proactive allocator
-  with QoS constraints.
+  with QoS constraints (streamed and branch-and-bound pruned, with a
+  retained naive reference path).
+* :mod:`~repro.core.estimatecache` -- the dense O(1) estimate grid and
+  the search's cache/prune counters.
 * :mod:`~repro.core.plan` -- allocation plans (the algorithm's output).
 """
 
+from repro.core.estimatecache import BoundTables, CacheStats, EstimateGrid, grid_for
 from repro.core.model import EstimatedOutcome, ModelDatabase
 from repro.core.partitions import (
     bell_number,
+    count_type_partitions,
     set_partitions,
     type_partitions,
 )
 from repro.core.scoring import ScoreWeights, score_candidates
-from repro.core.plan import AllocationPlan, BlockAssignment
+from repro.core.plan import AllocationPlan, AllocationProvenance, BlockAssignment
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.whatif import GoalComparison, GoalOutcome, compare_goals
 
 __all__ = [
+    "BoundTables",
+    "CacheStats",
+    "EstimateGrid",
+    "grid_for",
     "EstimatedOutcome",
     "ModelDatabase",
     "bell_number",
+    "count_type_partitions",
     "set_partitions",
     "type_partitions",
     "ScoreWeights",
     "score_candidates",
     "AllocationPlan",
+    "AllocationProvenance",
     "BlockAssignment",
     "ProactiveAllocator",
     "ServerState",

@@ -27,10 +27,36 @@ execution time.  Strict mode raises when no compliant candidate exists
 ("The algorithm can be relaxed by disregarding the QoS guarantees but
 it might be not acceptable for production system"); relaxed mode then
 falls back to the best non-compliant candidate.
+
+Implementation: :meth:`ProactiveAllocator.allocate` is a streaming,
+pruned search engineered to return the *bit-identical* plan of the
+naive brute force (kept as :meth:`allocate_reference` and cross-checked
+property-style in ``tests/properties``):
+
+* model estimates come from the dense :class:`EstimateGrid` (one O(1)
+  indexed read per (partition, block, server) probe);
+* instead of materializing every feasible candidate, only the
+  (makespan, energy) Pareto frontier is retained -- the alpha score is
+  monotone in both axes under any fixed normalization, so a candidate
+  weakly dominated by an *earlier* one can never win the
+  earliest-wins epsilon tie-break.  Pool maxima for normalization are
+  tracked over all evaluated candidates, dropped or not, so the final
+  scores equal the full-pool scores exactly;
+* for batches of ``bnb_min_vms`` or more VMs the enumeration is
+  branch-and-bound pruned: blocks that no server can ever host cut
+  their whole subtree (exact, via the grid's min-VMs-containing
+  table), and subtrees/partial assignments whose admissible
+  (time, energy) lower bounds are already weakly dominated by a
+  retained compliant candidate are cut once the running pool maxima
+  provably cover anything the pruned candidates could contribute.
+
+See DESIGN.md, "Key design choices", for why each step preserves
+bit-identical output.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -41,11 +67,14 @@ from repro.common.errors import (
     ModelLookupError,
     QoSViolationError,
 )
+from repro.core.estimatecache import CacheStats, EstimateGrid, grid_for
 from repro.core.model import EstimatedOutcome, ModelDatabase
 from repro.core.partitions import type_partitions
-from repro.core.plan import AllocationPlan, BlockAssignment
+from repro.core.plan import AllocationPlan, AllocationProvenance, BlockAssignment
 from repro.core.scoring import ScoreWeights, score_candidates
 from repro.testbed.benchmarks import WorkloadClass
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -115,6 +144,146 @@ class _Candidate:
     qos_ok: bool
 
 
+class _Frontier:
+    """Streaming (rank_time, energy) Pareto retention with pool maxima.
+
+    ``offer`` drops a new candidate iff some *earlier retained* one
+    weakly dominates it on both axes; earlier elements are never
+    evicted.  That rule is exactly lossless for the allocator's
+    selection: the scan ``scores[i] < scores[best] - 1e-12`` can only
+    move ``best`` to a strictly better candidate, and a dropped
+    candidate's score is >= its dominator's under any shared
+    normalization, so it could never have become ``best``.  The
+    running ``max_time``/``max_energy`` cover *every* offered
+    candidate (retained or dropped): they are the exact pool maxima
+    the reference implementation normalizes by.
+
+    The domination test is indexed by a *staircase* -- the
+    Pareto-minimal points of the retained list, kept as parallel
+    arrays sorted by time with strictly decreasing energy.  Some
+    retained point weakly dominates ``(t, e)`` iff the staircase's
+    last point with time <= t has energy <= e, so each ``offer`` is
+    one bisect instead of a scan.  ``min_time``/``min_energy`` track
+    the per-axis minima over *offered* candidates: a dropped
+    candidate's dominator is retained and at least as good on both
+    axes, so a single-axis minimum over the offered pool is always
+    witnessed by a retained candidate too.
+    """
+
+    __slots__ = (
+        "retained",
+        "count",
+        "max_time",
+        "max_energy",
+        "min_time",
+        "min_energy",
+        "peak",
+        "_stair_t",
+        "_stair_e",
+    )
+
+    def __init__(self) -> None:
+        self.retained: list[_Candidate] = []
+        self.count = 0
+        self.max_time = 0.0
+        self.max_energy = 0.0
+        self.min_time = _INF
+        self.min_energy = _INF
+        self.peak = 0
+        self._stair_t: list[float] = []
+        self._stair_e: list[float] = []
+
+    def observe(self, time_s: float, energy_j: float) -> None:
+        """Fold a candidate's aggregates into the pool *maxima* only.
+
+        Used by the warm start; deliberately leaves the minima and the
+        staircase untouched -- the warm candidate is enumerated late,
+        so it must never serve as a dominance witness for candidates
+        that precede its natural position.
+        """
+        if time_s > self.max_time:
+            self.max_time = time_s
+        if energy_j > self.max_energy:
+            self.max_energy = energy_j
+
+    def dominated(self, time_s: float, energy_j: float) -> bool:
+        """Whether some retained candidate weakly dominates (t, e)."""
+        i = bisect_right(self._stair_t, time_s)
+        return i > 0 and self._stair_e[i - 1] <= energy_j
+
+    def offer(self, candidate: _Candidate) -> bool:
+        self.count += 1
+        time_s = candidate.rank_time_s
+        energy_j = candidate.energy_j
+        if time_s > self.max_time:
+            self.max_time = time_s
+        if energy_j > self.max_energy:
+            self.max_energy = energy_j
+        if time_s < self.min_time:
+            self.min_time = time_s
+        if energy_j < self.min_energy:
+            self.min_energy = energy_j
+        stair_t = self._stair_t
+        stair_e = self._stair_e
+        i = bisect_right(stair_t, time_s)
+        if i > 0 and stair_e[i - 1] <= energy_j:
+            return False
+        self.retained.append(candidate)
+        if len(self.retained) > self.peak:
+            self.peak = len(self.retained)
+        # Staircase insert: evict the (contiguous) points the new one
+        # dominates, keeping times increasing and energies decreasing.
+        pos = bisect_left(stair_t, time_s)
+        j = pos
+        n = len(stair_t)
+        while j < n and stair_e[j] >= energy_j:
+            j += 1
+        if j > pos:
+            del stair_t[pos:j]
+            del stair_e[pos:j]
+        stair_t.insert(pos, time_s)
+        stair_e.insert(pos, energy_j)
+        return True
+
+    def drop_retention(self) -> None:
+        """Release retained candidates (pool can no longer be scored)."""
+        self.retained.clear()
+        self._stair_t.clear()
+        self._stair_e.clear()
+
+
+class _SearchState:
+    """Per-allocate scratch: precomputed server data, frontiers, bounds."""
+
+    __slots__ = (
+        "servers",
+        "server_ids",
+        "caps",
+        "deadlines",
+        "deadline_memo",
+        "stats",
+        "cells",
+        "bounds",
+        "stride_c",
+        "stride_m",
+        "norm_time",
+        "norm_energy",
+        "residual0",
+        "base0",
+        "inbox",
+        "compliant",
+        "fallback",
+        "tables",
+        "dominance",
+        "ready",
+        "need_t",
+        "need_e",
+        "ub_time",
+        "ub_energy",
+        "block_memo",
+    )
+
+
 class ProactiveAllocator:
     """The paper's allocation algorithm, bound to one model database.
 
@@ -132,7 +301,15 @@ class ProactiveAllocator:
     max_candidates:
         Safety valve on the brute-force enumeration; exceeding it
         raises :class:`ConfigurationError` so callers learn they
-        passed an unreasonably large batch instead of hanging.
+        passed an unreasonably large batch instead of hanging.  With
+        branch-and-bound active the valve counts *expanded* partitions
+        (pruned subtrees are free).
+    bnb_min_vms:
+        Batch size (total VMs) from which the branch-and-bound
+        machinery (bound tables, warm start, subtree pruning) is
+        armed.  Small batches skip the setup entirely -- their
+        enumeration is already microseconds and the paper's
+        steady-state bursts stay in that regime.
     """
 
     def __init__(
@@ -141,6 +318,7 @@ class ProactiveAllocator:
         alpha: float = 0.5,
         strict_qos: bool = True,
         max_candidates: int = 2_000_000,
+        bnb_min_vms: int = 9,
     ):
         self._db = database
         self._weights = ScoreWeights(alpha)
@@ -148,6 +326,10 @@ class ProactiveAllocator:
         if max_candidates < 1:
             raise ConfigurationError(f"max_candidates must be >= 1, got {max_candidates}")
         self._max_candidates = int(max_candidates)
+        if bnb_min_vms < 0:
+            raise ConfigurationError(f"bnb_min_vms must be >= 0, got {bnb_min_vms}")
+        self._bnb_min_vms = int(bnb_min_vms)
+        self._grid: EstimateGrid = grid_for(database)
 
     @property
     def database(self) -> ModelDatabase:
@@ -161,6 +343,11 @@ class ProactiveAllocator:
     def strict_qos(self) -> bool:
         return self._strict_qos
 
+    @property
+    def estimate_grid(self) -> EstimateGrid:
+        """The dense estimate cache backing the optimized search."""
+        return self._grid
+
     def allocate(
         self,
         requests: Sequence[VMRequest],
@@ -168,7 +355,10 @@ class ProactiveAllocator:
     ) -> AllocationPlan:
         """Allocate a batch of VM requests onto the given servers.
 
-        Returns the best-scoring :class:`AllocationPlan`.
+        Returns the best-scoring :class:`AllocationPlan`, carrying an
+        :class:`AllocationProvenance` with the search's cache/prune
+        counters.  The selected plan (assignments, score, QoS flag) is
+        bit-identical to :meth:`allocate_reference`.
 
         Raises
         ------
@@ -177,6 +367,572 @@ class ProactiveAllocator:
         QoSViolationError
             (strict mode) capacity-feasible plans exist but all break
             some VM's deadline.
+        """
+        if not requests:
+            return AllocationPlan(assignments=(), alpha=self.alpha, score=0.0, qos_satisfied=True)
+        if not servers:
+            raise InfeasibleAllocationError("no servers available")
+        ids = [r.vm_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate vm_id in batch: {ids}")
+
+        counts = key_for_classes([r.workload_class for r in requests])
+        deadlines = _tightest_deadlines(requests)
+        state = self._prepare_state(counts, servers, deadlines)
+
+        # Aggregate-capacity fast path: if the batch exceeds what the
+        # servers' residual grid/VM slack could absorb in total, no
+        # partition is feasible -- skip enumeration entirely.
+        if self._capacity_infeasible(counts, state):
+            raise InfeasibleAllocationError(
+                f"no feasible partition of mix {counts} across {len(servers)} servers"
+            )
+
+        self._stream_candidates(counts, state)
+
+        stats = state.stats
+        compliant = state.compliant
+        fallback = state.fallback
+        if compliant.count == 0 and fallback.count == 0:
+            raise InfeasibleAllocationError(
+                f"no feasible partition of mix {counts} across {len(servers)} servers"
+            )
+        if compliant.count:
+            frontier = compliant
+            qos_satisfied = True
+        else:
+            if self._strict_qos:
+                raise QoSViolationError(
+                    f"every feasible allocation of mix {counts} violates a deadline"
+                )
+            frontier = fallback
+            qos_satisfied = False
+
+        retained = frontier.retained
+        scores = score_candidates(
+            [(c.rank_time_s, c.energy_j) for c in retained],
+            self._weights,
+            maxima=(frontier.max_time, frontier.max_energy),
+        )
+        best_index = 0
+        for i in range(1, len(scores)):
+            if scores[i] < scores[best_index] - 1e-12:
+                best_index = i
+        chosen = retained[best_index]
+
+        stats.candidates_feasible = compliant.count + fallback.count
+        stats.candidates_compliant = compliant.count
+        stats.frontier_retained = len(retained)
+        stats.frontier_peak = max(compliant.peak, fallback.peak)
+        provenance = AllocationProvenance(**stats.as_dict())
+        return self._materialize(
+            chosen, requests, scores[best_index], qos_satisfied, provenance
+        )
+
+    # -- optimized search --------------------------------------------
+
+    def _prepare_state(
+        self,
+        counts: MixKey,
+        servers: Sequence[ServerState],
+        deadlines: "dict[WorkloadClass, float]",
+    ) -> _SearchState:
+        grid = self._grid
+        state = _SearchState()
+        state.servers = servers
+        state.server_ids = [s.server_id for s in servers]
+        state.caps = [s.max_vms for s in servers]
+        state.deadlines = deadlines
+        state.deadline_memo = {}
+        state.stats = CacheStats()
+        state.cells = grid.cells
+        state.bounds = grid.bounds
+        state.stride_c = grid.stride_c
+        state.stride_m = grid.stride_m
+        state.norm_time = self._db.time_range_s[1]
+        state.norm_energy = self._db.energy_range_j[1]
+        state.compliant = _Frontier()
+        state.fallback = _Frontier()
+        state.tables = None
+        state.dominance = False
+        state.ready = False
+        state.need_t = self._weights.time_weight != 0.0
+        state.need_e = self._weights.energy_weight != 0.0
+        state.ub_time = -_INF
+        state.ub_energy = -_INF
+        state.block_memo = {}
+
+        residual0: list[MixKey] = []
+        base0: list[float] = []
+        inbox: list[bool] = []
+        for server in servers:
+            mix = server.allocated
+            residual0.append(mix)
+            if not grid.covers(mix):
+                # Off-grid residual: every combined mix is off-grid
+                # too, so the server can never host a block and its
+                # base energy is never consulted.
+                inbox.append(False)
+                base0.append(0.0)
+                continue
+            inbox.append(True)
+            if total_vms(mix) == 0:
+                base0.append(0.0)
+                continue
+            cell = state.cells[grid.index(mix)]
+            if cell is None:
+                # The reference path silently treats an unestimable
+                # existing mix as zero committed energy; keep the value
+                # but surface the event in the provenance counters.
+                state.stats.energy_fallbacks += 1
+                base0.append(0.0)
+            else:
+                base0.append(cell.energy_j)
+        state.residual0 = residual0
+        state.base0 = base0
+        state.inbox = inbox
+
+        if total_vms(counts) >= self._bnb_min_vms:
+            state.stats.bnb_active = True
+            state.tables = grid.bound_tables()
+            state.ub_time, state.ub_energy = self._upper_bounds(counts, state)
+            state.dominance = True
+        return state
+
+    def _capacity_infeasible(self, counts: MixKey, state: _SearchState) -> bool:
+        """Exact necessary condition: per-dimension and total VM slack.
+
+        Sums, over in-grid servers, how many VMs of each class (and in
+        total) each could still absorb given the grid box and its
+        ``max_vms``; any feasible assignment respects these caps, so a
+        batch exceeding one has no feasible partition.
+        """
+        osc, osm, osi = state.bounds
+        cap_c = cap_m = cap_i = 0
+        cap_total = 0
+        for index, server in enumerate(state.servers):
+            if not state.inbox[index]:
+                continue
+            rc, rm, ri = state.residual0[index]
+            slack_c = osc - rc
+            slack_m = osm - rm
+            slack_i = osi - ri
+            box_slack = slack_c + slack_m + slack_i
+            if server.max_vms is None:
+                vm_slack = box_slack
+            else:
+                vm_slack = server.max_vms - (rc + rm + ri)
+                if vm_slack < 0:
+                    vm_slack = 0
+            cap_c += slack_c if slack_c < vm_slack else vm_slack
+            cap_m += slack_m if slack_m < vm_slack else vm_slack
+            cap_i += slack_i if slack_i < vm_slack else vm_slack
+            cap_total += box_slack if box_slack < vm_slack else vm_slack
+        ncpu, nmem, nio = counts
+        return (
+            ncpu > cap_c
+            or nmem > cap_m
+            or nio > cap_i
+            or ncpu + nmem + nio > cap_total
+        )
+
+    def _upper_bounds(self, counts: MixKey, state: _SearchState) -> tuple[float, float]:
+        """Admissible maxima over every possible candidate's aggregates.
+
+        ``ub_time``: no candidate's makespan can exceed the largest
+        estimable time among mixes any single server could end up
+        running (its residual plus a sub-mix of the batch, within its
+        VM cap).  ``ub_energy``: a small knapsack over servers -- each
+        receiving ``a`` of the batch's ``n`` VMs contributes at most
+        its best estimable marginal energy at that count -- bounds the
+        summed marginal energy of any candidate.  Both gate the
+        dominance latch: pruning only starts once the running compliant
+        pool maxima reach these bounds, so pruned candidates provably
+        cannot change the normalization (see DESIGN.md).
+        """
+        n = total_vms(counts)
+        osc, osm, osi = state.bounds
+        cells = state.cells
+        stride_c = state.stride_c
+        stride_m = state.stride_m
+        ub_time = -_INF
+        best = [0.0] + [-_INF] * n
+        # Identical (residual, cap, base) servers share scan results.
+        scan_memo: dict[tuple[MixKey, int | None], tuple[float, list[float]]] = {}
+        for index, server in enumerate(state.servers):
+            if not state.inbox[index]:
+                continue
+            key = (state.residual0[index], server.max_vms)
+            cached = scan_memo.get(key)
+            if cached is None:
+                rc, rm, ri = state.residual0[index]
+                r_total = rc + rm + ri
+                cap = n
+                if server.max_vms is not None and server.max_vms - r_total < cap:
+                    cap = server.max_vms - r_total
+                if cap < 0:
+                    cap = 0
+                base = state.base0[index]
+                hi_c = min(rc + counts[0], osc)
+                hi_m = min(rm + counts[1], osm)
+                hi_i = min(ri + counts[2], osi)
+                local_ub_t = -_INF
+                gains = [-_INF] * (cap + 1)
+                gains[0] = 0.0
+                for c in range(rc, hi_c + 1):
+                    for m in range(rm, hi_m + 1):
+                        row = c * stride_c + m * stride_m
+                        for i in range(ri, hi_i + 1):
+                            placed = (c - rc) + (m - rm) + (i - ri)
+                            if placed == 0 or placed > cap:
+                                continue
+                            cell = cells[row + i]
+                            if cell is None:
+                                continue
+                            if cell.time_s > local_ub_t:
+                                local_ub_t = cell.time_s
+                            gain = cell.energy_j - base
+                            if gain < 0.0:
+                                gain = 0.0
+                            if gain > gains[placed]:
+                                gains[placed] = gain
+                cached = (local_ub_t, gains)
+                scan_memo[key] = cached
+            local_ub_t, gains = cached
+            if local_ub_t > ub_time:
+                ub_time = local_ub_t
+            cap = len(gains) - 1
+            new = [-_INF] * (n + 1)
+            for total in range(n + 1):
+                hi = cap if cap < total else total
+                acc = -_INF
+                for placed in range(hi + 1):
+                    gain = gains[placed]
+                    if gain == -_INF:
+                        continue
+                    prev = best[total - placed]
+                    if prev == -_INF:
+                        continue
+                    value = prev + gain
+                    if value > acc:
+                        acc = value
+                new[total] = acc
+            best = new
+        return ub_time, best[n]
+
+    def _block_info(self, block: MixKey, state: _SearchState):
+        """Per-block placement bound: None if no server can ever host it,
+        else the (time, energy) lower bounds of hosting it anywhere.
+
+        A block placed on server ``s`` lands in a combined mix
+        containing ``allocated(s) + block``; the grid's min-containing
+        tables bound that mix's time/energy from below, and its
+        min-VMs-containing entry decides feasibility against
+        ``max_vms`` exactly (every estimable containing mix has at
+        least that many VMs).
+        """
+        cached = state.block_memo.get(block, False)
+        if cached is not False:
+            return cached
+        tables = state.tables
+        min_time = tables.min_time_containing
+        min_energy = tables.min_energy_containing
+        min_vms = tables.min_vms_containing
+        osc, osm, osi = state.bounds
+        stride_c = state.stride_c
+        stride_m = state.stride_m
+        bc, bm, bi = block
+        lb_t = _INF
+        lb_e = _INF
+        hopeful = False
+        for index, server in enumerate(state.servers):
+            if not state.inbox[index]:
+                continue
+            rc, rm, ri = state.residual0[index]
+            kc = rc + bc
+            km = rm + bm
+            ki = ri + bi
+            if kc > osc or km > osm or ki > osi:
+                continue
+            grid_index = kc * stride_c + km * stride_m + ki
+            needed = min_vms[grid_index]
+            if needed == _INF:
+                continue
+            if server.max_vms is not None and needed > server.max_vms:
+                continue
+            hopeful = True
+            t = min_time[grid_index]
+            if t < lb_t:
+                lb_t = t
+            e = min_energy[grid_index] - state.base0[index]
+            if e < 0.0:
+                e = 0.0
+            if e < lb_e:
+                lb_e = e
+        result = (lb_t, lb_e) if hopeful else None
+        state.block_memo[block] = result
+        return result
+
+    def _dominance_ready(self, state: _SearchState) -> bool:
+        """Latch: dominance pruning may start once the compliant pool's
+        running maxima reach the upper bounds of anything still
+        enumerable (per axis the alpha score actually weighs), so
+        pruned candidates cannot change the normalization."""
+        if state.ready:
+            return True
+        compliant = state.compliant
+        if not compliant.retained:
+            return False
+        if state.need_t and compliant.max_time < state.ub_time:
+            return False
+        if state.need_e and compliant.max_energy < state.ub_energy:
+            return False
+        state.ready = True
+        return True
+
+    def _has_dominator(self, state: _SearchState, lb_t: float, lb_e: float) -> bool:
+        """A retained compliant candidate at least as good, on every
+        axis the score weighs, as the given lower bounds.
+
+        Both-axes queries hit the frontier's staircase index; single-
+        axis queries (alpha 0 or 1) compare the offered-pool minimum,
+        which is always witnessed by a retained candidate because a
+        dropped candidate's dominator is retained and no worse on
+        either axis.
+        """
+        compliant = state.compliant
+        if state.need_t:
+            if state.need_e:
+                return compliant.dominated(lb_t, lb_e)
+            return compliant.min_time <= lb_t
+        return compliant.min_energy <= lb_e
+
+    def _stream_candidates(self, counts: MixKey, state: _SearchState) -> None:
+        """Enumerate partitions, assign greedily, stream into frontiers."""
+        bounds = self._db.grid_bounds
+        stats = state.stats
+
+        prune = None
+        if state.dominance:
+            # Warm start: evaluate the finest (all-singletons) partition
+            # up front and fold its aggregates into the pool maxima --
+            # maxima are order-independent, and larger running maxima
+            # close the dominance latch sooner.  It is re-offered (or
+            # provably dominated) at its natural enumeration position.
+            finest = (
+                ((1, 0, 0),) * counts[0]
+                + ((0, 1, 0),) * counts[1]
+                + ((0, 0, 1),) * counts[2]
+            )
+            warm = self._assign_streamed(finest, state, abortable=False)
+            if warm is not None:
+                target = state.compliant if warm.qos_ok else state.fallback
+                target.observe(warm.rank_time_s, warm.energy_j)
+
+            def prune(prefix, remaining, _state=state):
+                info = self._block_info(prefix[-1], _state)
+                if info is None:
+                    _state.stats.pruned_infeasible_subtrees += 1
+                    return True
+                if _state.ready or self._dominance_ready(_state):
+                    lb_t = 0.0
+                    lb_e = 0.0
+                    for block in prefix:
+                        block_lb_t, block_lb_e = self._block_info(block, _state)
+                        if block_lb_t > lb_t:
+                            lb_t = block_lb_t
+                        if block_lb_e > lb_e:
+                            lb_e = block_lb_e
+                    if self._has_dominator(_state, lb_t, lb_e):
+                        _state.stats.pruned_dominated_subtrees += 1
+                        return True
+                return False
+
+        produced = 0
+        for partition in type_partitions(counts, bounds, prune=prune):
+            produced += 1
+            if produced > self._max_candidates:
+                raise ConfigurationError(
+                    f"partition enumeration exceeded {self._max_candidates} "
+                    f"candidates for mix {counts}; split the batch"
+                )
+            candidate = self._assign_streamed(partition, state, abortable=True)
+            if candidate is None:
+                continue
+            if candidate.qos_ok:
+                compliant = state.compliant
+                if compliant.count == 0:
+                    # The compliant pool exists from here on; the
+                    # fallback frontier can never be the scored pool.
+                    state.fallback.drop_retention()
+                compliant.offer(candidate)
+            else:
+                fallback = state.fallback
+                if state.compliant.count == 0:
+                    fallback.offer(candidate)
+                else:
+                    fallback.count += 1
+        stats.partitions_enumerated = produced
+
+    def _assign_streamed(
+        self,
+        partition: tuple[MixKey, ...],
+        state: _SearchState,
+        abortable: bool,
+    ) -> _Candidate | None:
+        """Greedy block assignment against the dense grid.
+
+        Float-for-float identical to the reference `_assign_partition`
+        (same probe order, same score expression, same tie-breaks);
+        the only behavioural addition is the mid-assignment abort: once
+        the dominance latch is closed, a partial assignment whose
+        admissible lower bounds are already weakly dominated by a
+        retained compliant candidate is abandoned (it could neither be
+        selected nor move the pool maxima).
+        """
+        deadlines = state.deadlines
+        deadline_memo = state.deadline_memo
+        cells = state.cells
+        osc, osm, osi = state.bounds
+        stride_c = state.stride_c
+        stride_m = state.stride_m
+        max_time = state.norm_time
+        max_energy = state.norm_energy
+        energy_weight = self._weights.energy_weight
+        time_weight = self._weights.time_weight
+        server_ids = state.server_ids
+        caps = state.caps
+        n_servers = len(server_ids)
+        check_abort = abortable and state.dominance
+
+        residual: list[MixKey] = list(state.residual0)
+        base_energy: list[float] = list(state.base0)
+        picks: list[tuple[str, MixKey, MixKey, EstimatedOutcome]] = []
+        touched: dict[int, tuple[float, EstimatedOutcome]] = {}
+        hits = 0
+        misses = 0
+        # Running AND of the chosen placements' compliance flags.  Per
+        # block, ``best_compliant`` is exactly
+        # ``_block_meets_deadline(block, best_estimate, deadlines)``
+        # (the block deadline is the min over its classes' deadlines),
+        # so this equals the reference's final all(...) pass.
+        qos_ok = True
+
+        for position, block in enumerate(sorted(partition, key=total_vms, reverse=True)):
+            if check_abort and position > 0 and (
+                state.ready or self._dominance_ready(state)
+            ):
+                tables = state.tables
+                min_time_tab = tables.min_time_containing
+                min_energy_tab = tables.min_energy_containing
+                lb_t = 0.0
+                lb_e = 0.0
+                for energy0, estimate in touched.values():
+                    kc, km, ki = estimate.key
+                    grid_index = kc * stride_c + km * stride_m + ki
+                    t = min_time_tab[grid_index]
+                    if t > lb_t:
+                        lb_t = t
+                    gain = min_energy_tab[grid_index] - energy0
+                    if gain > 0.0:
+                        lb_e += gain
+                if self._has_dominator(state, lb_t, lb_e):
+                    state.stats.aborted_assignments += 1
+                    state.stats.grid_hits += hits
+                    state.stats.grid_misses += misses
+                    return None
+
+            if deadlines:
+                block_deadline = deadline_memo.get(block, False)
+                if block_deadline is False:
+                    block_deadline = _block_deadline(block, deadlines)
+                    deadline_memo[block] = block_deadline
+            else:
+                block_deadline = None
+            bc, bm, bi = block
+            best_index = -1
+            best_score = _INF
+            best_estimate: EstimatedOutcome | None = None
+            best_compliant = False
+            seen_classes: set[tuple[MixKey, int | None]] = set()
+            seen_add = seen_classes.add
+            for index in range(n_servers):
+                mix = residual[index]
+                cap = caps[index]
+                equivalence = (mix, cap)
+                if equivalence in seen_classes:
+                    continue
+                seen_add(equivalence)
+                kc = mix[0] + bc
+                km = mix[1] + bm
+                ki = mix[2] + bi
+                if kc > osc or km > osm or ki > osi:
+                    continue
+                if cap is not None and kc + km + ki > cap:
+                    continue
+                estimate = cells[kc * stride_c + km * stride_m + ki]
+                if estimate is None:
+                    misses += 1
+                    continue
+                hits += 1
+                marginal_energy = estimate.energy_j - base_energy[index]
+                if marginal_energy < 0.0:
+                    marginal_energy = 0.0
+                score = (
+                    energy_weight * (marginal_energy / max_energy)
+                    + time_weight * (estimate.time_s / max_time)
+                )
+                compliant = block_deadline is None or estimate.time_s <= block_deadline
+                # Deadline-compliant placements always beat non-compliant
+                # ones; within a compliance tier the alpha score decides.
+                if best_index < 0 or (compliant, -score) > (best_compliant, -best_score):
+                    best_score = score
+                    best_index = index
+                    best_estimate = estimate
+                    best_compliant = compliant
+            if best_index < 0:
+                state.stats.grid_hits += hits
+                state.stats.grid_misses += misses
+                return None
+            assert best_estimate is not None
+            previous = touched.get(best_index)
+            if previous is None:
+                touched[best_index] = (base_energy[best_index], best_estimate)
+            else:
+                touched[best_index] = (previous[0], best_estimate)
+            residual[best_index] = best_estimate.key
+            base_energy[best_index] = best_estimate.energy_j
+            picks.append((server_ids[best_index], block, best_estimate.key, best_estimate))
+            qos_ok = qos_ok and best_compliant
+
+        state.stats.grid_hits += hits
+        state.stats.grid_misses += misses
+        makespan = max(est.time_s for _, est in touched.values())
+        energy = sum(max(0.0, est.energy_j - energy0) for energy0, est in touched.values())
+        return _Candidate(
+            assignments=tuple(picks),
+            rank_time_s=makespan,
+            makespan_s=makespan,
+            energy_j=energy,
+            qos_ok=qos_ok,
+        )
+
+    # -- reference (naive) path --------------------------------------
+
+    def allocate_reference(
+        self,
+        requests: Sequence[VMRequest],
+        servers: Sequence[ServerState],
+    ) -> AllocationPlan:
+        """The pre-optimization brute force, kept verbatim as the
+        equivalence oracle: materializes every feasible candidate,
+        queries the database per probe, applies no pruning.
+
+        ``tests/properties`` asserts :meth:`allocate` returns the
+        bit-identical plan (assignments, score, QoS flag) on seeded
+        random inputs; ``benchmarks/bench_perf_allocator.py`` uses it
+        for before/after numbers.  Plans from this path carry no
+        provenance.
         """
         if not requests:
             return AllocationPlan(assignments=(), alpha=self.alpha, score=0.0, qos_satisfied=True)
@@ -212,8 +968,6 @@ class ProactiveAllocator:
                 best_index = i
         chosen = pool[best_index]
         return self._materialize(chosen, requests, scores[best_index], qos_satisfied)
-
-    # -- internals ---------------------------------------------------
 
     def _enumerate_candidates(
         self,
@@ -342,7 +1096,9 @@ class ProactiveAllocator:
 
         Zero for an idle server: placing nothing there costs nothing,
         so a block placed on it is charged the full combined-mix energy
-        including the idle draw it wakes up.
+        including the idle draw it wakes up.  (The optimized path reads
+        the same value from the dense grid and counts the
+        lookup-failed-to-zero fallback in the plan provenance.)
         """
         if total_vms(mix) == 0:
             return 0.0
@@ -351,12 +1107,15 @@ class ProactiveAllocator:
         except ModelLookupError:
             return 0.0
 
+    # -- shared -------------------------------------------------------
+
     def _materialize(
         self,
         chosen: _Candidate,
         requests: Sequence[VMRequest],
         score: float,
         qos_satisfied: bool,
+        provenance: AllocationProvenance | None = None,
     ) -> AllocationPlan:
         """Bind concrete VM ids to the chosen partition's blocks."""
         queues: dict[WorkloadClass, list[str]] = {
@@ -390,6 +1149,7 @@ class ProactiveAllocator:
             alpha=self.alpha,
             score=score,
             qos_satisfied=qos_satisfied,
+            provenance=provenance,
         )
 
 def _tightest_deadlines(requests: Iterable[VMRequest]) -> dict[WorkloadClass, float]:

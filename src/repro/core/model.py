@@ -30,6 +30,7 @@ from repro.campaign.csvdb import (
 from repro.campaign.optimal import OptimalScenarios
 from repro.campaign.records import BenchmarkRecord, MixKey, total_vms
 from repro.common.errors import ConfigurationError, ModelLookupError
+from repro.core.estimatecache import EstimateGrid
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.campaign.platformrunner import CampaignResult
@@ -88,6 +89,7 @@ class ModelDatabase:
             raise ConfigurationError(f"duplicate record keys: {dupes}")
         self._records: tuple[BenchmarkRecord, ...] = tuple(ordered)
         self._keys: list[MixKey] = keys
+        self._keys_tuple: tuple[MixKey, ...] = tuple(keys)
         self._optima = optima
         self._time_range = (
             min(r.time_s for r in ordered),
@@ -97,6 +99,10 @@ class ModelDatabase:
             min(r.energy_j for r in ordered),
             max(r.energy_j for r in ordered),
         )
+        # Dense O(1) estimate cache over the placeable grid: every
+        # in-bounds query is answered from here; the dominated-scan in
+        # _estimate_scan survives only for off-grid callers.
+        self._grid = EstimateGrid(self.grid_bounds, self._estimate_scan)
 
     # -- construction ------------------------------------------------
 
@@ -146,7 +152,12 @@ class ModelDatabase:
         return self._energy_range
 
     def keys(self) -> Sequence[MixKey]:
-        return tuple(self._keys)
+        return self._keys_tuple
+
+    @property
+    def estimate_grid(self) -> EstimateGrid:
+        """The dense in-bounds estimate cache built at construction."""
+        return self._grid
 
     # -- queries -----------------------------------------------------
 
@@ -187,12 +198,27 @@ class ModelDatabase:
         evaluation acknowledges by always simulating ground truth
         through the testbed model.
 
+        In-grid queries are answered from the dense cache built at
+        construction in O(1); the scan below only runs for off-grid
+        keys (and once per cell at build time).
+
         Raises
         ------
         ModelLookupError
             If no record is dominated by the query (cannot happen for
             a complete campaign database queried with a non-empty mix).
         """
+        if total_vms(key) == 0:
+            raise ValueError("cannot estimate the empty mix")
+        if self._grid.covers(key):
+            outcome = self._grid.get(key)
+            if outcome is None:
+                raise ModelLookupError(key, f"no record dominated by mix {key!r}")
+            return outcome
+        return self._estimate_scan(key)
+
+    def _estimate_scan(self, key: MixKey) -> EstimatedOutcome:
+        """Uncached estimate: exact bisect lookup, then dominated-scan."""
         if total_vms(key) == 0:
             raise ValueError("cannot estimate the empty mix")
         try:

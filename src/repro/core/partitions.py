@@ -23,11 +23,13 @@ Two generators live here:
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.campaign.records import MixKey
 
 T = TypeVar("T")
+
+PrunePredicate = Callable[[Sequence[MixKey], MixKey], bool]
 
 
 def bell_number(n: int) -> int:
@@ -94,9 +96,37 @@ def count_set_partitions(n: int) -> int:
     return bell_number(n)
 
 
+def _candidate_blocks(
+    remaining: MixKey,
+    ceiling: MixKey,
+    bounds: tuple[int, int, int] | None,
+) -> Iterator[MixKey]:
+    """Non-empty blocks <= remaining (component-wise), <= bounds,
+    and lexicographically <= ceiling, in descending lex order."""
+    max_c = min(remaining[0], ceiling[0], bounds[0] if bounds else remaining[0])
+    for c in range(max_c, -1, -1):
+        m_hi = min(
+            remaining[1],
+            bounds[1] if bounds else remaining[1],
+        )
+        if c == ceiling[0]:
+            m_hi = min(m_hi, ceiling[1])
+        for m in range(m_hi, -1, -1):
+            i_hi = min(
+                remaining[2],
+                bounds[2] if bounds else remaining[2],
+            )
+            if c == ceiling[0] and m == ceiling[1]:
+                i_hi = min(i_hi, ceiling[2])
+            for i in range(i_hi, -1, -1):
+                if c + m + i > 0:
+                    yield (c, m, i)
+
+
 def type_partitions(
     counts: MixKey,
     bounds: tuple[int, int, int] | None = None,
+    prune: PrunePredicate | None = None,
 ) -> Iterator[tuple[MixKey, ...]]:
     """Generate all multiset partitions of a typed VM batch.
 
@@ -108,6 +138,14 @@ def type_partitions(
         Optional per-dimension block bounds (OSC, OSM, OSI): blocks
         exceeding them are pruned during generation, not after -- this
         is the key efficiency win over naive set partitions.
+    prune:
+        Optional branch-and-bound hook ``prune(prefix, remaining)``
+        called after each block is appended to the current prefix,
+        with ``remaining`` the counts still to be partitioned.
+        Returning True cuts the whole subtree: no partition extending
+        ``prefix`` is generated.  ``prefix`` is the generator's live
+        working list -- callers must treat it as read-only and must not
+        retain it across calls.
 
     Yields
     ------
@@ -135,47 +173,64 @@ def type_partitions(
         yield ()
         return
 
-    def candidate_blocks(remaining: MixKey, ceiling: MixKey) -> Iterator[MixKey]:
-        """Non-empty blocks <= remaining (component-wise), <= bounds,
-        and lexicographically <= ceiling, in descending lex order."""
-        max_c = min(remaining[0], ceiling[0], bounds[0] if bounds else remaining[0])
-        for c in range(max_c, -1, -1):
-            m_hi = min(
-                remaining[1],
-                bounds[1] if bounds else remaining[1],
-            )
-            if c == ceiling[0]:
-                m_hi = min(m_hi, ceiling[1])
-            for m in range(m_hi, -1, -1):
-                i_hi = min(
-                    remaining[2],
-                    bounds[2] if bounds else remaining[2],
-                )
-                if c == ceiling[0] and m == ceiling[1]:
-                    i_hi = min(i_hi, ceiling[2])
-                for i in range(i_hi, -1, -1):
-                    if c + m + i > 0:
-                        yield (c, m, i)
-
     top = (ncpu, nmem, nio)
 
     def recurse(remaining: MixKey, ceiling: MixKey, prefix: list[MixKey]) -> Iterator[tuple[MixKey, ...]]:
         if remaining == (0, 0, 0):
             yield tuple(prefix)
             return
-        for block in candidate_blocks(remaining, ceiling):
+        for block in _candidate_blocks(remaining, ceiling, bounds):
             rest = (
                 remaining[0] - block[0],
                 remaining[1] - block[1],
                 remaining[2] - block[2],
             )
             prefix.append(block)
-            yield from recurse(rest, block, prefix)
+            if prune is None or not prune(prefix, rest):
+                yield from recurse(rest, block, prefix)
             prefix.pop()
 
     yield from recurse(top, top, [])
 
 
 def count_type_partitions(counts: MixKey, bounds: tuple[int, int, int] | None = None) -> int:
-    """Number of type partitions (by exhaustion; used in tests/benches)."""
-    return sum(1 for _ in type_partitions(counts, bounds))
+    """Number of type partitions, by memoized DP (no enumeration).
+
+    A partition in canonical (non-increasing lex) order is a first
+    block ``b`` followed by a canonical partition of the remainder with
+    ceiling ``b``, so the count satisfies::
+
+        N(remaining, ceiling) = sum over admissible first blocks b of
+                                N(remaining - b, b)
+
+    memoized on (remaining, ceiling).  Matches the generator exactly
+    (cross-checked in tests/core) at a fraction of its cost -- the
+    state space is polynomial in the counts while the partition family
+    itself grows super-exponentially.
+    """
+    if min(counts) < 0:
+        raise ValueError(f"counts must be non-negative, got {counts}")
+    if bounds is not None and min(bounds) < 0:
+        raise ValueError(f"bounds must be non-negative, got {bounds}")
+    top = tuple(counts)
+    memo: dict[tuple[MixKey, MixKey], int] = {}
+
+    def count(remaining: MixKey, ceiling: MixKey) -> int:
+        if remaining == (0, 0, 0):
+            return 1
+        state = (remaining, ceiling)
+        cached = memo.get(state)
+        if cached is not None:
+            return cached
+        total = 0
+        for block in _candidate_blocks(remaining, ceiling, bounds):
+            rest = (
+                remaining[0] - block[0],
+                remaining[1] - block[1],
+                remaining[2] - block[2],
+            )
+            total += count(rest, block)
+        memo[state] = total
+        return total
+
+    return count(top, top)

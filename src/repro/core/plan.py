@@ -7,7 +7,7 @@ what strategies hand to the datacenter simulator for enactment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.campaign.records import MixKey, total_vms
 from repro.core.model import EstimatedOutcome
@@ -47,18 +47,55 @@ class BlockAssignment:
 
 
 @dataclass(frozen=True)
+class AllocationProvenance:
+    """How the allocator arrived at a plan (cache and search counters).
+
+    Snapshot of the search pass that produced one plan: dense-grid hit
+    rates, the silent-energy-fallback count, how many partitions the
+    enumerator expanded versus pruned, and the size of the streamed
+    Pareto frontier actually retained in memory.  Purely diagnostic --
+    two plans differing only in provenance compare equal.
+    """
+
+    grid_hits: int = 0
+    grid_misses: int = 0
+    energy_fallbacks: int = 0
+    partitions_enumerated: int = 0
+    candidates_feasible: int = 0
+    candidates_compliant: int = 0
+    frontier_retained: int = 0
+    frontier_peak: int = 0
+    pruned_infeasible_subtrees: int = 0
+    pruned_dominated_subtrees: int = 0
+    aborted_assignments: int = 0
+    bnb_active: bool = False
+
+    @property
+    def subtrees_pruned(self) -> int:
+        return self.pruned_infeasible_subtrees + self.pruned_dominated_subtrees
+
+
+@dataclass(frozen=True)
 class AllocationPlan:
     """The chosen partition/assignment for one VM batch.
 
     ``qos_satisfied`` records whether every placed VM's estimated
     execution time respects its deadline; in relaxed-QoS mode the best
     plan may carry ``qos_satisfied=False``.
+
+    ``provenance`` carries the search/cache counters of the pass that
+    built the plan (None when produced by the reference path); it is
+    excluded from equality so optimized and reference plans compare
+    bit-identical.
     """
 
     assignments: tuple[BlockAssignment, ...]
     alpha: float
     score: float
     qos_satisfied: bool
+    provenance: AllocationProvenance | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def estimated_makespan_s(self) -> float:

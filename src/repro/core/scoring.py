@@ -54,12 +54,19 @@ class ScoreWeights:
 def score_candidates(
     candidates: Sequence[tuple[float, float]],
     weights: ScoreWeights,
+    maxima: tuple[float, float] | None = None,
 ) -> list[float]:
     """Score (time_s, energy_j) candidate pairs; lower is better.
 
     Both dimensions are normalized by the maximum over the candidate
     set; a degenerate dimension (all zeros) contributes zero for every
     candidate, leaving the other dimension to discriminate.
+
+    ``maxima`` optionally supplies the (max_time, max_energy)
+    normalizers explicitly.  The streaming allocator uses this to score
+    a retained Pareto subset exactly as if the full candidate pool were
+    present: normalization must divide by the *pool* maxima, which can
+    sit on dominated candidates that the stream already discarded.
 
     Raises
     ------
@@ -71,8 +78,13 @@ def score_candidates(
     for time_s, energy_j in candidates:
         if time_s < 0 or energy_j < 0:
             raise ValueError(f"negative candidate values: ({time_s}, {energy_j})")
-    max_time = max(t for t, _ in candidates)
-    max_energy = max(e for _, e in candidates)
+    if maxima is None:
+        max_time = max(t for t, _ in candidates)
+        max_energy = max(e for _, e in candidates)
+    else:
+        max_time, max_energy = maxima
+        if max_time < 0 or max_energy < 0:
+            raise ValueError(f"negative maxima: {maxima}")
     scores: list[float] = []
     for time_s, energy_j in candidates:
         t_hat = time_s / max_time if max_time > 0 else 0.0

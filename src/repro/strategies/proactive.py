@@ -27,6 +27,7 @@ from typing import Mapping, Optional, Sequence
 from repro.common.errors import AllocationError, QoSViolationError
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.model import ModelDatabase
+from repro.core.plan import AllocationPlan, AllocationProvenance
 from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
 
 
@@ -49,6 +50,15 @@ class ProactiveStrategy(AllocationStrategy):
         self._relaxed = ProactiveAllocator(database, alpha=alpha, strict_qos=False)
         self._use_qos = bool(use_qos)
         self.name = f"PA-{alpha:g}"
+        self._last_plan: AllocationPlan | None = None
+        self._search_totals = {
+            "plans": 0,
+            "grid_hits": 0,
+            "grid_misses": 0,
+            "energy_fallbacks": 0,
+            "partitions_enumerated": 0,
+            "subtrees_pruned": 0,
+        }
 
     @property
     def alpha(self) -> float:
@@ -57,6 +67,35 @@ class ProactiveStrategy(AllocationStrategy):
     @property
     def database(self) -> ModelDatabase:
         return self._strict.database
+
+    @property
+    def last_plan(self) -> Optional[AllocationPlan]:
+        """The most recent successful plan (with search provenance)."""
+        return self._last_plan
+
+    @property
+    def last_provenance(self) -> Optional[AllocationProvenance]:
+        plan = self._last_plan
+        return plan.provenance if plan is not None else None
+
+    @property
+    def search_totals(self) -> Mapping[str, int]:
+        """Cache/prune counters summed over this strategy's successful
+        allocator calls (what the simulation actually paid)."""
+        return dict(self._search_totals)
+
+    def _record(self, plan: AllocationPlan) -> AllocationPlan:
+        self._last_plan = plan
+        provenance = plan.provenance
+        if provenance is not None:
+            totals = self._search_totals
+            totals["plans"] += 1
+            totals["grid_hits"] += provenance.grid_hits
+            totals["grid_misses"] += provenance.grid_misses
+            totals["energy_fallbacks"] += provenance.energy_fallbacks
+            totals["partitions_enumerated"] += provenance.partitions_enumerated
+            totals["subtrees_pruned"] += provenance.subtrees_pruned
+        return plan
 
     def place(
         self,
@@ -77,7 +116,7 @@ class ProactiveStrategy(AllocationStrategy):
                 for vm in vms
             ]
             try:
-                return self._relaxed.allocate(requests, states).placements()
+                return self._record(self._relaxed.allocate(requests, states)).placements()
             except AllocationError:
                 return None
 
@@ -94,7 +133,7 @@ class ProactiveStrategy(AllocationStrategy):
             for vm in vms
         ]
         try:
-            return self._strict.allocate(requests, states).placements()
+            return self._record(self._strict.allocate(requests, states)).placements()
         except QoSViolationError:
             if self._hopeless(vms):
                 # The deadline cannot be met anywhere anymore; waiting
@@ -104,7 +143,9 @@ class ProactiveStrategy(AllocationStrategy):
                     for vm in vms
                 ]
                 try:
-                    return self._relaxed.allocate(relaxed_requests, states).placements()
+                    return self._record(
+                        self._relaxed.allocate(relaxed_requests, states)
+                    ).placements()
                 except AllocationError:
                     return None
             return None  # wait for capacity that can honor the deadline

@@ -180,3 +180,58 @@ class TestServerTieBreak:
             cpu_requests(2), servers(5)
         )
         assert set(plan.servers_used) == {"s0"}
+
+
+class TestProvenance:
+    def test_bad_bnb_threshold_rejected(self, database):
+        with pytest.raises(ConfigurationError):
+            ProactiveAllocator(database, bnb_min_vms=-1)
+
+    def test_plan_carries_search_counters(self, database):
+        plan = ProactiveAllocator(database).allocate(cpu_requests(3), servers(3))
+        provenance = plan.provenance
+        assert provenance is not None
+        assert provenance.partitions_enumerated == 3  # {3}, {2,1}, {1,1,1}
+        assert provenance.candidates_feasible > 0
+        assert provenance.grid_hits > 0
+        assert provenance.grid_misses == 0  # complete campaign grid
+        assert provenance.frontier_peak <= provenance.candidates_feasible
+        assert not provenance.bnb_active  # below the default threshold
+
+    def test_reference_plan_has_no_provenance(self, database):
+        plan = ProactiveAllocator(database).allocate_reference(
+            cpu_requests(3), servers(3)
+        )
+        assert plan.provenance is None
+
+    def test_frontier_smaller_than_pool(self, database):
+        # The retained Pareto frontier must undercut the materialized
+        # candidate pool (the whole point of streaming).
+        allocator = ProactiveAllocator(database, alpha=0.5)
+        requests = cpu_requests(5) + [
+            VMRequest(f"m{i}", WorkloadClass.MEM) for i in range(4)
+        ]
+        plan = allocator.allocate(requests, servers(6))
+        provenance = plan.provenance
+        assert provenance.frontier_peak < provenance.candidates_feasible
+
+    def test_bnb_activates_above_threshold(self, database):
+        allocator = ProactiveAllocator(database, bnb_min_vms=2)
+        plan = allocator.allocate(cpu_requests(3), servers(3))
+        assert plan.provenance.bnb_active
+
+    def test_provenance_excluded_from_plan_equality(self, database):
+        allocator = ProactiveAllocator(database)
+        requests = cpu_requests(4)
+        optimized = allocator.allocate(requests, servers(4))
+        reference = allocator.allocate_reference(requests, servers(4))
+        assert optimized == reference
+        assert optimized.provenance is not None
+        assert reference.provenance is None
+
+    def test_aggregate_capacity_fast_path(self, database):
+        # A batch no server set could absorb fails before enumeration.
+        osc, _, _ = database.grid_bounds
+        full = [ServerState("s0", allocated=(osc, 0, 0), max_vms=osc)]
+        with pytest.raises(InfeasibleAllocationError):
+            ProactiveAllocator(database).allocate(cpu_requests(1), full)

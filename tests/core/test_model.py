@@ -61,6 +61,10 @@ class TestLookup:
         keys = list(tiny_db.keys())
         assert keys == sorted(keys)
 
+    def test_keys_cached(self, tiny_db):
+        # The key view is materialized once, not rebuilt per call.
+        assert tiny_db.keys() is tiny_db.keys()
+
 
 class TestBounds:
     def test_within_bounds(self, tiny_db):
@@ -94,6 +98,34 @@ class TestEstimate:
     def test_empty_mix_rejected(self, tiny_db):
         with pytest.raises(ValueError):
             tiny_db.estimate((0, 0, 0))
+
+
+class TestEstimateGrid:
+    def test_grid_property_shape(self, tiny_db):
+        grid = tiny_db.estimate_grid
+        assert grid.bounds == tiny_db.grid_bounds
+        assert len(grid) == 3 * 2 * 2
+
+    def test_in_grid_estimates_served_from_cache(self, tiny_db):
+        # The cached cell is the very object the scan produced at build
+        # time, so repeated estimates are identity-equal.
+        assert tiny_db.estimate((1, 1, 0)) is tiny_db.estimate((1, 1, 0))
+        assert tiny_db.estimate((1, 1, 0)) == tiny_db._estimate_scan((1, 1, 0))
+
+    def test_off_grid_estimates_fall_back_to_scan(self, tiny_db):
+        # (3,1,1) is outside the (2,1,1) grid: proportional scaling of
+        # the largest dominated record (2,1,1), factor 5/4.
+        est = tiny_db.estimate((3, 1, 1))
+        assert not tiny_db.estimate_grid.covers((3, 1, 1))
+        assert est == tiny_db._estimate_scan((3, 1, 1))
+        assert est.time_s == pytest.approx(280.0 * 5 / 4)
+
+    def test_missing_cell_raises_like_scan(self):
+        partial = ModelDatabase([rec((1, 0, 0), 100.0)], tiny_optima())
+        with pytest.raises(ModelLookupError):
+            partial.estimate((0, 1, 0))
+        with pytest.raises(ModelLookupError):
+            partial._estimate_scan((0, 1, 0))
 
 
 class TestConstruction:

@@ -120,3 +120,77 @@ class TestTypePartitions:
         # The whole point of the type-aware fast path.
         n_typed = count_type_partitions((4, 3, 3))
         assert n_typed < bell_number(10) / 50
+
+
+class TestCountTypePartitions:
+    """The memoized DP count must agree with generator exhaustion."""
+
+    @pytest.mark.parametrize(
+        "counts",
+        [(0, 0, 0), (1, 0, 0), (3, 0, 0), (2, 2, 0), (3, 2, 1), (2, 2, 2), (4, 3, 1)],
+    )
+    def test_matches_generator_unbounded(self, counts):
+        assert count_type_partitions(counts) == sum(1 for _ in type_partitions(counts))
+
+    @pytest.mark.parametrize(
+        "counts,bounds",
+        [
+            ((4, 0, 0), (2, 0, 0)),
+            ((3, 2, 1), (2, 1, 1)),
+            ((2, 2, 2), (1, 1, 1)),
+            ((5, 3, 0), (3, 2, 2)),
+        ],
+    )
+    def test_matches_generator_bounded(self, counts, bounds):
+        assert count_type_partitions(counts, bounds) == sum(
+            1 for _ in type_partitions(counts, bounds)
+        )
+
+    def test_infeasible_bounds_count_zero(self):
+        # A class with demand but zero per-block headroom: no partition.
+        assert count_type_partitions((1, 0, 0), bounds=(0, 2, 2)) == 0
+        assert list(type_partitions((1, 0, 0), bounds=(0, 2, 2))) == []
+
+    def test_large_count_is_fast(self):
+        # 12.5M partitions counted in well under a second -- far beyond
+        # what generator exhaustion could enumerate in test time.
+        assert count_type_partitions((9, 7, 7)) == 12_569_747
+
+    def test_validation_matches_generator(self):
+        with pytest.raises(ValueError):
+            count_type_partitions((-1, 0, 0))
+        with pytest.raises(ValueError):
+            count_type_partitions((1, 0, 0), bounds=(-1, 0, 0))
+
+
+class TestPruneCallback:
+    def test_none_prune_is_default(self):
+        assert list(type_partitions((2, 1, 0), prune=None)) == list(
+            type_partitions((2, 1, 0))
+        )
+
+    def test_prune_sees_prefix_and_remaining(self):
+        seen = []
+
+        def prune(prefix, remaining):
+            seen.append((tuple(prefix), remaining))
+            return False
+
+        list(type_partitions((2, 0, 0), prune=prune))
+        # Every call's prefix blocks plus remaining must sum to the batch.
+        for prefix, remaining in seen:
+            totals = [
+                sum(block[d] for block in prefix) + remaining[d] for d in range(3)
+            ]
+            assert totals == [2, 0, 0]
+
+    def test_prune_cuts_subtrees(self):
+        # Refusing any prefix starting with the (2,0,0) block removes
+        # exactly the {2} partition of (2,0,0), keeping {1,1}.
+        kept = list(
+            type_partitions((2, 0, 0), prune=lambda prefix, _rest: prefix[-1][0] == 2)
+        )
+        assert kept == [((1, 0, 0), (1, 0, 0))]
+
+    def test_prune_everything_yields_nothing(self):
+        assert list(type_partitions((3, 2, 1), prune=lambda *_: True)) == []

@@ -48,6 +48,22 @@ class TestScoreCandidates:
         scores = score_candidates([(0.0, 10.0), (0.0, 20.0)], ScoreWeights(0.5))
         assert scores[0] < scores[1]
 
+    def test_zero_time_pool_scores_by_energy_only(self):
+        # All-zero time dimension: t_hat is defined as 0 for everyone,
+        # so the score collapses to the weighted energy term.
+        scores = score_candidates([(0.0, 50.0), (0.0, 100.0)], ScoreWeights(0.5))
+        assert scores == [0.5 * 0.5, 0.5 * 1.0]
+
+    def test_zero_energy_pool_scores_by_time_only(self):
+        scores = score_candidates([(40.0, 0.0), (80.0, 0.0)], ScoreWeights(0.25))
+        assert scores == [0.75 * 0.5, 0.75 * 1.0]
+
+    def test_all_zero_pool_scores_zero(self):
+        assert score_candidates([(0.0, 0.0), (0.0, 0.0)], ScoreWeights(0.5)) == [
+            0.0,
+            0.0,
+        ]
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             score_candidates([], ScoreWeights(0.5))
@@ -55,6 +71,42 @@ class TestScoreCandidates:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             score_candidates([(-1.0, 5.0)], ScoreWeights(0.5))
+
+
+class TestExplicitMaxima:
+    def test_explicit_maxima_override_pool_maxima(self):
+        # The streamed allocator normalizes a Pareto subset by the full
+        # pool's maxima; scores must match scoring the full pool.
+        full = [(100.0, 100.0), (50.0, 80.0), (80.0, 50.0)]
+        weights = ScoreWeights(0.5)
+        full_scores = score_candidates(full, weights)
+        subset = full[1:]
+        subset_scores = score_candidates(subset, weights, maxima=(100.0, 100.0))
+        assert subset_scores == full_scores[1:]
+
+    def test_zero_maxima_degenerate(self):
+        scores = score_candidates([(10.0, 20.0)], ScoreWeights(0.5), maxima=(0.0, 40.0))
+        assert scores == [0.5 * 0.5]
+
+    def test_negative_maxima_rejected(self):
+        with pytest.raises(ValueError):
+            score_candidates([(1.0, 1.0)], ScoreWeights(0.5), maxima=(-1.0, 1.0))
+
+
+class TestTieEpsilon:
+    def test_sub_epsilon_improvement_keeps_first(self):
+        # A later candidate better by less than 1e-12 is treated as a
+        # tie; the earliest-enumerated candidate must win.
+        base = (100.0, 100.0)
+        nearly = (100.0 * (1.0 - 1e-14), 100.0)
+        index = best_candidate_index([base, nearly], ScoreWeights(0.0))
+        assert index == 0
+
+    def test_above_epsilon_improvement_moves_best(self):
+        base = (100.0, 100.0)
+        clearly = (100.0 * (1.0 - 1e-9), 100.0)
+        index = best_candidate_index([base, clearly], ScoreWeights(0.0))
+        assert index == 1
 
 
 class TestBestCandidateIndex:

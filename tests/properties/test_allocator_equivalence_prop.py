@@ -1,0 +1,216 @@
+"""Equivalence oracle: the streamed, branch-and-bound-pruned allocator
+must return the *bit-identical* plan of the retained naive reference.
+
+Every optimization in :meth:`ProactiveAllocator.allocate` (dense-grid
+lookups, Pareto-streaming retention, subtree pruning, mid-assignment
+aborts) claims exactness.  These tests hammer that claim with seeded
+random worlds: partial model databases, busy servers with VM caps,
+deadlines, all three paper alphas plus random ones, strict and relaxed
+QoS, a forced branch-and-bound regime (``bnb_min_vms=0``), and the
+thermal :class:`PowerCappedDatabase` duck-type whose ``within_bounds``
+veto is stricter than the grid box.
+
+Equality uses ``AllocationPlan.__eq__``, which compares assignments,
+alpha, score, and the QoS flag (provenance is excluded by design); when
+the reference raises, the optimized path must raise the same exception
+type.
+"""
+
+import random
+
+import pytest
+
+from repro.campaign.optimal import ClassOptima, OptimalScenarios
+from repro.campaign.records import BenchmarkRecord
+from repro.common.errors import AllocationError, ConfigurationError
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.model import ModelDatabase
+from repro.ext.thermal import PowerCappedDatabase
+from repro.testbed.benchmarks import WorkloadClass
+
+CASES_PER_SEED = 24
+SEEDS = range(10)  # 10 x 24 = 240 cases
+
+
+def random_database(rng: random.Random) -> ModelDatabase:
+    """A small model database over random bounds with random coverage."""
+    osc = rng.randint(1, 3)
+    osm = rng.randint(1, 2)
+    osi = rng.randint(1, 2)
+    optima = OptimalScenarios(
+        per_class={
+            WorkloadClass.CPU: ClassOptima(
+                WorkloadClass.CPU, osc, 1, rng.uniform(80.0, 120.0)
+            ),
+            WorkloadClass.MEM: ClassOptima(
+                WorkloadClass.MEM, osm, 1, rng.uniform(120.0, 180.0)
+            ),
+            WorkloadClass.IO: ClassOptima(
+                WorkloadClass.IO, osi, 1, rng.uniform(160.0, 240.0)
+            ),
+        }
+    )
+    include_p = rng.uniform(0.55, 1.0)
+    records = []
+    for ncpu in range(osc + 1):
+        for nmem in range(osm + 1):
+            for nio in range(osi + 1):
+                n = ncpu + nmem + nio
+                if n == 0 or rng.random() > include_p:
+                    continue
+                time_s = rng.uniform(50.0, 400.0) * (1.0 + 0.3 * n)
+                energy_j = rng.uniform(5_000.0, 60_000.0) * (1.0 + 0.2 * n)
+                records.append(
+                    BenchmarkRecord.from_measurement(
+                        (ncpu, nmem, nio), time_s, energy_j, 250.0
+                    )
+                )
+    if not records:
+        records.append(
+            BenchmarkRecord.from_measurement((1, 0, 0), 100.0, 15_000.0, 250.0)
+        )
+    return ModelDatabase(records, optima)
+
+
+def random_servers(rng: random.Random, bounds) -> list[ServerState]:
+    osc, osm, osi = bounds
+    servers = []
+    for index in range(rng.randint(1, 6)):
+        roll = rng.random()
+        if roll < 0.45:
+            mix = (0, 0, 0)
+        elif roll < 0.55:
+            # Off-grid residual: the server can never host anything.
+            mix = (osc + 1, rng.randint(0, osm), 0)
+        else:
+            mix = (
+                rng.randint(0, osc),
+                rng.randint(0, osm),
+                rng.randint(0, osi),
+            )
+        max_vms = rng.choice([None, None, rng.randint(1, osc + osm + osi)])
+        servers.append(
+            ServerState(server_id=f"s{index}", allocated=mix, max_vms=max_vms)
+        )
+    return servers
+
+
+def random_requests(rng: random.Random, database: ModelDatabase) -> list[VMRequest]:
+    classes = list(WorkloadClass)
+    batch = [rng.choice(classes) for _ in range(rng.randint(1, 7))]
+    with_deadlines = rng.random() < 0.5
+    requests = []
+    for index, workload_class in enumerate(batch):
+        deadline = None
+        if with_deadlines and rng.random() < 0.7:
+            deadline = database.reference_time(workload_class) * rng.uniform(0.8, 8.0)
+        requests.append(
+            VMRequest(
+                vm_id=f"v{index}",
+                workload_class=workload_class,
+                max_exec_time_s=deadline,
+            )
+        )
+    return requests
+
+
+def random_allocator(rng: random.Random, database) -> ProactiveAllocator:
+    alpha = rng.choice([0.0, 0.5, 1.0, round(rng.random(), 3)])
+    strict = rng.random() < 0.5
+    # Half the cases force branch-and-bound on regardless of batch size
+    # so warm start, bound tables, and pruning run even for tiny inputs.
+    bnb_min_vms = rng.choice([0, 9])
+    return ProactiveAllocator(
+        database, alpha=alpha, strict_qos=strict, bnb_min_vms=bnb_min_vms
+    )
+
+
+def run_both(allocator, requests, servers):
+    try:
+        reference = allocator.allocate_reference(requests, servers)
+        reference_error = None
+    except (AllocationError, ConfigurationError) as error:
+        reference = None
+        reference_error = error
+    try:
+        optimized = allocator.allocate(requests, servers)
+        optimized_error = None
+    except (AllocationError, ConfigurationError) as error:
+        optimized = None
+        optimized_error = error
+    return reference, reference_error, optimized, optimized_error
+
+
+def assert_equivalent(case, allocator, requests, servers):
+    reference, reference_error, optimized, optimized_error = run_both(
+        allocator, requests, servers
+    )
+    if reference_error is not None:
+        assert optimized_error is not None, (
+            f"{case}: reference raised {type(reference_error).__name__} "
+            f"but optimized returned a plan"
+        )
+        assert type(optimized_error) is type(reference_error), (
+            f"{case}: {type(reference_error).__name__} != "
+            f"{type(optimized_error).__name__}"
+        )
+        return
+    assert optimized_error is None, (
+        f"{case}: optimized raised {type(optimized_error).__name__} "
+        f"({optimized_error}) but reference returned a plan"
+    )
+    assert optimized == reference, (
+        f"{case}: plans differ\n  reference={reference}\n  optimized={optimized}"
+    )
+    assert optimized.provenance is not None
+
+
+class TestRandomWorlds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_streamed_equals_reference(self, seed):
+        rng = random.Random(0xA110C + seed)
+        for case_index in range(CASES_PER_SEED):
+            database = random_database(rng)
+            allocator = random_allocator(rng, database)
+            servers = random_servers(rng, database.grid_bounds)
+            requests = random_requests(rng, database)
+            assert_equivalent(
+                f"seed={seed} case={case_index}", allocator, requests, servers
+            )
+
+
+class TestPowerCappedDuckType:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_streamed_equals_reference_under_cap(self, seed):
+        rng = random.Random(0xCA9 + seed)
+        for case_index in range(12):
+            database = random_database(rng)
+            powers = [record.avg_power_w for record in database.records]
+            cap = rng.uniform(min(powers), max(powers) * 1.2)
+            capped = PowerCappedDatabase(database, cap)
+            allocator = random_allocator(rng, capped)
+            servers = random_servers(rng, database.grid_bounds)
+            requests = random_requests(rng, database)
+            assert_equivalent(
+                f"cap-seed={seed} case={case_index}", allocator, requests, servers
+            )
+
+
+class TestCampaignDatabase:
+    """Small batches against the real (full) campaign database."""
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.5, 1.0])
+    def test_streamed_equals_reference(self, database, alpha):
+        rng = random.Random(hash(alpha) & 0xFFFF)
+        for case_index in range(4):
+            allocator = ProactiveAllocator(
+                database, alpha=alpha, strict_qos=rng.random() < 0.5, bnb_min_vms=0
+            )
+            servers = random_servers(rng, (4, 3, 3))
+            requests = random_requests(rng, database)
+            assert_equivalent(
+                f"campaign alpha={alpha} case={case_index}",
+                allocator,
+                requests,
+                servers,
+            )

@@ -84,3 +84,29 @@ class TestGoalBehaviour:
         strategy = ProactiveStrategy(database, alpha=0.5)
         assert strategy.alpha == 0.5
         assert strategy.database is database
+
+
+class TestSearchTelemetry:
+    def test_last_provenance_tracks_latest_plan(self, database):
+        strategy = ProactiveStrategy(database)
+        assert strategy.last_plan is None
+        assert strategy.last_provenance is None
+        strategy.place(vms(3), [view("s0"), view("s1")])
+        assert strategy.last_plan is not None
+        provenance = strategy.last_provenance
+        assert provenance is not None
+        assert provenance.partitions_enumerated == 3
+
+    def test_search_totals_accumulate(self, database):
+        strategy = ProactiveStrategy(database)
+        strategy.place(vms(2), [view("s0")])
+        strategy.place(vms(3), [view("s0"), view("s1")])
+        totals = strategy.search_totals
+        assert totals["plans"] == 2
+        assert totals["partitions_enumerated"] == 2 + 3  # p(2) + p(3)
+        assert totals["grid_hits"] > 0
+
+    def test_search_totals_returns_copy(self, database):
+        strategy = ProactiveStrategy(database)
+        strategy.search_totals["plans"] = 99
+        assert strategy.search_totals["plans"] == 0
