@@ -10,14 +10,18 @@ dominated linear scan) -- on paper-regime batches over a busy
 Writes ``benchmarks/BENCH_allocator.json`` with p50/p95 allocate
 latency per batch size and the peak retained candidate count (the
 streamed Pareto frontier) next to the total candidate count the seed
-materialized.  ``scripts/check_bench_regression.py`` compares that
-file against the committed ``BENCH_allocator_baseline.json``.
+materialized, plus an ``observability`` section timing the batch-8
+allocate with the default no-op bundle against enabled
+metrics + tracing.  ``scripts/check_bench_regression.py`` compares
+that file against the committed ``BENCH_allocator_baseline.json`` and
+fails when the enabled-observability overhead exceeds its bound.
 
 Run:  PYTHONPATH=src python benchmarks/bench_perf_allocator.py [--quick]
 """
 
 from __future__ import annotations
 
+import io
 import json
 import statistics
 import sys
@@ -27,6 +31,7 @@ from pathlib import Path
 from repro.campaign.platformrunner import run_campaign
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.model import ModelDatabase
+from repro.obs.runtime import observed
 from repro.testbed.benchmarks import WorkloadClass
 
 OUTPUT = Path(__file__).resolve().parent / "BENCH_allocator.json"
@@ -155,7 +160,7 @@ def run(quick=False):
         )
         assert opt_plan == seed_plan, f"batch {size}: optimized != seed plan"
 
-        provenance = opt_plan.provenance
+        provenance = opt_plan.search_provenance
         opt_p50 = percentile(opt_samples, 50)
         seed_p50 = percentile(seed_samples, 50)
         entry = {
@@ -183,9 +188,50 @@ def run(quick=False):
             f"retained {provenance.frontier_peak}/{provenance.candidates_feasible}"
         )
 
+    report["observability"] = bench_observability(database, servers, quick=quick)
+
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
     return report
+
+
+def bench_observability(database, servers, quick=False):
+    """Batch-8 allocate latency: default no-op bundle vs enabled obs.
+
+    Samples alternate between the two modes so drift (thermal, cache)
+    hits both equally; the medians feed the ``overhead_frac`` the
+    regression gate bounds.
+    """
+    requests = make_requests(BATCHES[8])
+    allocator = ProactiveAllocator(database, alpha=ALPHA, strict_qos=False)
+    allocator.allocate(requests, servers)  # warm the estimate grid
+
+    rounds = 7 if quick else 15
+    noop_samples, enabled_samples = [], []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        allocator.allocate(requests, servers)
+        noop_samples.append(time.perf_counter() - t0)
+
+        with observed(trace_sink=io.StringIO()):
+            t0 = time.perf_counter()
+            allocator.allocate(requests, servers)
+            enabled_samples.append(time.perf_counter() - t0)
+
+    noop_p50 = statistics.median(noop_samples)
+    enabled_p50 = statistics.median(enabled_samples)
+    overhead = enabled_p50 / noop_p50 - 1.0 if noop_p50 > 0 else 0.0
+    print(
+        f"observability: noop p50 {noop_p50 * 1e3:7.3f}ms  enabled p50 "
+        f"{enabled_p50 * 1e3:7.3f}ms  overhead {overhead * 100:+.1f}%"
+    )
+    return {
+        "batch": 8,
+        "rounds": rounds,
+        "noop": {"p50_s": noop_p50, "samples_s": noop_samples},
+        "enabled": {"p50_s": enabled_p50, "samples_s": enabled_samples},
+        "overhead_frac": overhead,
+    }
 
 
 def main(argv):

@@ -12,9 +12,14 @@ This walks the paper's core loop in ~30 lines of user code:
 Run:  python examples/quickstart.py
 """
 
-from repro.campaign import run_campaign
-from repro.core import ModelDatabase, ProactiveAllocator, ServerState, VMRequest
-from repro.testbed import WorkloadClass
+from repro.api import (
+    ModelDatabase,
+    ProactiveAllocator,
+    ServerState,
+    VMRequest,
+    WorkloadClass,
+    run_campaign,
+)
 
 
 def main() -> None:

@@ -13,7 +13,8 @@ Run:  python examples/trace_replay.py [vm_budget]
 
 import sys
 
-from repro.experiments import LARGER, SMALLER, headline_claims, run_evaluation
+from repro.api import LARGER, SMALLER, run_evaluation
+from repro.experiments import headline_claims
 from repro.experiments.report import format_series_table
 
 

@@ -9,9 +9,8 @@ separately.
 Run:  python examples/whatif_frontier.py
 """
 
-from repro import build_model
-from repro.core import ServerState, VMRequest, compare_goals
-from repro.testbed import WorkloadClass
+from repro.api import ServerState, VMRequest, WorkloadClass, build_model
+from repro.core import compare_goals
 
 
 def main() -> None:

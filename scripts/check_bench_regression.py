@@ -4,8 +4,10 @@ Compares a fresh ``benchmarks/BENCH_allocator.json`` (produced by
 ``benchmarks/bench_perf_allocator.py``) against the committed
 ``benchmarks/BENCH_allocator_baseline.json``.  Exits non-zero when any
 batch's optimized p50 allocate latency regressed by more than the
-allowed fraction (default 20%), or when the streamed frontier stopped
-undercutting the materialized candidate pool.
+allowed fraction (default 20%), when the streamed frontier stopped
+undercutting the materialized candidate pool, or when enabling
+observability (metrics + tracing) costs more than the allowed overhead
+over the no-op path (default 5%).
 
 Run:
     PYTHONPATH=src python benchmarks/bench_perf_allocator.py
@@ -40,6 +42,13 @@ def main(argv=None) -> int:
         type=float,
         default=0.20,
         help="allowed p50 latency regression fraction (default 0.20)",
+    )
+    parser.add_argument(
+        "--obs-tolerance",
+        type=float,
+        default=0.05,
+        help="allowed enabled-observability overhead fraction over the "
+        "no-op path (default 0.05)",
     )
     parser.add_argument("--current", type=Path, default=CURRENT)
     parser.add_argument("--baseline", type=Path, default=BASELINE)
@@ -76,6 +85,26 @@ def main(argv=None) -> int:
                 f"batch {size}: frontier peak {peak} no longer undercuts "
                 f"the {pool}-candidate pool"
             )
+
+    observability = current.get("observability")
+    if observability is None:
+        print("observability: no section in current run (skipped)")
+    else:
+        overhead = observability["overhead_frac"]
+        verdict = "OK"
+        if overhead > args.obs_tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"observability: enabled overhead {overhead * 100:+.1f}% exceeds "
+                f"the {args.obs_tolerance * 100:.0f}% bound "
+                f"(noop p50 {observability['noop']['p50_s'] * 1e3:.3f}ms, "
+                f"enabled p50 {observability['enabled']['p50_s'] * 1e3:.3f}ms)"
+            )
+        print(
+            f"observability: noop p50 {observability['noop']['p50_s'] * 1e3:8.3f}ms  "
+            f"enabled p50 {observability['enabled']['p50_s'] * 1e3:8.3f}ms  "
+            f"{overhead * 100:+6.1f}%  {verdict}"
+        )
 
     if failures:
         print("\nFAIL:")

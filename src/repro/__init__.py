@@ -30,14 +30,19 @@ Subpackages
     FF/FF-2/FF-3 baselines and the PROACTIVE strategies (Sect. IV-D).
 ``repro.experiments``
     One module per paper table/figure (Sect. IV-E).
+``repro.obs``
+    Observability: metrics registry + JSONL span tracer (off by default).
 ``repro.ext``
     Future-work extensions: thermal, heterogeneous, learned, migration.
+
+:mod:`repro.api` is the stable public facade; everything not exported
+there is internal (see DESIGN.md, "Public API and stability").
 """
 
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.model import ModelDatabase
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

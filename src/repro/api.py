@@ -1,0 +1,83 @@
+"""The stable public API facade.
+
+Everything a downstream user of this reproduction should need is
+re-exported here under one flat namespace::
+
+    from repro.api import build_model, ProactiveAllocator, VMRequest
+
+Anything importable from :mod:`repro.api` follows semantic versioning
+with the package: names listed in ``__all__`` keep their signatures
+within a major version.  Every other module in the package --
+``repro.campaign.*`` internals, the simulator's server/vm runtime
+classes, the ``repro.ext`` future-work extensions -- is internal and
+may change between minor releases (see DESIGN.md, "Public API and
+stability").
+
+The facade groups into four layers:
+
+Model building
+    :class:`ModelDatabase`, :func:`build_model`, :func:`run_campaign`.
+Allocation
+    :class:`ProactiveAllocator`, :class:`VMRequest`,
+    :class:`ServerState`, :class:`AllocationPlan`,
+    :class:`WorkloadClass`.
+Simulation & evaluation
+    :class:`AllocationStrategy`, :func:`paper_strategies`,
+    :func:`run_evaluation`.
+Observability
+    :class:`MetricsRegistry`, :class:`Tracer`,
+    :class:`Observability`, :func:`observed`,
+    :func:`set_observability`, :func:`get_observability`,
+    :func:`snapshot`.
+"""
+
+from repro import build_model
+from repro.campaign.platformrunner import CampaignResult, run_campaign
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.model import ModelDatabase
+from repro.core.plan import AllocationPlan, AllocationProvenance
+from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
+from repro.experiments.evaluation import EvaluationResult, run_evaluation
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import (
+    Observability,
+    get_observability,
+    observed,
+    set_observability,
+    snapshot,
+)
+from repro.obs.tracer import Tracer
+from repro.strategies import paper_strategies
+from repro.strategies.base import AllocationStrategy
+from repro.testbed.benchmarks import WorkloadClass
+
+__all__ = [
+    # model building
+    "ModelDatabase",  # the (Ncpu, Nmem, Nio) -> time/energy model (Sect. III-C)
+    "build_model",  # one-liner: run the campaign, wrap it in a ModelDatabase
+    "run_campaign",  # the base + combined benchmarking campaign (Sect. III-B)
+    "CampaignResult",  # campaign output: curves, Table I optima, CSV records
+    # allocation
+    "ProactiveAllocator",  # the paper's proactive allocation algorithm (Sect. III-D)
+    "VMRequest",  # one requested VM: id, workload class, optional QoS deadline
+    "ServerState",  # one server's current (Ncpu, Nmem, Nio) occupancy
+    "AllocationPlan",  # allocator output: per-server assignments + estimates
+    "AllocationProvenance",  # per-call search counters (partitions, cache hits, pruning)
+    "WorkloadClass",  # CPU / MEM / IO intensity classes (Sect. III-A)
+    # simulation & evaluation
+    "AllocationStrategy",  # strategy interface the simulator drives (Sect. IV-D)
+    "paper_strategies",  # the paper's lineup: FF, FF-2, FF-3, PA-0, PA-0.5, PA-1
+    "run_evaluation",  # the Figs. 5-7 evaluation over both cloud sizes
+    "EvaluationResult",  # all (cloud, strategy) cells of Figs. 5-7
+    "EvaluationConfig",  # one cloud scenario (servers, VM budget, QoS factor)
+    "SMALLER",  # the paper's smaller cloud (Sect. IV-B)
+    "LARGER",  # the paper's larger cloud (Sect. IV-B)
+    # observability
+    "MetricsRegistry",  # labeled counters/gauges/histograms with deterministic snapshots
+    "Tracer",  # span tracer writing JSONL events (t_wall + t_sim clocks)
+    "Observability",  # a registry + tracer bundle threaded through the stack
+    "observed",  # context manager installing an enabled bundle process-wide
+    "set_observability",  # install/replace the process-local default bundle
+    "get_observability",  # read the current default bundle
+    "snapshot",  # deterministic snapshot of the current default registry
+]

@@ -23,6 +23,7 @@ from repro.campaign.csvdb import write_auxiliary_file, write_records_csv
 from repro.campaign.optimal import OptimalScenarios, extract_optima
 from repro.campaign.records import BenchmarkRecord
 from repro.common.rng import RngLike, derive_rng
+from repro.obs.runtime import Observability, get_observability
 from repro.testbed.benchmarks import BenchmarkSpec, WorkloadClass
 from repro.testbed.contention import ContentionParams
 from repro.testbed.meter import PowerMeter
@@ -77,6 +78,7 @@ def run_campaign(
     meter_accuracy: float = 0.0,
     meter_rng: RngLike = None,
     progress: Callable[[str], None] | None = None,
+    obs: Observability | None = None,
 ) -> CampaignResult:
     """Run the full benchmarking campaign on an emulated server.
 
@@ -99,6 +101,10 @@ def run_campaign(
         Seed/generator for the meter noise.
     progress:
         Optional ``progress(message)`` callback.
+    obs:
+        Observability bundle; when enabled, the base-test and
+        combined-test phases run under ``campaign.*`` spans and record
+        their record counts as ``campaign.*`` counters.
 
     Notes
     -----
@@ -117,26 +123,31 @@ def run_campaign(
         if progress is not None:
             progress(message)
 
+    obs = obs if obs is not None else get_observability()
+    tracer = obs.tracer
+
     say(f"base tests: sweeping 1..{max_base_vms} VMs per class")
-    base_curves = run_base_tests(
-        server,
-        params=params,
-        max_vms=max_base_vms,
-        benchmarks=benchmarks,
-        meter=meter,
-    )
-    optima = extract_optima(base_curves)
+    with tracer.span("campaign.base_tests", max_vms=max_base_vms):
+        base_curves = run_base_tests(
+            server,
+            params=params,
+            max_vms=max_base_vms,
+            benchmarks=benchmarks,
+            meter=meter,
+        )
+        optima = extract_optima(base_curves)
     osc, osm, osi = optima.grid_bounds
     say(f"Table I extracted: OSC={osc} OSM={osm} OSI={osi}")
 
     say("combined tests: sweeping the (Ncpu, Nmem, Nio) grid")
-    combined = run_combined_tests(
-        server,
-        optima,
-        params=params,
-        benchmarks=benchmarks,
-        meter=meter,
-    )
+    with tracer.span("campaign.combined_tests", osc=osc, osm=osm, osi=osi):
+        combined = run_combined_tests(
+            server,
+            optima,
+            params=params,
+            benchmarks=benchmarks,
+            meter=meter,
+        )
 
     records: list[BenchmarkRecord] = list(combined)
     for workload_class, curve in base_curves.items():
@@ -144,6 +155,14 @@ def run_campaign(
         records.extend(point.record for point in curve if point.n_vms <= bound)
     records.sort()
     say(f"campaign complete: {len(records)} database records")
+    if obs.enabled:
+        registry = obs.registry
+        registry.counter("campaign.runs").inc()
+        registry.counter("campaign.combined_records").inc(len(combined))
+        registry.counter("campaign.base_points").inc(
+            sum(len(curve) for curve in base_curves.values())
+        )
+        registry.counter("campaign.records").inc(len(records))
 
     return CampaignResult(
         server=server,

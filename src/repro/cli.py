@@ -8,11 +8,18 @@
 * ``allocate``  -- load a model from disk and place a described batch,
 * ``evaluate``  -- the Figs. 5-7 evaluation at a chosen VM budget,
 * ``fig2``      -- print the FFTW base curve as an ASCII chart.
+
+Observability (``allocate``/``evaluate``/``reproduce``): ``--trace
+PATH`` captures a JSONL span trace, ``--metrics PATH`` writes the
+deterministic metrics snapshot, and ``--format json`` prints the
+command's result (including the snapshot) as one JSON document -- see
+README "Observability".
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -24,8 +31,47 @@ from repro.experiments.config import LARGER, SMALLER
 from repro.experiments.evaluation import run_evaluation
 from repro.experiments.fig2_basecurve import fig2_basecurve
 from repro.experiments.report import headline_claims
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import Observability, get_observability, set_observability
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.profiling.profiler import ApplicationProfiler
 from repro.testbed.benchmarks import BENCHMARKS, WorkloadClass, get_benchmark
+
+
+def _alpha_arg(text: str) -> float:
+    """Parse --alpha, constrained to the paper's [0, 1] goal range."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"alpha must be a number, got {text!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"alpha must be within [0, 1] (1 = minimize energy, 0 = minimize "
+            f"time), got {value:g}"
+        )
+    return value
+
+
+def _add_obs_arguments(command: argparse.ArgumentParser, formats: bool = True) -> None:
+    command.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL span trace (see README 'Observability')",
+    )
+    command.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the deterministic metrics snapshot as JSON",
+    )
+    if formats:
+        command.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="output style: human text (default) or one JSON document",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,17 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     allocate = sub.add_parser("allocate", help="allocate a VM batch through a stored model")
     allocate.add_argument("--model", required=True, help="directory holding model_database.csv")
-    allocate.add_argument("--alpha", type=float, default=0.5)
+    allocate.add_argument("--alpha", type=_alpha_arg, default=0.5)
     allocate.add_argument("--servers", type=int, default=4)
     allocate.add_argument(
         "--vms",
         default="4cpu,2mem,2io",
         help="batch spec, e.g. '4cpu,2mem,1io'",
     )
+    _add_obs_arguments(allocate)
 
     evaluate = sub.add_parser("evaluate", help="run the Figs. 5-7 evaluation")
     evaluate.add_argument("--vm-budget", type=int, default=2500)
     evaluate.add_argument("--quiet", action="store_true")
+    _add_obs_arguments(evaluate)
 
     fig2 = sub.add_parser("fig2", help="print the FFTW base-test curve")
 
@@ -64,7 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("--vm-budget", type=int, default=2500)
     reproduce.add_argument("--quiet", action="store_true")
+    _add_obs_arguments(reproduce, formats=False)
     return parser
+
+
+def _batch_error(message: str) -> "SystemExit":
+    print(f"repro allocate: error: {message}", file=sys.stderr)
+    return SystemExit(2)
 
 
 def _parse_batch(spec: str) -> list[VMRequest]:
@@ -75,16 +129,27 @@ def _parse_batch(spec: str) -> list[VMRequest]:
             continue
         for class_name in ("cpu", "mem", "io"):
             if part.endswith(class_name):
-                count = int(part[: -len(class_name)] or "1")
+                prefix = part[: -len(class_name)]
+                if prefix and not prefix.isdigit():
+                    raise _batch_error(
+                        f"bad batch component {part!r}: the count before "
+                        f"{class_name!r} must be a plain integer (e.g. "
+                        f"'4{class_name}')"
+                    )
+                count = int(prefix or "1")
                 for i in range(count):
                     requests.append(
                         VMRequest(f"{class_name}-{len(requests)}", WorkloadClass(class_name))
                     )
                 break
         else:
-            raise SystemExit(f"bad batch component {part!r}; expected e.g. '4cpu'")
+            raise _batch_error(
+                f"bad batch component {part!r}: expected an optional count "
+                f"followed by a workload class, one of 'cpu', 'mem' or 'io' "
+                f"(e.g. '4cpu,2mem,1io')"
+            )
     if not requests:
-        raise SystemExit("empty batch")
+        raise _batch_error(f"batch spec {spec!r} describes no VMs")
     return requests
 
 
@@ -106,15 +171,56 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_snapshot() -> dict:
+    return get_observability().registry.snapshot()
+
+
+def _print_json(document: dict) -> None:
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
 def _cmd_allocate(args: argparse.Namespace) -> int:
     import os
 
+    requests = _parse_batch(args.vms)
     db_path = os.path.join(args.model, "model_database.csv")
     aux_path = os.path.join(args.model, "auxiliary.csv")
     database = ModelDatabase.from_files(db_path, aux_path)
-    requests = _parse_batch(args.vms)
     servers = [ServerState(f"s{i}") for i in range(args.servers)]
     plan = ProactiveAllocator(database, alpha=args.alpha).allocate(requests, servers)
+    if args.format == "json":
+        provenance = plan.search_provenance
+        _print_json(
+            {
+                "command": "allocate",
+                "alpha": args.alpha,
+                "n_servers": args.servers,
+                "n_vms": len(requests),
+                "assignments": [
+                    {
+                        "server_id": assignment.server_id,
+                        "block": {
+                            "ncpu": assignment.block[0],
+                            "nmem": assignment.block[1],
+                            "nio": assignment.block[2],
+                        },
+                        "combined_key": assignment.combined_key,
+                        "estimated_time_s": assignment.estimate.time_s,
+                        "estimated_energy_j": assignment.estimate.energy_j,
+                    }
+                    for assignment in plan.assignments
+                ],
+                "estimated_makespan_s": plan.estimated_makespan_s,
+                "estimated_energy_j": plan.estimated_energy_j,
+                "qos_satisfied": plan.qos_satisfied,
+                "score": plan.score,
+                "search_provenance": (
+                    provenance.as_dict() if provenance is not None else None
+                ),
+                "metrics": _metrics_snapshot(),
+            }
+        )
+        return 0
     for assignment in plan.assignments:
         print(
             f"{assignment.server_id}: {assignment.block} "
@@ -128,9 +234,47 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    progress = None if args.quiet else print
+    json_output = args.format == "json"
+    if args.quiet:
+        progress = None
+    elif json_output:
+        # Keep stdout a single JSON document; progress goes to stderr.
+        progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    else:
+        progress = print
     configs = [SMALLER.scaled(args.vm_budget), LARGER.scaled(args.vm_budget)]
     result = run_evaluation(configs=configs, progress=progress)
+    if json_output:
+        _print_json(
+            {
+                "command": "evaluate",
+                "vm_budget": args.vm_budget,
+                "n_jobs": result.n_jobs,
+                "n_vms": result.n_vms,
+                "outcomes": [
+                    {
+                        "cloud": outcome.cloud,
+                        "strategy": outcome.strategy,
+                        "makespan_s": outcome.makespan_s,
+                        "energy_j": outcome.energy_j,
+                        "sla_violation_pct": outcome.sla_violation_pct,
+                        "mean_response_s": outcome.mean_response_s,
+                        "max_queue_length": outcome.max_queue_length,
+                    }
+                    for outcome in result.outcomes
+                ],
+                "headline": [
+                    {
+                        "cloud": claims.cloud,
+                        "max_makespan_improvement_pct": claims.max_makespan_improvement_pct,
+                        "avg_energy_saving_pct": claims.avg_energy_saving_pct,
+                    }
+                    for claims in headline_claims(result)
+                ],
+                "metrics": _metrics_snapshot(),
+            }
+        )
+        return 0
     print()
     print(bar_chart(result.series("makespan_s"), title="Fig. 5: makespan (s)"))
     print()
@@ -189,7 +333,27 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    wants_json = getattr(args, "format", "text") == "json"
+    if not (trace_path or metrics_path or wants_json):
+        return _COMMANDS[args.command](args)
+
+    # Install an enabled observability bundle for the duration of the
+    # command, so library code records into a fresh registry/trace.
+    registry = MetricsRegistry()
+    tracer = Tracer.to_path(trace_path) if trace_path else NULL_TRACER
+    previous = set_observability(Observability(registry=registry, tracer=tracer))
+    try:
+        code = _COMMANDS[args.command](args)
+    finally:
+        set_observability(previous)
+        tracer.close()
+        if metrics_path:
+            with open(metrics_path, "w", encoding="utf-8") as handle:
+                json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

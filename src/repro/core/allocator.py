@@ -72,6 +72,7 @@ from repro.core.model import EstimatedOutcome, ModelDatabase
 from repro.core.partitions import type_partitions
 from repro.core.plan import AllocationPlan, AllocationProvenance, BlockAssignment
 from repro.core.scoring import ScoreWeights, score_candidates
+from repro.obs.runtime import Observability, get_observability
 from repro.testbed.benchmarks import WorkloadClass
 
 _INF = float("inf")
@@ -310,6 +311,12 @@ class ProactiveAllocator:
         armed.  Small batches skip the setup entirely -- their
         enumeration is already microseconds and the paper's
         steady-state bursts stay in that regime.
+    obs:
+        Observability bundle (:mod:`repro.obs`); ``None`` resolves the
+        process-local default per call.  When enabled, each ``allocate``
+        emits one ``allocator.allocate`` span and folds its search
+        counters into ``allocator.*`` registry counters; when disabled
+        (the default) the only cost is one predicate check per call.
     """
 
     def __init__(
@@ -319,6 +326,7 @@ class ProactiveAllocator:
         strict_qos: bool = True,
         max_candidates: int = 2_000_000,
         bnb_min_vms: int = 9,
+        obs: Observability | None = None,
     ):
         self._db = database
         self._weights = ScoreWeights(alpha)
@@ -329,6 +337,7 @@ class ProactiveAllocator:
         if bnb_min_vms < 0:
             raise ConfigurationError(f"bnb_min_vms must be >= 0, got {bnb_min_vms}")
         self._bnb_min_vms = int(bnb_min_vms)
+        self._obs = obs
         self._grid: EstimateGrid = grid_for(database)
 
     @property
@@ -357,8 +366,9 @@ class ProactiveAllocator:
 
         Returns the best-scoring :class:`AllocationPlan`, carrying an
         :class:`AllocationProvenance` with the search's cache/prune
-        counters.  The selected plan (assignments, score, QoS flag) is
-        bit-identical to :meth:`allocate_reference`.
+        counters (also folded into the observability registry when one
+        is enabled).  The selected plan (assignments, score, QoS flag)
+        is bit-identical to :meth:`allocate_reference`.
 
         Raises
         ------
@@ -368,6 +378,40 @@ class ProactiveAllocator:
             (strict mode) capacity-feasible plans exist but all break
             some VM's deadline.
         """
+        obs = self._obs if self._obs is not None else get_observability()
+        if not obs.enabled:
+            return self._allocate_impl(requests, servers, None)
+        span = obs.tracer.start(
+            "allocator.allocate",
+            n_vms=len(requests),
+            n_servers=len(servers),
+            alpha=self.alpha,
+        )
+        try:
+            plan = self._allocate_impl(requests, servers, obs)
+        except Exception as exc:
+            obs.registry.counter(
+                "allocator.errors", kind=type(exc).__name__
+            ).inc()
+            span.end(outcome=type(exc).__name__)
+            raise
+        provenance = plan.search_provenance
+        span.end(
+            outcome="ok",
+            score=plan.score,
+            qos_satisfied=plan.qos_satisfied,
+            partitions=(
+                provenance.partitions_enumerated if provenance is not None else 0
+            ),
+        )
+        return plan
+
+    def _allocate_impl(
+        self,
+        requests: Sequence[VMRequest],
+        servers: Sequence[ServerState],
+        obs: Observability | None,
+    ) -> AllocationPlan:
         if not requests:
             return AllocationPlan(assignments=(), alpha=self.alpha, score=0.0, qos_satisfied=True)
         if not servers:
@@ -424,7 +468,11 @@ class ProactiveAllocator:
         stats.candidates_compliant = compliant.count
         stats.frontier_retained = len(retained)
         stats.frontier_peak = max(compliant.peak, fallback.peak)
-        provenance = AllocationProvenance(**stats.as_dict())
+        counts = stats.as_dict()
+        if obs is not None:
+            obs.registry.counter("allocator.calls").inc()
+            obs.registry.merge_counts(counts, prefix="allocator.")
+        provenance = AllocationProvenance.from_counts(counts)
         return self._materialize(
             chosen, requests, scores[best_index], qos_satisfied, provenance
         )
@@ -1115,7 +1163,7 @@ class ProactiveAllocator:
         requests: Sequence[VMRequest],
         score: float,
         qos_satisfied: bool,
-        provenance: AllocationProvenance | None = None,
+        search_provenance: AllocationProvenance | None = None,
     ) -> AllocationPlan:
         """Bind concrete VM ids to the chosen partition's blocks."""
         queues: dict[WorkloadClass, list[str]] = {
@@ -1149,7 +1197,7 @@ class ProactiveAllocator:
             alpha=self.alpha,
             score=score,
             qos_satisfied=qos_satisfied,
-            provenance=provenance,
+            search_provenance=search_provenance,
         )
 
 def _tightest_deadlines(requests: Iterable[VMRequest]) -> dict[WorkloadClass, float]:

@@ -7,7 +7,9 @@ what strategies hand to the datacenter simulator for enactment.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.campaign.records import MixKey, total_vms
 from repro.core.model import EstimatedOutcome
@@ -74,6 +76,32 @@ class AllocationProvenance:
     def subtrees_pruned(self) -> int:
         return self.pruned_infeasible_subtrees + self.pruned_dominated_subtrees
 
+    @classmethod
+    def from_counts(cls, counts: Mapping[str, int | bool]) -> "AllocationProvenance":
+        """Build from a plain counter mapping (a registry view or a
+        :class:`~repro.core.estimatecache.CacheStats` dict)."""
+        return cls(**{name: counts.get(name, 0) for name in _PROVENANCE_FIELDS})
+
+    def as_dict(self) -> dict:
+        """The counters as a flat mapping (registry/JSON friendly)."""
+        return {name: getattr(self, name) for name in _PROVENANCE_FIELDS}
+
+
+_PROVENANCE_FIELDS = (
+    "grid_hits",
+    "grid_misses",
+    "energy_fallbacks",
+    "partitions_enumerated",
+    "candidates_feasible",
+    "candidates_compliant",
+    "frontier_retained",
+    "frontier_peak",
+    "pruned_infeasible_subtrees",
+    "pruned_dominated_subtrees",
+    "aborted_assignments",
+    "bnb_active",
+)
+
 
 @dataclass(frozen=True)
 class AllocationPlan:
@@ -83,19 +111,33 @@ class AllocationPlan:
     execution time respects its deadline; in relaxed-QoS mode the best
     plan may carry ``qos_satisfied=False``.
 
-    ``provenance`` carries the search/cache counters of the pass that
-    built the plan (None when produced by the reference path); it is
-    excluded from equality so optimized and reference plans compare
-    bit-identical.
+    ``search_provenance`` carries the search/cache counters of the
+    pass that built the plan (None when produced by the reference
+    path); the same counters are folded into the allocator's metrics
+    registry (see :mod:`repro.obs`).  It is excluded from equality so
+    optimized and reference plans compare bit-identical.  The pre-obs
+    name ``provenance`` survives as a deprecated read-only alias.
     """
 
     assignments: tuple[BlockAssignment, ...]
     alpha: float
     score: float
     qos_satisfied: bool
-    provenance: AllocationProvenance | None = field(
+    search_provenance: AllocationProvenance | None = field(
         default=None, compare=False, repr=False
     )
+
+    @property
+    def provenance(self) -> AllocationProvenance | None:
+        """Deprecated alias for :attr:`search_provenance` (PR 1 name)."""
+        warnings.warn(
+            "AllocationPlan.provenance is deprecated; read "
+            "AllocationPlan.search_provenance (or the repro.obs metrics "
+            "registry) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.search_provenance
 
     @property
     def estimated_makespan_s(self) -> float:

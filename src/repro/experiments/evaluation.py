@@ -15,6 +15,7 @@ from typing import Callable, Mapping, Sequence
 from repro.campaign.platformrunner import CampaignResult, run_campaign
 from repro.common.rng import SeedSequenceFactory
 from repro.core.model import ModelDatabase
+from repro.obs.runtime import Observability, get_observability
 from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
 from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator, SimulationResult
 from repro.strategies import paper_strategies
@@ -123,6 +124,7 @@ def run_evaluation(
     strategies: Callable[[ModelDatabase], "list[AllocationStrategy]"] = paper_strategies,
     campaign: CampaignResult | None = None,
     progress: Callable[[str], None] | None = None,
+    obs: Observability | None = None,
 ) -> EvaluationResult:
     """Run the full Figs. 5-7 evaluation.
 
@@ -142,8 +144,19 @@ def run_evaluation(
         Reuse a previously run campaign (saves rebuilding the model).
     progress:
         Optional ``progress(message)`` callback.
+    obs:
+        Observability bundle; ``None`` resolves the process-local
+        default.  When enabled, the campaign / trace-prep / per-cell
+        phases run under ``eval.*`` spans, each (cloud, strategy) cell
+        records a volatile ``eval.cell_wall_s`` timing, and the
+        simulators inherit the bundle.  Strategies built by the
+        ``strategies`` factory resolve the *global* default, so
+        install the bundle via :func:`repro.obs.set_observability` (or
+        ``repro.obs.observed``) to capture their counters too.
     """
     server = server or default_server()
+    obs = obs if obs is not None else get_observability()
+    tracer = obs.tracer
 
     def say(message: str) -> None:
         if progress is not None:
@@ -151,12 +164,17 @@ def run_evaluation(
 
     if campaign is None:
         say("running benchmarking campaign")
-        campaign = run_campaign(server=server, params=params)
+        with tracer.span("eval.campaign"):
+            campaign = run_campaign(server=server, params=params, obs=obs)
     database = ModelDatabase.from_campaign(campaign)
 
     say("preparing workload trace")
-    jobs, n_vms = prepare_workload(configs[0])
+    with tracer.span("eval.prepare_workload", seed=configs[0].seed):
+        jobs, n_vms = prepare_workload(configs[0])
     say(f"trace: {len(jobs)} jobs, {n_vms} VMs")
+    if obs.enabled:
+        obs.registry.counter("eval.jobs").inc(len(jobs))
+        obs.registry.counter("eval.vms").inc(n_vms)
 
     outcomes: list[StrategyOutcome] = []
     for config in configs:
@@ -166,14 +184,28 @@ def run_evaluation(
                 n_servers=config.n_servers,
                 server_spec=server,
                 params=params,
-            )
+            ),
+            obs=obs,
         )
         for strategy in strategies(database):
+            cell_span = tracer.start(
+                "eval.cell", cloud=config.label, strategy=strategy.name
+            )
             started = time.perf_counter()
             result = simulator.run(jobs, strategy, qos)
             elapsed = time.perf_counter() - started
+            cell_span.end(makespan_s=result.metrics.makespan_s)
             outcome = StrategyOutcome.from_result(config.label, result, elapsed)
             outcomes.append(outcome)
+            if obs.enabled:
+                obs.registry.counter("eval.cells").inc()
+                obs.registry.histogram(
+                    "eval.cell_wall_s",
+                    unit="s",
+                    volatile=True,
+                    cloud=config.label,
+                    strategy=strategy.name,
+                ).observe(elapsed)
             say(
                 f"{config.label:8s} {outcome.strategy:8s} "
                 f"makespan={outcome.makespan_s:.0f}s "

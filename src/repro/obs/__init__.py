@@ -1,0 +1,66 @@
+"""repro.obs: unified observability for the simulator/allocator stack.
+
+Two halves, one bundle:
+
+* :class:`MetricsRegistry` -- process-local counters, gauges and
+  histograms with *deterministic* snapshots (equal-seed runs produce
+  byte-identical ``snapshot()`` output; wall-clock-valued series are
+  marked volatile and contribute only their observation counts).
+* :class:`Tracer` -- span-based JSON-lines tracing; every event
+  carries ``span_id``, monotonic ``t_wall`` and simulated ``t_sim``.
+  :class:`NullTracer` (singleton :data:`NULL_TRACER`) is the zero-cost
+  disabled stand-in.
+* :class:`Observability` -- the (registry, tracer) pair the
+  instrumented layers accept; :func:`get_observability` /
+  :func:`set_observability` manage the process-local default, and
+  :func:`snapshot` reads the default registry in one call.
+
+Typical capture::
+
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    with open("trace.jsonl", "w") as sink, obs.observed(
+        registry=registry, trace_sink=sink
+    ):
+        run_evaluation(...)
+    print(registry.snapshot())
+
+The CLI exposes the same capture via ``--trace PATH --metrics PATH``
+on ``allocate``/``evaluate``/``reproduce``.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    NULL_OBS,
+    Observability,
+    get_observability,
+    observed,
+    set_observability,
+    snapshot,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Observability",
+    "NULL_OBS",
+    "get_observability",
+    "set_observability",
+    "observed",
+    "snapshot",
+]

@@ -1,0 +1,265 @@
+"""Process-local metrics: counters, gauges, histograms, snapshots.
+
+The registry is the numeric half of :mod:`repro.obs` (the tracer is
+the event half).  Instruments are created lazily and identified by
+``(name, sorted labels)``, Prometheus-style::
+
+    registry = MetricsRegistry()
+    placed = registry.counter("sim.jobs_placed", strategy="PA-0.5")
+    placed.inc()
+    registry.snapshot()["counters"]['sim.jobs_placed{strategy="PA-0.5"}']
+    # -> 1
+
+Design constraints, in priority order:
+
+* **Deterministic snapshots.**  ``snapshot()`` must be byte-identical
+  across two runs with the same seed, so it can be diffed in tests and
+  committed as a golden file.  Keys are sorted; values derived from
+  wall-clock time are *volatile* and contribute only their observation
+  count (which is seeded-deterministic) unless the caller explicitly
+  asks for the full, non-reproducible dump.
+* **Cheap instruments.**  ``Counter.inc`` is one float add; creation
+  cost is paid once per (name, labels) pair.  Hot loops keep instrument
+  handles instead of re-resolving names.
+* **No global state here.**  The process-local default registry lives
+  in :mod:`repro.obs.runtime`; this module is plain data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.errors import ConfigurationError
+
+#: Default histogram bucket upper bounds (seconds-flavoured geometric
+#: ladder; the implicit +inf bucket is always present).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+    300.0,
+    1800.0,
+    7200.0,
+    43200.0,
+)
+
+
+def _render_key(name: str, labels: Mapping[str, str]) -> str:
+    """Stable display key: ``name`` or ``name{k="v",k2="v2"}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count (events, records, prunes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Instantaneous level (queue depth, powered servers) with extrema."""
+
+    __slots__ = ("name", "labels", "value", "max", "min", "updates")
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value: float = 0.0
+        self.max: float | None = None
+        self.min: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+
+
+class Histogram:
+    """Distribution of observations over fixed bucket bounds.
+
+    ``volatile=True`` marks a series whose *values* come from the wall
+    clock (latencies, phase timings): its snapshot keeps only the
+    observation count so the snapshot stays run-to-run deterministic;
+    the full statistics remain readable on the instrument itself and
+    via ``snapshot(include_volatile=True)``.
+    """
+
+    __slots__ = ("name", "labels", "unit", "volatile", "buckets", "bucket_counts",
+                 "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        unit: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        volatile: bool = False,
+    ):
+        self.name = name
+        self.labels = dict(labels)
+        self.unit = unit
+        self.volatile = bool(volatile)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs at least one bucket")
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: the +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named family of counters, gauges and histograms.
+
+    Instruments are created on first access and shared thereafter;
+    asking for an existing (name, labels) pair with a different
+    instrument type raises :class:`ConfigurationError`.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    def _get(self, cls, name: str, labels: Mapping[str, str], **kwargs):
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, dict(key[1]), **kwargs)
+            self._instruments[key] = instrument
+        elif type(instrument) is not cls:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        unit: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        volatile: bool = False,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, labels, unit=unit, buckets=buckets, volatile=volatile
+        )
+
+    def counter_values(self, prefix: str = "") -> dict[str, int | float]:
+        """{display key: value} for counters whose name has the prefix."""
+        out: dict[str, int | float] = {}
+        for instrument in self._instruments.values():
+            if isinstance(instrument, Counter) and instrument.name.startswith(prefix):
+                out[_render_key(instrument.name, instrument.labels)] = instrument.value
+        return dict(sorted(out.items()))
+
+    def merge_counts(self, counts: Mapping[str, int | float], prefix: str = "", **labels: str) -> None:
+        """Fold a plain mapping of totals into prefixed counters."""
+        for key, value in counts.items():
+            self.counter(f"{prefix}{key}", **labels).inc(value)
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self, include_volatile: bool = False) -> dict:
+        """Deterministic JSON-ready view of every instrument.
+
+        Keys are sorted display keys.  Volatile histograms contribute
+        only their (deterministic) observation count unless
+        ``include_volatile`` asks for the full wall-clock statistics.
+        """
+        counters: dict[str, object] = {}
+        gauges: dict[str, object] = {}
+        histograms: dict[str, object] = {}
+        for instrument in self._instruments.values():
+            key = _render_key(instrument.name, instrument.labels)
+            if isinstance(instrument, Counter):
+                counters[key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[key] = {
+                    "value": instrument.value,
+                    "max": instrument.max,
+                    "min": instrument.min,
+                    "updates": instrument.updates,
+                }
+            elif isinstance(instrument, Histogram):
+                entry: dict[str, object] = {
+                    "count": instrument.count,
+                    "unit": instrument.unit,
+                    "volatile": instrument.volatile,
+                }
+                if include_volatile or not instrument.volatile:
+                    entry.update(
+                        {
+                            "sum": instrument.sum,
+                            "min": instrument.min,
+                            "max": instrument.max,
+                            "mean": instrument.mean,
+                            "buckets": {
+                                **{
+                                    str(bound): count
+                                    for bound, count in zip(
+                                        instrument.buckets, instrument.bucket_counts
+                                    )
+                                },
+                                "+inf": instrument.bucket_counts[-1],
+                            },
+                        }
+                    )
+                histograms[key] = entry
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }

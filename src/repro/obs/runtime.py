@@ -1,0 +1,119 @@
+"""The process-local observability runtime.
+
+An :class:`Observability` bundle pairs the two halves of
+:mod:`repro.obs` -- a :class:`~repro.obs.registry.MetricsRegistry` and
+a tracer -- and is what the instrumented layers (allocator, simulator,
+campaign, evaluation) accept as their optional ``obs`` argument.
+
+A single process-local default makes the common case zero-config: the
+CLI's ``--trace``/``--metrics`` flags install an enabled bundle around
+the command, and every component constructed without an explicit
+``obs`` picks it up through :func:`get_observability`.  When nothing
+installed one, the default is :data:`NULL_OBS` -- ``enabled`` false,
+the shared :data:`~repro.obs.tracer.NULL_TRACER`, and a throwaway
+registry -- so instrumented code needs no None checks and pays only a
+predicate test on its hot paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "get_observability",
+    "set_observability",
+    "observed",
+    "snapshot",
+]
+
+
+class Observability:
+    """A metrics registry plus a tracer, threaded through the stack.
+
+    ``enabled`` is the single predicate instrumented code checks before
+    doing anything beyond free counter arithmetic (wall-clock reads,
+    gauge recomputation, span attribute construction).
+    """
+
+    __slots__ = ("registry", "tracer", "enabled")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.enabled = True
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        obs = cls(tracer=NULL_TRACER)
+        obs.enabled = False
+        return obs
+
+    def snapshot(self, include_volatile: bool = False) -> dict:
+        return self.registry.snapshot(include_volatile=include_volatile)
+
+
+#: The no-op bundle every component falls back to.  Its registry is a
+#: real (shared, throwaway) one so recording into it is always safe;
+#: components that need isolated counters check ``enabled`` and build
+#: their own registry instead.
+NULL_OBS = Observability.disabled()
+
+_default: Observability = NULL_OBS
+
+
+def get_observability() -> Observability:
+    """The current process-local default bundle (NULL_OBS when unset)."""
+    return _default
+
+
+def set_observability(obs: Observability | None) -> Observability:
+    """Install a new default bundle; returns the previous one.
+
+    ``None`` restores :data:`NULL_OBS`.
+    """
+    global _default
+    previous = _default
+    _default = obs if obs is not None else NULL_OBS
+    return previous
+
+
+@contextmanager
+def observed(
+    registry: MetricsRegistry | None = None,
+    tracer: "Tracer | NullTracer | None" = None,
+    trace_sink: "IO[str] | None" = None,
+    deterministic: bool = False,
+) -> Iterator[Observability]:
+    """Install an enabled bundle for the duration of a ``with`` block.
+
+    Either pass a ready ``tracer`` or a ``trace_sink`` stream to wrap
+    in one (``deterministic`` selects the diffable logical clock).  The
+    previous default is restored on exit and any tracer built here is
+    closed.
+    """
+    built_tracer = None
+    if tracer is None and trace_sink is not None:
+        tracer = built_tracer = Tracer(trace_sink, deterministic=deterministic)
+    obs = Observability(registry=registry, tracer=tracer)
+    previous = set_observability(obs)
+    try:
+        yield obs
+    finally:
+        set_observability(previous)
+        if built_tracer is not None:
+            built_tracer.close()
+
+
+def snapshot(include_volatile: bool = False) -> dict:
+    """Deterministic snapshot of the current default registry."""
+    return _default.registry.snapshot(include_volatile=include_volatile)

@@ -1,0 +1,252 @@
+"""Span tracing to JSON lines.
+
+One event per line, three event kinds::
+
+    {"event": "open",  "span_id": 3, "parent_id": 1, "name": "sim.job",
+     "t_wall": 0.0123, "t_sim": 42.0, "attrs": {"job_id": 7}}
+    {"event": "close", "span_id": 3, "parent_id": 1, "name": "sim.job",
+     "t_wall": 0.8, "t_sim": 99.5, "dur_wall": 0.7877, "attrs": {}}
+    {"event": "point", "span_id": 4, "parent_id": 1, "name": "sim.place",
+     "t_wall": 0.9, "t_sim": 99.5, "attrs": {"server": "s0003"}}
+
+Every event carries both clocks: ``t_wall`` (monotonic wall seconds
+since the tracer started) and ``t_sim`` (the caller's simulated time,
+``null`` outside a simulation).  Span ids are consecutive integers, so
+under ``deterministic=True`` -- which replaces the wall clock with an
+event counter -- two seeded runs emit byte-identical traces that can
+be diffed line by line.
+
+:class:`NullTracer` is the disabled stand-in: same interface, every
+method a no-op, ``enabled`` false.  Hot paths may branch on
+``tracer.enabled`` to skip attribute construction entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Callable
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """A started span; close it with :meth:`end` (or via the tracer's
+    ``span()`` context manager, which does it for you)."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "_open")
+
+    def __init__(self, tracer: "Tracer", span_id: int, parent_id: int | None, name: str):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self._open = True
+
+    def end(self, t_sim: float | None = None, **attrs) -> None:
+        if self._open:
+            self._open = False
+            self._tracer._close_span(self, t_sim, attrs)
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_name", "_t_sim", "_attrs", "_span")
+
+    def __init__(self, tracer, name, t_sim, attrs):
+        self._tracer = tracer
+        self._name = name
+        self._t_sim = t_sim
+        self._attrs = attrs
+        self._span = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start(self._name, t_sim=self._t_sim, **self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.end(t_sim=self._t_sim)
+
+
+class Tracer:
+    """Writes span open/close and point events as JSON lines.
+
+    Parameters
+    ----------
+    sink:
+        A writable text stream.  Use :meth:`to_path` for a file.
+    clock:
+        Wall-clock source (monotonic); defaults to
+        :func:`time.perf_counter`.  Readings are rebased so the first
+        event is at ``t_wall`` 0.0.
+    deterministic:
+        Replace wall readings with an event counter (0.0, 1.0, ...) so
+        traces from equal-seed runs are byte-identical.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: IO[str],
+        clock: Callable[[], float] = time.perf_counter,
+        deterministic: bool = False,
+    ):
+        self._sink = sink
+        self._clock = clock
+        self._deterministic = bool(deterministic)
+        self._epoch: float | None = None
+        self._events = 0
+        self._next_id = 1
+        self._stack: list[int] = []
+        self._owns_sink = False
+
+    @classmethod
+    def to_path(cls, path, **kwargs) -> "Tracer":
+        """A tracer writing (line-buffered) to a fresh file at ``path``."""
+        sink = open(path, "w", encoding="utf-8", buffering=1)
+        tracer = cls(sink, **kwargs)
+        tracer._owns_sink = True
+        return tracer
+
+    # -- internals ----------------------------------------------------
+
+    def _now(self) -> float:
+        if self._deterministic:
+            return float(self._events)
+        reading = self._clock()
+        if self._epoch is None:
+            self._epoch = reading
+        return reading - self._epoch
+
+    def _emit(self, payload: dict) -> None:
+        self._events += 1
+        self._sink.write(json.dumps(payload, sort_keys=True, default=str) + "\n")
+
+    # -- public API ---------------------------------------------------
+
+    def start(
+        self, name: str, t_sim: float | None = None, detached: bool = False, **attrs
+    ) -> Span:
+        """Open a span; the caller must :meth:`Span.end` it.
+
+        ``detached`` spans record the current span as parent but do not
+        become the current span themselves -- use for long-lived spans
+        that overlap arbitrarily (e.g. one span per in-flight job)
+        instead of nesting.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else None
+        t_wall = self._now()
+        self._emit(
+            {
+                "event": "open",
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "name": name,
+                "t_wall": t_wall,
+                "t_sim": t_sim,
+                "attrs": attrs,
+            }
+        )
+        span = Span(self, span_id, parent_id, name)
+        if not detached:
+            self._stack.append(span_id)
+        return span
+
+    def _close_span(self, span: Span, t_sim: float | None, attrs: dict) -> None:
+        t_wall = self._now()
+        if span.span_id in self._stack:
+            # Closing an outer span implicitly abandons nested ones.
+            while self._stack and self._stack[-1] != span.span_id:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        self._emit(
+            {
+                "event": "close",
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "t_wall": t_wall,
+                "t_sim": t_sim,
+                "attrs": attrs,
+            }
+        )
+
+    def span(self, name: str, t_sim: float | None = None, **attrs) -> _SpanContext:
+        """Context manager opening a span and closing it on exit."""
+        return _SpanContext(self, name, t_sim, attrs)
+
+    def point(self, name: str, t_sim: float | None = None, **attrs) -> None:
+        """A zero-duration event under the currently open span."""
+        span_id = self._next_id
+        self._next_id += 1
+        self._emit(
+            {
+                "event": "point",
+                "span_id": span_id,
+                "parent_id": self._stack[-1] if self._stack else None,
+                "name": name,
+                "t_wall": self._now(),
+                "t_sim": t_sim,
+                "attrs": attrs,
+            }
+        )
+
+    @property
+    def n_events(self) -> int:
+        return self._events
+
+    def close(self) -> None:
+        """Flush and, when the tracer opened its own file, close it."""
+        self._sink.flush()
+        if self._owns_sink:
+            self._sink.close()
+
+
+class _NullSpan:
+    __slots__ = ()
+    span_id = 0
+    parent_id = None
+    name = ""
+
+    def end(self, t_sim: float | None = None, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every method a no-op, every span the same
+    reusable null span.  There is one shared instance, ``NULL_TRACER``."""
+
+    enabled = False
+
+    def start(
+        self, name: str, t_sim: float | None = None, detached: bool = False, **attrs
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span(self, name: str, t_sim: float | None = None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def point(self, name: str, t_sim: float | None = None, **attrs) -> None:
+        pass
+
+    @property
+    def n_events(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

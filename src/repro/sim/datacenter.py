@@ -18,11 +18,13 @@ cluster of emulated servers:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 from repro.common.errors import ConfigurationError, SimulationError
+from repro.obs.runtime import Observability, get_observability
 from repro.sim.engine import EventQueue
 from repro.sim.metrics import JobOutcome, SimulationMetrics, compute_metrics
 from repro.sim.server import ServerRuntime
@@ -123,10 +125,20 @@ class _JobTracker:
 
 
 class DatacenterSimulator:
-    """Simulates one (trace, strategy) combination on a cluster."""
+    """Simulates one (trace, strategy) combination on a cluster.
 
-    def __init__(self, config: DatacenterConfig):
+    ``obs`` (see :mod:`repro.obs`) instruments the run: a ``sim.run``
+    root span, one ``sim.job`` span per job (arrival to completion,
+    in sim time), ``sim.place`` points, queue-depth and powered-server
+    gauges, deterministic sim-time histograms (queue wait, job
+    response) and a volatile wall-clock histogram of per-placement
+    strategy latency.  ``None`` resolves the process-local default,
+    which is the no-op bundle unless one was installed.
+    """
+
+    def __init__(self, config: DatacenterConfig, obs: Observability | None = None):
         self._config = config
+        self._obs = obs
 
     @property
     def config(self) -> DatacenterConfig:
@@ -157,6 +169,27 @@ class DatacenterSimulator:
             empty cluster -- the strategy rejects the job even with
             everything idle), to fail loudly instead of looping.
         """
+        obs = self._obs if self._obs is not None else get_observability()
+        enabled = obs.enabled
+        tracer = obs.tracer
+        if enabled:
+            registry = obs.registry
+            label = {"strategy": strategy.name}
+            c_arrived = registry.counter("sim.jobs_arrived", **label)
+            c_placed = registry.counter("sim.jobs_placed", **label)
+            c_completed = registry.counter("sim.jobs_completed", **label)
+            c_vms = registry.counter("sim.vms_placed", **label)
+            c_attempts = registry.counter("sim.place_attempts", **label)
+            c_rejected = registry.counter("sim.place_rejections", **label)
+            c_backfilled = registry.counter("sim.jobs_backfilled", **label)
+            g_queue = registry.gauge("sim.queue_depth", **label)
+            g_powered = registry.gauge("sim.powered_servers", **label)
+            h_wait = registry.histogram("sim.queue_wait_s", unit="s", **label)
+            h_response = registry.histogram("sim.job_response_s", unit="s", **label)
+            h_place = registry.histogram(
+                "sim.place_latency_s", unit="s", volatile=True, **label
+            )
+
         config = self._config
         servers = [
             ServerRuntime(
@@ -198,6 +231,14 @@ class DatacenterSimulator:
         queue: deque[_JobTracker] = deque()
         outcomes: list[JobOutcome] = []
         max_queue_length = 0
+        run_span = tracer.start(
+            "sim.run",
+            t_sim=0.0,
+            strategy=strategy.name,
+            n_servers=config.n_servers,
+            n_jobs=len(ordered_jobs),
+        )
+        job_spans: dict[int, object] = {}
 
         def views() -> list[ServerView]:
             return [
@@ -232,9 +273,30 @@ class DatacenterSimulator:
                 )
                 for vm in tracker.vms
             ]
-            placement = strategy.place(descriptors, views())
+            if enabled:
+                c_attempts.inc()
+                wall0 = time.perf_counter()
+                placement = strategy.place(descriptors, views())
+                h_place.observe(time.perf_counter() - wall0)
+            else:
+                placement = strategy.place(descriptors, views())
             if placement is None:
+                if enabled:
+                    c_rejected.inc()
                 return False
+            if enabled:
+                c_placed.inc()
+                c_vms.inc(len(tracker.vms))
+                h_wait.observe(now - tracker.job.submit_time_s)
+                if tracer.enabled:
+                    tracer.point(
+                        "sim.place",
+                        t_sim=now,
+                        job_id=tracker.job.job_id,
+                        n_vms=len(tracker.vms),
+                        wait_s=now - tracker.job.submit_time_s,
+                        servers=sorted(set(placement.values())),
+                    )
             missing = {vm.vm_id for vm in tracker.vms} - set(placement)
             if missing:
                 raise SimulationError(
@@ -277,11 +339,15 @@ class DatacenterSimulator:
                 while window > 0 and index < len(queue) and scanned < window:
                     if try_place(queue[index], now):
                         del queue[index]
+                        if enabled:
+                            c_backfilled.inc()
                     else:
                         index += 1
                     scanned += 1
                 break
             max_queue_length = max(max_queue_length, len(queue))
+            if enabled:
+                g_queue.set(len(queue))
 
         def complete_vms(finished: list[SimVM], now: float) -> bool:
             any_job_done = False
@@ -302,14 +368,38 @@ class DatacenterSimulator:
                         )
                     )
                     any_job_done = True
+                    if enabled:
+                        c_completed.inc()
+                        h_response.observe(now - tracker.job.submit_time_s)
+                        span = job_spans.pop(tracker.job.job_id, None)
+                        if span is not None:
+                            span.end(
+                                t_sim=now,
+                                missed_deadline=now > vm.deadline_s,
+                            )
             return any_job_done
 
         while events:
             now, (kind, index, token) = events.pop()
             if kind == "arrival":
-                queue.append(trackers[index])
+                tracker = trackers[index]
+                queue.append(tracker)
                 max_queue_length = max(max_queue_length, len(queue))
+                if enabled:
+                    c_arrived.inc()
+                    g_queue.set(len(queue))
+                    if tracer.enabled:
+                        job_spans[tracker.job.job_id] = tracer.start(
+                            "sim.job",
+                            t_sim=now,
+                            detached=True,
+                            job_id=tracker.job.job_id,
+                            workload_class=tracker.job.workload_class.value,
+                            n_vms=tracker.job.n_vms,
+                        )
                 drain_queue(now)
+                if enabled:
+                    g_powered.set(sum(1 for s in servers if s.powered_on))
             else:  # boundary
                 if token != boundary_tokens[index]:
                     continue  # stale prediction: the mix changed since
@@ -327,6 +417,8 @@ class DatacenterSimulator:
                             # the boundary prediction needs refreshing.
                             schedule_boundary(moved_index, now)
                     drain_queue(now)
+                    if enabled:
+                        g_powered.set(sum(1 for s in servers if s.powered_on))
 
         if queue or any(tracker.unfinished for tracker in trackers):
             stuck = [t.job.job_id for t in trackers if t.unfinished]
@@ -335,6 +427,16 @@ class DatacenterSimulator:
         end_time = max((o.completion_time_s for o in outcomes), default=0.0)
         for server in servers:
             server.sync(end_time)
+
+        if enabled:
+            g_queue.set(0)
+            g_powered.set(sum(1 for s in servers if s.powered_on))
+            registry.gauge("sim.max_queue_length", **label).set(max_queue_length)
+        run_span.end(
+            t_sim=end_time,
+            n_outcomes=len(outcomes),
+            max_queue_length=max_queue_length,
+        )
 
         metrics = compute_metrics(
             outcomes,

@@ -22,13 +22,27 @@ constraints"):
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping, Optional, Sequence
 
 from repro.common.errors import AllocationError, QoSViolationError
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.model import ModelDatabase
 from repro.core.plan import AllocationPlan, AllocationProvenance
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import Observability, get_observability
 from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
+
+#: Registry counter names (sans prefix) the strategy accumulates per
+#: successful plan -- the PR 1 ``search_totals`` keys.
+_TOTAL_KEYS = (
+    "plans",
+    "grid_hits",
+    "grid_misses",
+    "energy_fallbacks",
+    "partitions_enumerated",
+    "subtrees_pruned",
+)
 
 
 class ProactiveStrategy(AllocationStrategy):
@@ -43,21 +57,38 @@ class ProactiveStrategy(AllocationStrategy):
     use_qos:
         Whether deadlines steer admission and placement; without QoS
         the strategy always places the best-scoring candidate.
+    obs:
+        Observability bundle; ``None`` resolves the process-local
+        default at construction.  Search-effort counters are recorded
+        as ``strategy.<key>{strategy="PA-x"}`` in the bundle's registry
+        when it is enabled, and in a private registry otherwise (so
+        :attr:`metrics` always works and instances never share
+        counters through the null bundle).
     """
 
-    def __init__(self, database: ModelDatabase, alpha: float = 0.5, use_qos: bool = True):
-        self._strict = ProactiveAllocator(database, alpha=alpha, strict_qos=True)
-        self._relaxed = ProactiveAllocator(database, alpha=alpha, strict_qos=False)
+    def __init__(
+        self,
+        database: ModelDatabase,
+        alpha: float = 0.5,
+        use_qos: bool = True,
+        obs: Observability | None = None,
+    ):
+        resolved = obs if obs is not None else get_observability()
+        self._strict = ProactiveAllocator(
+            database, alpha=alpha, strict_qos=True, obs=obs
+        )
+        self._relaxed = ProactiveAllocator(
+            database, alpha=alpha, strict_qos=False, obs=obs
+        )
         self._use_qos = bool(use_qos)
         self.name = f"PA-{alpha:g}"
         self._last_plan: AllocationPlan | None = None
-        self._search_totals = {
-            "plans": 0,
-            "grid_hits": 0,
-            "grid_misses": 0,
-            "energy_fallbacks": 0,
-            "partitions_enumerated": 0,
-            "subtrees_pruned": 0,
+        self._registry = (
+            resolved.registry if resolved.enabled else MetricsRegistry()
+        )
+        self._counters = {
+            key: self._registry.counter(f"strategy.{key}", strategy=self.name)
+            for key in _TOTAL_KEYS
         }
 
     @property
@@ -69,32 +100,52 @@ class ProactiveStrategy(AllocationStrategy):
         return self._strict.database
 
     @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry holding this strategy's ``strategy.*`` counters."""
+        return self._registry
+
+    @property
     def last_plan(self) -> Optional[AllocationPlan]:
         """The most recent successful plan (with search provenance)."""
         return self._last_plan
 
     @property
     def last_provenance(self) -> Optional[AllocationProvenance]:
+        """Deprecated: read ``last_plan.search_provenance`` instead."""
+        warnings.warn(
+            "ProactiveStrategy.last_provenance is deprecated; read "
+            "last_plan.search_provenance (per plan) or the repro.obs "
+            "metrics registry (totals) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         plan = self._last_plan
-        return plan.provenance if plan is not None else None
+        return plan.search_provenance if plan is not None else None
 
     @property
     def search_totals(self) -> Mapping[str, int]:
-        """Cache/prune counters summed over this strategy's successful
-        allocator calls (what the simulation actually paid)."""
-        return dict(self._search_totals)
+        """Deprecated: cache/prune totals, now read back from the
+        ``strategy.*`` counters in the metrics registry."""
+        warnings.warn(
+            "ProactiveStrategy.search_totals is deprecated; read the "
+            "strategy.* counters from ProactiveStrategy.metrics (or the "
+            "repro.obs registry snapshot) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {key: counter.value for key, counter in self._counters.items()}
 
     def _record(self, plan: AllocationPlan) -> AllocationPlan:
         self._last_plan = plan
-        provenance = plan.provenance
+        provenance = plan.search_provenance
         if provenance is not None:
-            totals = self._search_totals
-            totals["plans"] += 1
-            totals["grid_hits"] += provenance.grid_hits
-            totals["grid_misses"] += provenance.grid_misses
-            totals["energy_fallbacks"] += provenance.energy_fallbacks
-            totals["partitions_enumerated"] += provenance.partitions_enumerated
-            totals["subtrees_pruned"] += provenance.subtrees_pruned
+            counters = self._counters
+            counters["plans"].inc()
+            counters["grid_hits"].inc(provenance.grid_hits)
+            counters["grid_misses"].inc(provenance.grid_misses)
+            counters["energy_fallbacks"].inc(provenance.energy_fallbacks)
+            counters["partitions_enumerated"].inc(provenance.partitions_enumerated)
+            counters["subtrees_pruned"].inc(provenance.subtrees_pruned)
         return plan
 
     def place(

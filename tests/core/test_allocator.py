@@ -189,7 +189,7 @@ class TestProvenance:
 
     def test_plan_carries_search_counters(self, database):
         plan = ProactiveAllocator(database).allocate(cpu_requests(3), servers(3))
-        provenance = plan.provenance
+        provenance = plan.search_provenance
         assert provenance is not None
         assert provenance.partitions_enumerated == 3  # {3}, {2,1}, {1,1,1}
         assert provenance.candidates_feasible > 0
@@ -202,7 +202,7 @@ class TestProvenance:
         plan = ProactiveAllocator(database).allocate_reference(
             cpu_requests(3), servers(3)
         )
-        assert plan.provenance is None
+        assert plan.search_provenance is None
 
     def test_frontier_smaller_than_pool(self, database):
         # The retained Pareto frontier must undercut the materialized
@@ -212,13 +212,13 @@ class TestProvenance:
             VMRequest(f"m{i}", WorkloadClass.MEM) for i in range(4)
         ]
         plan = allocator.allocate(requests, servers(6))
-        provenance = plan.provenance
+        provenance = plan.search_provenance
         assert provenance.frontier_peak < provenance.candidates_feasible
 
     def test_bnb_activates_above_threshold(self, database):
         allocator = ProactiveAllocator(database, bnb_min_vms=2)
         plan = allocator.allocate(cpu_requests(3), servers(3))
-        assert plan.provenance.bnb_active
+        assert plan.search_provenance.bnb_active
 
     def test_provenance_excluded_from_plan_equality(self, database):
         allocator = ProactiveAllocator(database)
@@ -226,8 +226,8 @@ class TestProvenance:
         optimized = allocator.allocate(requests, servers(4))
         reference = allocator.allocate_reference(requests, servers(4))
         assert optimized == reference
-        assert optimized.provenance is not None
-        assert reference.provenance is None
+        assert optimized.search_provenance is not None
+        assert reference.search_provenance is None
 
     def test_aggregate_capacity_fast_path(self, database):
         # A batch no server set could absorb fails before enumeration.

@@ -63,3 +63,41 @@ class TestAllocationPlan:
         assert plan.estimated_makespan_s == 0.0
         assert plan.estimated_energy_j == 0.0
         assert plan.n_vms == 0
+
+
+class TestProvenanceAccess:
+    def plan_with_provenance(self):
+        from repro.core.plan import AllocationProvenance
+
+        provenance = AllocationProvenance.from_counts({"partitions_enumerated": 7})
+        return AllocationPlan(
+            assignments=(),
+            alpha=0.5,
+            score=0.0,
+            qos_satisfied=True,
+            search_provenance=provenance,
+        )
+
+    def test_search_provenance_is_the_plain_attribute(self):
+        plan = self.plan_with_provenance()
+        assert plan.search_provenance.partitions_enumerated == 7
+
+    def test_provenance_alias_warns_but_works(self):
+        plan = self.plan_with_provenance()
+        with pytest.warns(DeprecationWarning, match="search_provenance"):
+            assert plan.provenance is plan.search_provenance
+
+    def test_from_counts_defaults_missing_fields_to_zero(self):
+        from repro.core.plan import AllocationProvenance
+
+        provenance = AllocationProvenance.from_counts({})
+        assert provenance.partitions_enumerated == 0
+        assert provenance.as_dict()["grid_hits"] == 0
+
+    def test_as_dict_round_trips(self):
+        from repro.core.plan import AllocationProvenance
+
+        provenance = AllocationProvenance.from_counts(
+            {"grid_hits": 3, "frontier_peak": 2}
+        )
+        assert AllocationProvenance.from_counts(provenance.as_dict()) == provenance

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_batch, build_parser, main
@@ -36,13 +38,40 @@ class TestBatchSpec:
     def test_implicit_count_of_one(self):
         assert len(_parse_batch("cpu")) == 1
 
-    def test_bad_component_rejected(self):
-        with pytest.raises(SystemExit):
-            _parse_batch("4gpu")
+    @pytest.mark.parametrize("spec", ["4gpu", "cpu4", "4 cpu x", "nonsense"])
+    def test_bad_component_rejected_with_exit_code_2(self, spec, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            _parse_batch(spec)
+        assert excinfo.value.code == 2
+        assert "bad batch component" in capsys.readouterr().err
 
     def test_empty_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             _parse_batch(",")
+        assert excinfo.value.code == 2
+
+
+class TestArgValidation:
+    @pytest.mark.parametrize("alpha", ["-0.1", "1.5", "two"])
+    def test_alpha_out_of_range_exits_2(self, alpha, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["allocate", "--model", "/tmp/x", "--alpha", alpha]
+            )
+        assert excinfo.value.code == 2
+        assert "alpha" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("alpha", ["0", "1", "0.5"])
+    def test_alpha_in_range_accepted(self, alpha):
+        args = build_parser().parse_args(
+            ["allocate", "--model", "/tmp/x", "--alpha", alpha]
+        )
+        assert args.alpha == float(alpha)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["evaluate", "--format", "yaml"])
+        assert excinfo.value.code == 2
 
 
 class TestCommands:
@@ -65,3 +94,45 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "makespan" in out
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(scope="class")
+    def model_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("model")
+        assert main(["campaign", "-o", str(path), "--quiet"]) == 0
+        return path
+
+    def test_allocate_json_format(self, model_dir, capsys):
+        assert main(
+            ["allocate", "--model", str(model_dir), "--vms", "2cpu,1mem",
+             "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "allocate"
+        assert document["qos_satisfied"] in (True, False)
+        assert len(document["assignments"]) >= 1
+        assert document["search_provenance"]["partitions_enumerated"] > 0
+        assert document["metrics"]["counters"]["allocator.calls"] == 1
+
+    def test_allocate_trace_and_metrics_files(self, model_dir, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["allocate", "--model", str(model_dir), "--vms", "2cpu",
+             "--trace", str(trace), "--metrics", str(metrics)]
+        ) == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events, "trace file must hold at least one event"
+        for event in events:
+            assert {"event", "span_id", "name", "t_wall", "t_sim"} <= event.keys()
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["allocator.calls"] == 1
+
+    def test_text_format_unchanged_by_default(self, model_dir, capsys):
+        assert main(["allocate", "--model", str(model_dir), "--vms", "2cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)

@@ -1,0 +1,152 @@
+"""Integration tests: the instrumented stack under an enabled bundle.
+
+The headline guarantees:
+
+* two equal-seed ``run_evaluation`` runs produce *identical* metrics
+  snapshots (and byte-identical deterministic traces),
+* every trace event parses as JSON and carries span_id / t_wall / t_sim,
+* the disabled (default) path records nothing and stays cheap.
+"""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.experiments.config import SMALLER
+from repro.experiments.evaluation import run_evaluation
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import NULL_OBS, Observability, get_observability, observed
+from repro.obs.tracer import Tracer
+from repro.testbed.benchmarks import WorkloadClass
+
+
+def requests(n=5):
+    return [VMRequest(f"vm{i}", WorkloadClass.CPU) for i in range(n)]
+
+
+def servers(n=3):
+    return [ServerState(f"s{i}") for i in range(n)]
+
+
+class TestAllocatorInstrumentation:
+    def test_counters_and_spans_recorded(self, database):
+        sink = io.StringIO()
+        with observed(trace_sink=sink, deterministic=True) as bundle:
+            plan = ProactiveAllocator(database, alpha=0.5).allocate(
+                requests(), servers()
+            )
+        counters = bundle.snapshot()["counters"]
+        assert counters["allocator.calls"] == 1
+        provenance = plan.search_provenance
+        assert counters["allocator.partitions_enumerated"] == (
+            provenance.partitions_enumerated
+        )
+        assert counters["allocator.grid_hits"] == provenance.grid_hits
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        names = [event["name"] for event in events]
+        assert names == ["allocator.allocate", "allocator.allocate"]
+        assert events[1]["attrs"]["outcome"] == "ok"
+
+    def test_explicit_bundle_overrides_default(self, database):
+        bundle = Observability()
+        allocator = ProactiveAllocator(database, obs=bundle)
+        allocator.allocate(requests(), servers())
+        assert bundle.registry.counter("allocator.calls").value == 1
+        assert get_observability() is NULL_OBS
+
+    def test_disabled_default_records_nothing(self, database):
+        before = len(NULL_OBS.registry)
+        ProactiveAllocator(database).allocate(requests(), servers())
+        assert len(NULL_OBS.registry) == before
+
+    def test_failed_allocation_counted_and_span_closed(self, database):
+        from repro.common.errors import AllocationError
+
+        sink = io.StringIO()
+        osc, osm, osi = database.grid_bounds
+        full = [ServerState("s0", allocated=(osc, osm, osi))]
+        with observed(trace_sink=sink, deterministic=True) as bundle:
+            with pytest.raises(AllocationError):
+                ProactiveAllocator(database).allocate(requests(1), full)
+        counters = bundle.snapshot()["counters"]
+        (error_key,) = [key for key in counters if key.startswith("allocator.errors")]
+        assert counters[error_key] == 1
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert events[-1]["event"] == "close"
+
+
+class TestEvaluationDeterminism:
+    @pytest.fixture(scope="class")
+    def tiny_config(self):
+        return SMALLER.scaled(60)
+
+    def run_once(self, campaign, config):
+        sink = io.StringIO()
+        with observed(trace_sink=sink, deterministic=True) as bundle:
+            run_evaluation(configs=[config], campaign=campaign)
+            snapshot = bundle.snapshot()
+        return snapshot, sink.getvalue()
+
+    def test_equal_seed_runs_snapshot_identically(self, campaign, tiny_config):
+        first_snapshot, first_trace = self.run_once(campaign, tiny_config)
+        second_snapshot, second_trace = self.run_once(campaign, tiny_config)
+        assert json.dumps(first_snapshot, sort_keys=True) == json.dumps(
+            second_snapshot, sort_keys=True
+        )
+        assert first_trace == second_trace
+
+    def test_trace_schema(self, campaign, tiny_config):
+        _, trace = self.run_once(campaign, tiny_config)
+        lines = trace.splitlines()
+        assert lines
+        for line in lines:
+            event = json.loads(line)
+            assert {"event", "span_id", "name", "t_wall", "t_sim"} <= event.keys()
+            assert event["event"] in ("open", "close", "point")
+        names = {json.loads(line)["name"] for line in lines}
+        assert {"eval.prepare_workload", "eval.cell", "sim.run", "sim.job",
+                "allocator.allocate"} <= names
+
+    def test_expected_metric_families_present(self, campaign, tiny_config):
+        snapshot, _ = self.run_once(campaign, tiny_config)
+        counters = snapshot["counters"]
+        assert counters["eval.cells"] > 0
+        assert any(key.startswith("sim.vms_placed") for key in counters)
+        assert any(key.startswith("strategy.plans") for key in counters)
+        assert any(key.startswith("sim.queue_depth") for key in snapshot["gauges"])
+        histograms = snapshot["histograms"]
+        volatile = [
+            key for key in histograms if key.startswith("eval.cell_wall_s")
+        ]
+        assert volatile
+        # Wall-clock-valued series must not leak timings into the snapshot.
+        assert all("sum" not in histograms[key] for key in volatile)
+
+
+class TestDisabledOverhead:
+    def test_noop_path_stays_cheap(self, database):
+        """Loose guard: the disabled predicate must not meaningfully slow
+        ``allocate`` (the strict 5% gate runs in the perf bench)."""
+        allocator = ProactiveAllocator(database, alpha=0.5)
+        reqs, srvs = requests(5), servers(3)
+        allocator.allocate(reqs, srvs)  # warm caches
+
+        def best_of(runs=5, repeat=3):
+            best = float("inf")
+            for _ in range(runs):
+                start = time.perf_counter()
+                for _ in range(repeat):
+                    allocator.allocate(reqs, srvs)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        baseline = best_of()
+        with observed(trace_sink=io.StringIO()):
+            enabled = best_of()
+        # Generous anti-flake bound; the point is catching accidental
+        # always-on tracing, not micro-benchmarking in CI.
+        assert baseline < enabled * 3 + 0.05
+        assert enabled < baseline * 3 + 0.05

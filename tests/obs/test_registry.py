@@ -1,0 +1,144 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("calls")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_same_name_and_labels_share_an_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("calls", kind="a").inc()
+        registry.counter("calls", kind="a").inc()
+        assert registry.counter("calls", kind="a").value == 2
+
+    def test_different_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("calls", kind="a").inc()
+        assert registry.counter("calls", kind="b").value == 0
+
+
+class TestGauge:
+    def test_tracks_value_and_extrema(self):
+        gauge = MetricsRegistry().gauge("queue")
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(1)
+        assert gauge.value == 1
+        assert gauge.max == 7
+        assert gauge.min == 1
+        assert gauge.updates == 3
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.bucket_counts == [2, 1, 1]
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(106.2 / 4)
+
+    def test_default_buckets_used(self):
+        histogram = MetricsRegistry().histogram("lat")
+        assert histogram.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("lat", buckets=())
+
+
+class TestTypeSafety:
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestSnapshot:
+    def test_keys_render_prometheus_style(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.jobs_placed", strategy="PA-0.5").inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {'sim.jobs_placed{strategy="PA-0.5"}': 3}
+
+    def test_labels_sorted_within_key(self):
+        registry = MetricsRegistry()
+        registry.counter("c", b="2", a="1").inc()
+        assert list(registry.snapshot()["counters"]) == ['c{a="1",b="2"}']
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        assert list(snapshot["counters"]) == ["a", "z"]
+
+    def test_volatile_histogram_hides_wall_clock_stats(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", volatile=True, buckets=(1.0,))
+        histogram.observe(0.123)
+        entry = registry.snapshot()["histograms"]["lat"]
+        assert entry["count"] == 1
+        assert entry["volatile"] is True
+        assert "sum" not in entry and "buckets" not in entry
+        full = registry.snapshot(include_volatile=True)["histograms"]["lat"]
+        assert full["sum"] == pytest.approx(0.123)
+
+    def test_equal_recordings_give_equal_snapshots(self):
+        def record(registry):
+            registry.counter("calls", kind="a").inc(2)
+            registry.gauge("depth").set(4)
+            registry.histogram("wait", buckets=(1.0, 5.0)).observe(3.0)
+
+        first, second = MetricsRegistry(), MetricsRegistry()
+        record(first)
+        record(second)
+        assert json.dumps(first.snapshot(), sort_keys=True) == json.dumps(
+            second.snapshot(), sort_keys=True
+        )
+
+
+class TestHelpers:
+    def test_counter_values_filters_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("allocator.calls").inc(2)
+        registry.counter("sim.jobs").inc(5)
+        assert registry.counter_values("allocator.") == {"allocator.calls": 2}
+
+    def test_merge_counts_prefixes_and_accumulates(self):
+        registry = MetricsRegistry()
+        registry.merge_counts({"hits": 3, "misses": 1}, prefix="cache.")
+        registry.merge_counts({"hits": 2}, prefix="cache.")
+        assert registry.counter("cache.hits").value == 5
+        assert registry.counter("cache.misses").value == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert len(registry) == 1
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("x").value == 0

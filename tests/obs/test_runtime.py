@@ -1,0 +1,73 @@
+"""Unit tests for the observability runtime (bundle + process default)."""
+
+import io
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import (
+    NULL_OBS,
+    Observability,
+    get_observability,
+    observed,
+    set_observability,
+)
+from repro.obs.tracer import NULL_TRACER
+
+
+class TestBundle:
+    def test_defaults(self):
+        bundle = Observability()
+        assert bundle.enabled is True
+        assert bundle.tracer is NULL_TRACER
+        assert isinstance(bundle.registry, MetricsRegistry)
+
+    def test_disabled(self):
+        bundle = Observability.disabled()
+        assert bundle.enabled is False
+
+    def test_snapshot_delegates_to_registry(self):
+        bundle = Observability()
+        bundle.registry.counter("x").inc(2)
+        assert bundle.snapshot()["counters"]["x"] == 2
+
+
+class TestProcessDefault:
+    def test_default_is_null_obs(self):
+        assert get_observability() is NULL_OBS
+
+    def test_set_returns_previous_and_none_restores(self):
+        bundle = Observability()
+        previous = set_observability(bundle)
+        try:
+            assert previous is NULL_OBS
+            assert get_observability() is bundle
+        finally:
+            set_observability(None)
+        assert get_observability() is NULL_OBS
+
+    def test_observed_installs_and_restores(self):
+        with observed() as bundle:
+            assert get_observability() is bundle
+            assert bundle.enabled is True
+        assert get_observability() is NULL_OBS
+
+    def test_observed_builds_tracer_from_sink(self):
+        sink = io.StringIO()
+        with observed(trace_sink=sink, deterministic=True) as bundle:
+            with bundle.tracer.span("a"):
+                pass
+        assert sink.getvalue().count("\n") == 2
+
+    def test_observed_restores_on_exception(self):
+        try:
+            with observed():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_observability() is NULL_OBS
+
+    def test_module_level_snapshot_reads_current_default(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(7)
+        with observed(registry=registry):
+            assert obs.snapshot()["counters"]["x"] == 7

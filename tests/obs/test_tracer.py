@@ -1,0 +1,149 @@
+"""Unit tests for the JSONL span tracer."""
+
+import io
+import json
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+def events_of(sink: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestEventSchema:
+    def test_every_event_carries_the_required_fields(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, deterministic=True)
+        with tracer.span("outer", t_sim=10.0, a=1):
+            tracer.point("tick", t_sim=11.0)
+            with tracer.span("inner"):
+                pass
+        for event in events_of(sink):
+            assert {"event", "span_id", "parent_id", "name", "t_wall", "t_sim",
+                    "attrs"} <= event.keys()
+
+    def test_open_close_pair_and_nesting(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, deterministic=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer_open, inner_open, inner_close, outer_close = events_of(sink)
+        assert outer_open["event"] == "open" and outer_open["parent_id"] is None
+        assert inner_open["parent_id"] == outer_open["span_id"]
+        assert inner_close["span_id"] == inner_open["span_id"]
+        assert outer_close["event"] == "close"
+
+    def test_point_inherits_current_span(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, deterministic=True)
+        with tracer.span("outer"):
+            tracer.point("tick")
+        point = events_of(sink)[1]
+        assert point["event"] == "point"
+        assert point["parent_id"] == events_of(sink)[0]["span_id"]
+
+
+class TestClocks:
+    def test_deterministic_clock_counts_events(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, deterministic=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [event["t_wall"] for event in events_of(sink)] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_wall_clock_rebases_to_first_event(self):
+        readings = iter([100.0, 100.5, 101.25])
+        sink = io.StringIO()
+        tracer = Tracer(sink, clock=lambda: next(readings))
+        with tracer.span("a"):
+            tracer.point("p")
+        walls = [event["t_wall"] for event in events_of(sink)]
+        assert walls == [0.0, 0.5, 1.25]
+
+    def test_t_sim_passed_through_and_null_by_default(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, deterministic=True)
+        span = tracer.start("a", t_sim=42.0)
+        span.end(t_sim=99.0)
+        tracer.point("p")
+        open_event, close_event, point_event = events_of(sink)
+        assert open_event["t_sim"] == 42.0
+        assert close_event["t_sim"] == 99.0
+        assert point_event["t_sim"] is None
+
+
+class TestDetachedSpans:
+    def test_detached_spans_overlap_without_corrupting_the_stack(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, deterministic=True)
+        with tracer.span("run"):
+            job_a = tracer.start("job", detached=True, job_id=1)
+            job_b = tracer.start("job", detached=True, job_id=2)
+            job_a.end()
+            with tracer.span("inner"):
+                pass
+            job_b.end()
+        events = events_of(sink)
+        run_id = events[0]["span_id"]
+        inner_open = [e for e in events if e["name"] == "inner"][0]
+        assert inner_open["parent_id"] == run_id  # jobs never became current
+        job_opens = [e for e in events if e["name"] == "job" and e["event"] == "open"]
+        assert all(e["parent_id"] == run_id for e in job_opens)
+
+    def test_double_end_is_idempotent(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, deterministic=True)
+        span = tracer.start("a")
+        span.end()
+        span.end()
+        assert len(events_of(sink)) == 2
+
+
+class TestDeterminism:
+    def test_equal_sequences_give_byte_identical_traces(self):
+        def run():
+            sink = io.StringIO()
+            tracer = Tracer(sink, deterministic=True)
+            with tracer.span("outer", n=3):
+                for i in range(3):
+                    with tracer.span("step", t_sim=float(i), i=i):
+                        pass
+            return sink.getvalue()
+
+        assert run() == run()
+
+
+class TestLifecycle:
+    def test_to_path_writes_and_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer.to_path(str(path), deterministic=True)
+        with tracer.span("a"):
+            pass
+        tracer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        json.loads(lines[0])
+
+    def test_n_events(self):
+        tracer = Tracer(io.StringIO(), deterministic=True)
+        assert tracer.n_events == 0
+        with tracer.span("a"):
+            pass
+        assert tracer.n_events == 2
+
+
+class TestNullTracer:
+    def test_shared_instance_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_all_operations_are_no_ops(self):
+        span = NULL_TRACER.start("a", t_sim=1.0, detached=True, k="v")
+        span.end(outcome="ok")
+        with NULL_TRACER.span("b"):
+            NULL_TRACER.point("c")
+        NULL_TRACER.close()
+        assert NULL_TRACER.n_events == 0

@@ -162,7 +162,7 @@ def assert_equivalent(case, allocator, requests, servers):
     assert optimized == reference, (
         f"{case}: plans differ\n  reference={reference}\n  optimized={optimized}"
     )
-    assert optimized.provenance is not None
+    assert optimized.search_provenance is not None
 
 
 class TestRandomWorlds:

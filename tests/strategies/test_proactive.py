@@ -87,26 +87,55 @@ class TestGoalBehaviour:
 
 
 class TestSearchTelemetry:
-    def test_last_provenance_tracks_latest_plan(self, database):
+    def test_last_plan_carries_search_provenance(self, database):
         strategy = ProactiveStrategy(database)
         assert strategy.last_plan is None
-        assert strategy.last_provenance is None
         strategy.place(vms(3), [view("s0"), view("s1")])
         assert strategy.last_plan is not None
-        provenance = strategy.last_provenance
+        provenance = strategy.last_plan.search_provenance
         assert provenance is not None
         assert provenance.partitions_enumerated == 3
 
-    def test_search_totals_accumulate(self, database):
+    def test_metrics_counters_accumulate(self, database):
         strategy = ProactiveStrategy(database)
         strategy.place(vms(2), [view("s0")])
         strategy.place(vms(3), [view("s0"), view("s1")])
-        totals = strategy.search_totals
-        assert totals["plans"] == 2
-        assert totals["partitions_enumerated"] == 2 + 3  # p(2) + p(3)
+        name = strategy.name
+        registry = strategy.metrics
+        assert registry.counter("strategy.plans", strategy=name).value == 2
+        assert (
+            registry.counter("strategy.partitions_enumerated", strategy=name).value
+            == 2 + 3  # p(2) + p(3)
+        )
+        assert registry.counter("strategy.grid_hits", strategy=name).value > 0
+
+    def test_instances_do_not_share_counters(self, database):
+        first = ProactiveStrategy(database)
+        second = ProactiveStrategy(database)
+        first.place(vms(2), [view("s0")])
+        assert second.metrics.counter("strategy.plans", strategy=second.name).value == 0
+
+    def test_last_provenance_deprecated_but_working(self, database):
+        strategy = ProactiveStrategy(database)
+        with pytest.warns(DeprecationWarning, match="last_provenance"):
+            assert strategy.last_provenance is None
+        strategy.place(vms(3), [view("s0"), view("s1")])
+        with pytest.warns(DeprecationWarning):
+            provenance = strategy.last_provenance
+        assert provenance is not None
+        assert provenance.partitions_enumerated == 3
+
+    def test_search_totals_deprecated_but_working(self, database):
+        strategy = ProactiveStrategy(database)
+        strategy.place(vms(2), [view("s0")])
+        with pytest.warns(DeprecationWarning, match="search_totals"):
+            totals = strategy.search_totals
+        assert totals["plans"] == 1
         assert totals["grid_hits"] > 0
 
     def test_search_totals_returns_copy(self, database):
         strategy = ProactiveStrategy(database)
-        strategy.search_totals["plans"] = 99
-        assert strategy.search_totals["plans"] == 0
+        with pytest.warns(DeprecationWarning):
+            strategy.search_totals["plans"] = 99
+        with pytest.warns(DeprecationWarning):
+            assert strategy.search_totals["plans"] == 0

@@ -11,7 +11,7 @@ from repro import ModelDatabase, ProactiveAllocator, ServerState, VMRequest, bui
 
 class TestTopLevelAPI:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_build_model_one_liner(self):
         database = build_model()
@@ -41,11 +41,59 @@ class TestTopLevelAPI:
         assert "allocate" in result.stdout
 
 
+class TestStableFacade:
+    def test_every_name_in_all_resolves(self):
+        from repro import api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_no_extra_public_names(self):
+        """The facade exports exactly what __all__ declares."""
+        from repro import api
+
+        public = {
+            name
+            for name in dir(api)
+            if not name.startswith("_") and not name.startswith("repro")
+        }
+        declared = set(api.__all__)
+        # Imported-but-undeclared helpers are allowed only if they are
+        # modules; anything else must be declared.
+        undeclared = {
+            name
+            for name in public - declared
+            if not type(getattr(api, name)).__name__ == "module"
+        }
+        assert undeclared == set()
+
+    def test_core_workflow_through_facade_only(self):
+        from repro import api
+
+        database = api.build_model()
+        plan = api.ProactiveAllocator(database, alpha=0.5).allocate(
+            [api.VMRequest("vm0", api.WorkloadClass.CPU)],
+            [api.ServerState("rack-0")],
+        )
+        assert plan.n_vms == 1
+        assert isinstance(plan, api.AllocationPlan)
+
+    def test_observability_exports(self):
+        from repro import api
+
+        registry = api.MetricsRegistry()
+        registry.counter("x").inc()
+        with api.observed(registry=registry) as bundle:
+            assert api.get_observability() is bundle
+            assert api.snapshot()["counters"]["x"] == 1
+
+
 class TestSubpackageImports:
     @pytest.mark.parametrize(
         "module",
         [
             "repro.common",
+            "repro.obs",
             "repro.testbed",
             "repro.profiling",
             "repro.campaign",
