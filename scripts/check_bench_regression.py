@@ -110,6 +110,12 @@ def main(argv=None) -> int:
         print("\nFAIL:")
         for failure in failures:
             print(f"  - {failure}")
+        print(
+            "\nhint: on a dirty tree, run the invariant linter first --\n"
+            "  python scripts/lint.py\n"
+            "a layering or determinism violation is a cheaper explanation "
+            "for a perf delta than a real regression."
+        )
         return 1
     print("\nall batches within tolerance")
     return 0

@@ -1,0 +1,63 @@
+"""Repo-specific static analysis: the invariant linter.
+
+The reproduction's claims rest on discipline that plain review cannot
+enforce at scale: simulated code must never read the wall clock, every
+random draw must route through :mod:`repro.common.rng`, layers may only
+import downward, the :mod:`repro.api` facade must stay coherent, and
+scoring/accounting paths must never compare floats with ``==``.  This
+package makes those invariants machine-checked.
+
+It is a small stdlib-``ast`` framework (zero dependencies -- the
+environment is offline) plus a catalog of rules encoding this repo's
+architecture:
+
+========================  ==============================================
+rule id                   guards
+========================  ==============================================
+determinism-wallclock     no wall-clock reads in simulated layers
+determinism-rng           no stdlib/global-numpy randomness there either
+layering-import           the downward-only import matrix
+layering-cycle            no module-level import cycles
+api-all-resolves          every ``__all__`` name is actually bound
+api-facade-import         internals never import through ``repro.api``
+api-deprecation           shims warn ``DeprecationWarning`` + removal ver
+float-equality            no ``==``/``!=`` on floats in scoring paths
+except-bare               no bare ``except:`` in hot paths
+except-swallow            no silently swallowed ``except Exception:``
+suppression-unknown-rule  suppression comments name real rules
+========================  ==============================================
+
+Violations are suppressed in place with justification comments::
+
+    risky_line()  # repro: allow <rule-id> -- why this one is fine
+
+(or ``# repro: allow-file <rule-id>`` once per file).  See
+:mod:`repro.analysis.suppress` for the exact grammar and DESIGN.md
+"Enforced invariants" for the policy.
+
+Run it as ``python -m repro.analysis src/repro`` or ``repro lint``;
+exit status 1 means findings, 2 means usage error.
+
+This package imports nothing else from ``repro`` (the linter must be
+able to judge a broken tree) -- a constraint it enforces on itself,
+since the full pass runs over ``src/repro`` including this directory.
+"""
+
+from repro.analysis.engine import FileContext, LintResult, Violation, load_context, run_lint
+from repro.analysis.registry import Rule, get_rule, iter_rules, rule_ids
+from repro.analysis.reporters import to_json, to_text
+from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "get_rule",
+    "iter_rules",
+    "load_context",
+    "rule_ids",
+    "run_lint",
+    "to_json",
+    "to_text",
+]

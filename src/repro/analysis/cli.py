@@ -1,0 +1,97 @@
+"""The linter's command line.
+
+Reachable two ways (both share this module):
+
+* ``python -m repro.analysis [paths...]``
+* ``repro lint [paths...]`` (the package CLI delegates here)
+
+With no paths the installed ``repro`` package tree itself is linted --
+the acceptance gate ``python -m repro.analysis src/repro`` simply
+names it explicitly.  Exit status: 0 clean, 1 findings, 2 usage error
+(argparse), matching the other ``repro`` subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import run_lint
+from repro.analysis.registry import iter_rules
+from repro.analysis.reporters import to_json, to_text
+from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
+
+FORMATS = ("text", "json")
+
+
+def format_arg(text: str) -> str:
+    """Validate ``--format`` (shared with the ``repro`` CLI): exit 2 on junk."""
+    value = text.strip().lower()
+    if value not in FORMATS:
+        choices = ", ".join(repr(choice) for choice in FORMATS)
+        raise argparse.ArgumentTypeError(f"format must be one of {choices}, got {text!r}")
+    return value
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory (lint ourselves)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro invariant linter: determinism, layering, API surface, float discipline",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        type=format_arg,
+        default="text",
+        metavar="{text,json}",
+        help="report style: human text (default) or one JSON document",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="restrict the run to a comma-separated subset of rule ids",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id: summary) and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id}: {rule.summary}")
+        return 0
+    rules = None
+    if args.rules is not None:
+        rules = [part.strip() for part in args.rules.split(",") if part.strip()]
+    paths = args.paths or [default_target()]
+    try:
+        result = run_lint(paths, rules=rules)
+    except KeyError as exc:
+        parser.error(f"unknown rule id {exc.args[0]!r} (see --list-rules)")
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    print(to_json(result) if args.format == "json" else to_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""The lint engine: file collection, parsing, rule dispatch.
+
+A run is::
+
+    result = run_lint([Path("src/repro")])
+    for violation in result.violations: ...
+
+Every ``.py`` file under the given paths is parsed once into a
+:class:`FileContext` (source, AST, module name, suppression
+directives); file-scoped rules then run per context and project-scoped
+rules once over the whole list.  Suppressions are applied centrally
+here, never inside rules, so a rule cannot forget to honour them.
+
+Module names are derived from the filesystem (walking up while
+``__init__.py`` exists), which is what ties a file to its layer.
+Golden fixtures live outside the package tree, so they can pin the
+module identity they are pretending to have with a header comment::
+
+    # repro-fixture-module: repro.sim.badclock
+
+Files that fail to parse yield a single ``parse-error`` violation
+instead of aborting the run: the linter must be able to judge a broken
+tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.registry import get_rule, iter_rules, rule_ids
+from repro.analysis.suppress import Suppressions, scan
+
+_FIXTURE_MODULE_RE = re.compile(r"^#\s*repro-fixture-module:\s*([\w.]+)\s*$", re.MULTILINE)
+
+#: Pseudo rule id for unparseable files; not a registry rule (it cannot
+#: be usefully suppressed) but part of the reporter vocabulary.
+PARSE_ERROR = "parse-error"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule broken at a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about one file."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions = field(default_factory=Suppressions)
+
+    def violation(self, rule: str, node, message: str) -> Violation:
+        """Build a violation anchored at ``node`` (or a plain line int)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line, col = node.lineno, node.col_offset
+        return Violation(rule=rule, path=self.display_path, line=line, col=col, message=message)
+
+
+@dataclass
+class LintResult:
+    """The outcome of one run: findings plus coverage counters."""
+
+    violations: list
+    checked_files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def module_name_for(path: Path) -> str:
+    """Derive the dotted module name from the package layout on disk."""
+    path = path.resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    parts.reverse()
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _display_path(path: Path) -> str:
+    """Relative to the CWD when inside it (stable in CI logs), else absolute."""
+    resolved = path.resolve()
+    try:
+        return os.path.relpath(resolved)
+    except ValueError:  # different drive (Windows) -- keep absolute
+        return str(resolved)
+
+
+def load_context(path: Path, module: str | None = None) -> FileContext | Violation:
+    """Parse one file; returns a ``parse-error`` violation on failure.
+
+    ``module`` overrides the filesystem-derived module name; a
+    ``# repro-fixture-module:`` header comment does the same from
+    inside the file (used by the golden fixtures).
+    """
+    path = Path(path)
+    display = _display_path(path)
+    source = path.read_text(encoding="utf-8")
+    if module is None:
+        match = _FIXTURE_MODULE_RE.search(source)
+        module = match.group(1) if match else module_name_for(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Violation(
+            rule=PARSE_ERROR,
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return FileContext(
+        path=path,
+        display_path=display,
+        module=module,
+        source=source,
+        tree=tree,
+        suppressions=scan(source),
+    )
+
+
+def collect_py_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``rules`` optionally restricts the run to a subset of rule ids
+    (used by the per-rule fixture tests); unknown ids raise
+    ``KeyError`` immediately rather than silently checking nothing.
+    """
+    # Deferred on purpose: pulling the catalog in at module scope would
+    # put the engine on an import cycle through the package root -- the
+    # exact shape layering-cycle exists to forbid.
+    import repro.analysis.rules  # noqa: F401  (registers the catalog)
+
+    if rules is not None:
+        selected = frozenset(rules)
+        for rule_id in selected:
+            get_rule(rule_id)  # KeyError on typos
+    else:
+        selected = rule_ids()
+
+    contexts: list[FileContext] = []
+    violations: list[Violation] = []
+    files = collect_py_files(paths)
+    for path in files:
+        loaded = load_context(path)
+        if isinstance(loaded, Violation):
+            violations.append(loaded)
+        else:
+            contexts.append(loaded)
+
+    by_path = {context.display_path: context for context in contexts}
+    for rule in iter_rules():
+        if rule.id not in selected:
+            continue
+        if rule.scope == "file":
+            found = [v for context in contexts for v in rule.check(context)]
+        else:
+            found = list(rule.check(contexts))
+        for violation in found:
+            context = by_path.get(violation.path)
+            if context is not None and context.suppressions.is_suppressed(
+                violation.rule, violation.line
+            ):
+                continue
+            violations.append(violation)
+
+    violations.sort(key=Violation.sort_key)
+    return LintResult(violations=violations, checked_files=len(files))

@@ -1,0 +1,60 @@
+"""Reporters: render a :class:`~repro.analysis.engine.LintResult`.
+
+Two formats:
+
+* ``text`` -- one ``path:line:col: rule-id: message`` per finding plus
+  a summary line; what a human reads in a terminal.
+* ``json`` -- one document with a stable schema for CI gates::
+
+    {
+      "checked_files": 93,
+      "n_violations": 0,
+      "tool": "repro.analysis",
+      "version": 1,
+      "violations": [
+        {"col": 0, "line": 12, "message": "...", "path": "...", "rule": "..."}
+      ]
+    }
+
+  Keys are emitted sorted and violations are ordered by
+  ``(path, line, col, rule)``, so equal trees produce byte-identical
+  reports -- the same determinism discipline the linter enforces.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Schema version of the JSON report; bump on breaking key changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def to_text(result) -> str:
+    """Human-readable report, one line per finding."""
+    lines = [violation.render() for violation in result.violations]
+    noun = "violation" if len(result.violations) == 1 else "violations"
+    lines.append(
+        f"{len(result.violations)} {noun} in {result.checked_files} checked file(s)"
+    )
+    return "\n".join(lines)
+
+
+def to_json(result) -> str:
+    """Machine-readable report with sorted keys and stable ordering."""
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro.analysis",
+        "checked_files": result.checked_files,
+        "n_violations": len(result.violations),
+        "violations": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "message": violation.message,
+            }
+            for violation in result.violations
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

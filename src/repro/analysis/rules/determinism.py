@@ -1,0 +1,114 @@
+"""Determinism rules: simulated code never reads ambient entropy.
+
+The reproduction's headline property is that equal seeds give
+bit-identical plans, traces and metrics.  Two leaks can break that:
+
+* **Wall clocks** (``time.time()``, ``datetime.now()``, ...) inside the
+  model/simulation layers.  Simulated time comes from the event queue;
+  the only sanctioned wall-clock consumers are the observability
+  tracer (``t_wall`` spans) and explicitly suppressed measurement
+  points.
+* **Unseeded randomness**: the stdlib ``random`` module and numpy's
+  global RNG (``np.random.seed``, ``np.random.default_rng`` at call
+  sites, ...).  Every draw must route through
+  :func:`repro.common.rng.derive_rng` so one root seed reproduces the
+  whole experiment.
+
+Scope: the ``core``, ``sim``, ``strategies``, ``campaign`` and ``obs``
+layers.  ``repro.obs.tracer`` is allowlisted for the wall-clock rule --
+its whole point is stamping ``t_wall`` -- but not for the RNG rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import alias_maps, dotted_call_name, iter_imports, top_segment
+from repro.analysis.registry import rule
+
+#: Layers whose code runs under simulated time / seeded streams.
+CHECKED_LAYERS = frozenset({"core", "sim", "strategies", "campaign", "obs"})
+
+#: Modules exempt from the wall-clock rule (and only that rule).
+WALLCLOCK_ALLOWLIST = frozenset({"repro.obs.tracer"})
+
+#: Absolute call names that read a wall clock.
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random.*`` entry points that touch the global/unmanaged RNG.
+_NUMPY_RANDOM_PREFIX = "numpy.random."
+
+
+def _in_scope(module: str) -> bool:
+    return top_segment(module) in CHECKED_LAYERS
+
+
+@rule(
+    "determinism-wallclock",
+    "simulated layers must not read wall clocks (use the sim clock; obs.tracer is allowlisted)",
+)
+def check_wallclock(ctx) -> Iterator:
+    if not _in_scope(ctx.module) or ctx.module in WALLCLOCK_ALLOWLIST:
+        return
+    aliases = alias_maps(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_call_name(node.func, aliases)
+        if name in WALLCLOCK_CALLS:
+            yield ctx.violation(
+                "determinism-wallclock",
+                node,
+                f"{name}() reads the wall clock inside {ctx.module}; simulated "
+                f"code must take time from the event queue (t_sim) -- wall "
+                f"readings belong to repro.obs.tracer",
+            )
+
+
+@rule(
+    "determinism-rng",
+    "simulated layers must route randomness through repro.common.rng, never "
+    "stdlib random or numpy's global RNG",
+)
+def check_rng(ctx) -> Iterator:
+    if not _in_scope(ctx.module):
+        return
+    for imported in iter_imports(ctx.tree, importer=ctx.module):
+        if imported.type_checking:
+            continue
+        if imported.target == "random" or imported.target.startswith("random."):
+            yield ctx.violation(
+                "determinism-rng",
+                imported.node,
+                f"stdlib 'random' imported inside {ctx.module}; draw from a "
+                f"Generator obtained via repro.common.rng.derive_rng instead",
+            )
+    aliases = alias_maps(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_call_name(node.func, aliases)
+        if name is not None and name.startswith(_NUMPY_RANDOM_PREFIX):
+            yield ctx.violation(
+                "determinism-rng",
+                node,
+                f"{name}() uses numpy's module-level RNG inside {ctx.module}; "
+                f"accept an RngLike and normalize it with "
+                f"repro.common.rng.derive_rng",
+            )

@@ -1,0 +1,77 @@
+"""Error-handling rules for the allocator/simulator hot paths.
+
+A bare ``except:`` (or a swallowed ``except Exception:``) inside the
+search or the event loop turns an accounting bug into a silently wrong
+number -- the worst failure mode a reproduction can have.  Two rules:
+
+* ``except-bare`` -- no bare ``except:`` clauses at all.  They catch
+  ``KeyboardInterrupt``/``SystemExit`` and hide everything.
+* ``except-swallow`` -- an ``except Exception:`` / ``except
+  BaseException:`` handler must re-``raise`` somewhere in its body.
+  Recording metrics before re-raising (as the allocator does) is the
+  sanctioned pattern; catching a *specific* exception type to return a
+  fallback is fine and not flagged.
+
+Scope: the ``core``, ``sim`` and ``strategies`` layers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import top_segment
+from repro.analysis.registry import rule
+
+CHECKED_LAYERS = frozenset({"core", "sim", "strategies"})
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _in_scope(module: str) -> bool:
+    return top_segment(module) in CHECKED_LAYERS
+
+
+def _is_broad(type_node: ast.expr | None) -> bool:
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BROAD_NAMES
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(element) for element in type_node.elts)
+    return False
+
+
+@rule("except-bare", "no bare except: clauses in allocator/simulator code")
+def check_bare_except(ctx) -> Iterator:
+    if not _in_scope(ctx.module):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield ctx.violation(
+                "except-bare",
+                node,
+                f"bare 'except:' in {ctx.module} catches KeyboardInterrupt "
+                f"and SystemExit too; name the exception types",
+            )
+
+
+@rule(
+    "except-swallow",
+    "broad except Exception handlers in hot paths must re-raise",
+)
+def check_swallow(ctx) -> Iterator:
+    if not _in_scope(ctx.module):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node.type):
+            continue
+        reraises = any(isinstance(inner, ast.Raise) for inner in ast.walk(node))
+        if not reraises:
+            yield ctx.violation(
+                "except-swallow",
+                node,
+                f"'except {ast.unparse(node.type)}' in {ctx.module} never "
+                f"re-raises; a swallowed error here silently corrupts "
+                f"accounting -- record what you need, then raise",
+            )

@@ -1,0 +1,83 @@
+"""Float discipline: no ``==``/``!=`` on float expressions in
+scoring/accounting paths.
+
+The alpha objective, the Pareto frontier and the energy integrators
+all compare derived floats; exact equality on those is how allocators
+drift from their stated tie-break ("scores[i] < scores[best] - 1e-12"
+in :func:`repro.core.scoring.best_candidate_index` exists precisely
+because two mixes can score equal up to rounding).  The rule flags
+``==``/``!=`` where either side is *statically known* to be a float:
+
+* a float literal (``x == 0.0``),
+* a true division (``a / b == c`` -- ``/`` always yields float),
+* a ``float(...)`` call (including ``float("inf")``: use
+  ``math.isinf``).
+
+The detector is deliberately conservative -- it never guesses types
+from names -- so every hit is a certain float comparison, fixable with
+an explicit epsilon, ``math.isclose`` or ``math.isinf``.
+
+Scope: the scoring/accounting modules -- all of ``repro.core`` and
+``repro.sim`` plus :mod:`repro.common.quantities`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import top_segment
+from repro.analysis.registry import rule
+
+#: Module prefixes forming the scoring/accounting paths.
+CHECKED_LAYERS = frozenset({"core", "sim"})
+CHECKED_MODULES = frozenset({"repro.common.quantities"})
+
+
+def _in_scope(module: str) -> bool:
+    return module in CHECKED_MODULES or top_segment(module) in CHECKED_LAYERS
+
+
+def is_float_expr(node: ast.expr) -> bool:
+    """True when ``node`` certainly evaluates to a float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return is_float_expr(node.left) or is_float_expr(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return is_float_expr(node.operand)
+    if isinstance(node, ast.IfExp):
+        return is_float_expr(node.body) and is_float_expr(node.orelse)
+    return False
+
+
+@rule(
+    "float-equality",
+    "no ==/!= on float expressions in scoring/accounting paths; use an "
+    "epsilon tie-break, math.isclose or math.isinf",
+)
+def check_float_equality(ctx) -> Iterator:
+    if not _in_scope(ctx.module):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for position, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[position], operands[position + 1]
+            if is_float_expr(left) or is_float_expr(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield ctx.violation(
+                    "float-equality",
+                    node,
+                    f"float {symbol} comparison in {ctx.module}; scoring and "
+                    f"accounting must use an explicit epsilon (cf. "
+                    f"core.scoring.best_candidate_index, sim.server._EPSILON_S), "
+                    f"math.isclose, or math.isinf for infinities",
+                )

@@ -1,0 +1,39 @@
+"""Suppression hygiene: directives must name real rules and parse.
+
+A suppression comment with a typoed rule id matches nothing and
+silently keeps reporting (or worse: the author believes the finding is
+handled).  This rule closes the loop by validating every directive
+against the live registry, and flags ``# repro:`` comments that do not
+parse as directives at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.registry import rule, rule_ids
+
+
+@rule(
+    "suppression-unknown-rule",
+    "suppression comments must name registered rule ids and parse cleanly",
+)
+def check_suppressions(ctx) -> Iterator:
+    known = rule_ids()
+    for directive in ctx.suppressions.directives:
+        for rule_id in directive.rule_ids:
+            if rule_id not in known:
+                yield ctx.violation(
+                    "suppression-unknown-rule",
+                    directive.line,
+                    f"suppression names unknown rule {rule_id!r}; known rules: "
+                    f"{', '.join(sorted(known))}",
+                )
+    for line in ctx.suppressions.malformed:
+        yield ctx.violation(
+            "suppression-unknown-rule",
+            line,
+            "malformed '# repro:' comment; expected "
+            "'# repro: allow <rule-id>[, <rule-id>...] [-- justification]' "
+            "or 'allow-file'",
+        )

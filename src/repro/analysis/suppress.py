@@ -1,0 +1,119 @@
+"""Suppression comments: ``# repro: allow <rule-id>``.
+
+Grammar (one directive per comment)::
+
+    # repro: allow <rule-id>[, <rule-id>...] [-- justification]
+    # repro: allow-file <rule-id>[, <rule-id>...] [-- justification]
+
+``allow`` silences the named rules on the directive's own line and --
+when the comment stands alone on its line -- on the line immediately
+below, so both styles read naturally::
+
+    wall0 = time.perf_counter()  # repro: allow determinism-wallclock -- obs-only
+
+    # repro: allow determinism-wallclock -- obs-only
+    wall0 = time.perf_counter()
+
+``allow-file`` silences the named rules for the whole file; it should
+be rare and always carry a justification.
+
+Unknown rule ids inside directives are themselves a violation
+(``suppression-unknown-rule``, checked in
+:mod:`repro.analysis.rules.suppression`): a typoed suppression that
+silently does nothing is worse than no suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>allow-file|allow)\s+"
+    r"(?P<ids>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+    r"\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+#: Comments that mention ``repro:`` but do not parse as a directive --
+#: flagged too, so malformed suppressions cannot silently no-op.
+_NEAR_MISS_RE = re.compile(r"#\s*repro:")
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed suppression comment."""
+
+    line: int
+    kind: str  # "allow" | "allow-file"
+    rule_ids: tuple[str, ...]
+    justification: str = ""
+    standalone: bool = False  # comment is alone on its line
+
+
+@dataclass
+class Suppressions:
+    """All directives of one file, indexed for fast lookup."""
+
+    directives: tuple[Directive, ...] = ()
+    malformed: tuple[int, ...] = ()  # lines with unparseable repro: comments
+    _file_level: frozenset = field(default_factory=frozenset)
+    _by_line: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        file_level = set()
+        by_line: dict[int, set[str]] = {}
+        for directive in self.directives:
+            if directive.kind == "allow-file":
+                file_level.update(directive.rule_ids)
+                continue
+            by_line.setdefault(directive.line, set()).update(directive.rule_ids)
+            if directive.standalone:
+                # A standalone comment shields the line below it.
+                by_line.setdefault(directive.line + 1, set()).update(directive.rule_ids)
+        self._file_level = frozenset(file_level)
+        self._by_line = by_line
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is silenced at ``line`` of this file."""
+        if rule_id in self._file_level:
+            return True
+        return rule_id in self._by_line.get(line, ())
+
+
+def scan(source: str) -> Suppressions:
+    """Extract suppression directives from ``source``'s comments."""
+    directives: list[Directive] = []
+    malformed: list[int] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        # Unparseable source never suppresses anything; the engine
+        # reports the parse failure separately.
+        return Suppressions()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        text = token.string
+        if not _NEAR_MISS_RE.search(text):
+            continue
+        match = _DIRECTIVE_RE.search(text)
+        line = token.start[0]
+        if match is None:
+            malformed.append(line)
+            continue
+        ids = tuple(part.strip() for part in match.group("ids").split(","))
+        source_line = lines[line - 1] if line - 1 < len(lines) else ""
+        standalone = source_line.lstrip().startswith("#")
+        directives.append(
+            Directive(
+                line=line,
+                kind=match.group("kind"),
+                rule_ids=ids,
+                justification=match.group("why") or "",
+                standalone=standalone,
+            )
+        )
+    return Suppressions(directives=tuple(directives), malformed=tuple(malformed))

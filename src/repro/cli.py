@@ -7,7 +7,9 @@
   database + auxiliary file,
 * ``allocate``  -- load a model from disk and place a described batch,
 * ``evaluate``  -- the Figs. 5-7 evaluation at a chosen VM budget,
-* ``fig2``      -- print the FFTW base curve as an ASCII chart.
+* ``fig2``      -- print the FFTW base curve as an ASCII chart,
+* ``lint``      -- run the repo invariant linter (see
+  :mod:`repro.analysis` and DESIGN.md "Enforced invariants").
 
 Observability (``allocate``/``evaluate``/``reproduce``): ``--trace
 PATH`` captures a JSONL span trace, ``--metrics PATH`` writes the
@@ -23,6 +25,8 @@ import json
 import sys
 from typing import Sequence
 
+from repro.analysis.cli import format_arg as _format_arg
+from repro.analysis.cli import main as _analysis_main
 from repro.campaign.platformrunner import run_campaign
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.model import ModelDatabase
@@ -66,10 +70,14 @@ def _add_obs_arguments(command: argparse.ArgumentParser, formats: bool = True) -
         help="write the deterministic metrics snapshot as JSON",
     )
     if formats:
+        # One validator for every subcommand taking --format (allocate/
+        # evaluate/lint): unknown values exit 2 with the same message,
+        # matching the --vms/--alpha validation style.
         command.add_argument(
             "--format",
-            choices=("text", "json"),
+            type=_format_arg,
             default="text",
+            metavar="{text,json}",
             help="output style: human text (default) or one JSON document",
         )
 
@@ -106,6 +114,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(evaluate)
 
     fig2 = sub.add_parser("fig2", help="print the FFTW base-test curve")
+
+    lint = sub.add_parser(
+        "lint", help="run the invariant linter (determinism, layering, API surface)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        type=_format_arg,
+        default="text",
+        metavar="{text,json}",
+        help="report style: human text (default) or one JSON document",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="restrict the run to a comma-separated subset of rule ids",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate every paper artifact and print the summary"
@@ -311,6 +344,19 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Delegate to the linter's own CLI so `repro lint` and `python -m
+    # repro.analysis` cannot drift apart (exit codes: 0 clean, 1
+    # findings, 2 usage).
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.rules is not None:
+        argv += ["--rules", args.rules]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return _analysis_main(argv)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.paper_summary import reproduce_paper
 
@@ -327,12 +373,17 @@ _COMMANDS = {
     "allocate": _cmd_allocate,
     "evaluate": _cmd_evaluate,
     "fig2": _cmd_fig2,
+    "lint": _cmd_lint,
     "reproduce": _cmd_reproduce,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        # The linter is pure analysis; it never records into an
+        # observability bundle.
+        return _COMMANDS[args.command](args)
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     wants_json = getattr(args, "format", "text") == "json"

@@ -72,6 +72,11 @@ from repro.core.model import EstimatedOutcome, ModelDatabase
 from repro.core.partitions import type_partitions
 from repro.core.plan import AllocationPlan, AllocationProvenance, BlockAssignment
 from repro.core.scoring import ScoreWeights, score_candidates
+# Deliberate exception to the core->obs.runtime ban: allocate() honours the
+# ambient bundle when none is injected, so `repro allocate --trace` observes
+# the search without callers threading state.  The hot path itself only sees
+# the injected/ambient handle (see _allocate_impl).
+# repro: allow layering-import -- ambient-observability fallback, see above
 from repro.obs.runtime import Observability, get_observability
 from repro.testbed.benchmarks import WorkloadClass
 
@@ -504,8 +509,10 @@ class ProactiveAllocator:
         state.tables = None
         state.dominance = False
         state.ready = False
-        state.need_t = self._weights.time_weight != 0.0
-        state.need_e = self._weights.energy_weight != 0.0
+        # Weights are fractions in [0, 1] (check_fraction), so "goal
+        # contributes" is exactly "weight is positive" -- no equality.
+        state.need_t = self._weights.time_weight > 0.0
+        state.need_e = self._weights.energy_weight > 0.0
         state.ub_time = -_INF
         state.ub_energy = -_INF
         state.block_memo = {}

@@ -131,9 +131,9 @@ class AllocationPlan:
     def provenance(self) -> AllocationProvenance | None:
         """Deprecated alias for :attr:`search_provenance` (PR 1 name)."""
         warnings.warn(
-            "AllocationPlan.provenance is deprecated; read "
-            "AllocationPlan.search_provenance (or the repro.obs metrics "
-            "registry) instead",
+            "AllocationPlan.provenance is deprecated and will be removed "
+            "in 2.0; read AllocationPlan.search_provenance (or the "
+            "repro.obs metrics registry) instead",
             DeprecationWarning,
             stacklevel=2,
         )

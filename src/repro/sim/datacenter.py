@@ -18,6 +18,7 @@ cluster of emulated servers:
 
 from __future__ import annotations
 
+import math
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -267,7 +268,7 @@ class DatacenterSimulator:
                     workload_class=vm.workload_class,
                     remaining_deadline_s=(
                         None
-                        if vm.deadline_s == float("inf")
+                        if math.isinf(vm.deadline_s)
                         else max(vm.deadline_s - now, 0.0)
                     ),
                 )
@@ -275,9 +276,12 @@ class DatacenterSimulator:
             ]
             if enabled:
                 c_attempts.inc()
+                # Real wall latency of strategy.place() for the obs
+                # histogram only; simulated time (`now`) never sees it.
+                # repro: allow determinism-wallclock -- obs-only measurement
                 wall0 = time.perf_counter()
                 placement = strategy.place(descriptors, views())
-                h_place.observe(time.perf_counter() - wall0)
+                h_place.observe(time.perf_counter() - wall0)  # repro: allow determinism-wallclock -- obs-only
             else:
                 placement = strategy.place(descriptors, views())
             if placement is None:

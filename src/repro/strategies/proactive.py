@@ -113,9 +113,9 @@ class ProactiveStrategy(AllocationStrategy):
     def last_provenance(self) -> Optional[AllocationProvenance]:
         """Deprecated: read ``last_plan.search_provenance`` instead."""
         warnings.warn(
-            "ProactiveStrategy.last_provenance is deprecated; read "
-            "last_plan.search_provenance (per plan) or the repro.obs "
-            "metrics registry (totals) instead",
+            "ProactiveStrategy.last_provenance is deprecated and will be "
+            "removed in 2.0; read last_plan.search_provenance (per plan) "
+            "or the repro.obs metrics registry (totals) instead",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -127,9 +127,10 @@ class ProactiveStrategy(AllocationStrategy):
         """Deprecated: cache/prune totals, now read back from the
         ``strategy.*`` counters in the metrics registry."""
         warnings.warn(
-            "ProactiveStrategy.search_totals is deprecated; read the "
-            "strategy.* counters from ProactiveStrategy.metrics (or the "
-            "repro.obs registry snapshot) instead",
+            "ProactiveStrategy.search_totals is deprecated and will be "
+            "removed in 2.0; read the strategy.* counters from "
+            "ProactiveStrategy.metrics (or the repro.obs registry "
+            "snapshot) instead",
             DeprecationWarning,
             stacklevel=2,
         )

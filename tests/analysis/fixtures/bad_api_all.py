@@ -1,0 +1,11 @@
+# repro-fixture-module: repro.badapi
+"""Golden fixture: ``__all__`` exporting a name the module never binds."""
+
+from dataclasses import dataclass
+
+__all__ = ["Exists", "ghost_function"]  # expect api-all-resolves for 'ghost_function'
+
+
+@dataclass
+class Exists:
+    value: int = 0

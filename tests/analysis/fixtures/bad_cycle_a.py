@@ -1,0 +1,8 @@
+# repro-fixture-module: repro.campaign.cycle_a
+"""Golden fixture (with bad_cycle_b): a two-module import cycle."""
+
+from repro.campaign.cycle_b import beta  # expect layering-cycle (reported once per cycle)
+
+
+def alpha() -> int:
+    return beta() + 1

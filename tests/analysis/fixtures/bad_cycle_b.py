@@ -1,0 +1,8 @@
+# repro-fixture-module: repro.campaign.cycle_b
+"""Golden fixture (with bad_cycle_a): a two-module import cycle."""
+
+from repro.campaign.cycle_a import alpha
+
+
+def beta() -> int:
+    return alpha() - 1

@@ -1,0 +1,28 @@
+# repro-fixture-module: repro.baddeprecation
+"""Golden fixture: deprecation shims breaking the shim contract."""
+
+import warnings
+
+
+def old_name_no_version():
+    warnings.warn(
+        "old_name_no_version is deprecated; use new_name instead",
+        DeprecationWarning,  # expect api-deprecation: no removal version
+        stacklevel=2,
+    )
+
+
+def old_name_wrong_category():
+    warnings.warn(
+        "old_name_wrong_category is deprecated; use new_name instead",
+        UserWarning,  # expect api-deprecation: wrong category
+        stacklevel=2,
+    )
+
+
+def good_shim():
+    warnings.warn(
+        "good_shim is deprecated and will be removed in 2.0; use new_name",
+        DeprecationWarning,
+        stacklevel=2,
+    )

@@ -1,0 +1,31 @@
+# repro-fixture-module: repro.sim.badexcept
+"""Golden fixture: bare and swallowed exception handlers in a hot path."""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:  # noqa: E722  expect except-bare
+        return None
+
+
+def swallow_broad(work):
+    try:
+        return work()
+    except Exception:  # expect except-swallow
+        return None
+
+
+def record_and_reraise(work, counter):
+    try:
+        return work()
+    except Exception:  # fine: re-raises after accounting
+        counter.append(1)
+        raise
+
+
+def specific_fallback(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:  # fine: a specific exception with a fallback
+        return None

@@ -1,0 +1,8 @@
+# repro-fixture-module: repro.core.badfacade
+"""Golden fixture: an internal module importing through the facade."""
+
+from repro.api import ModelDatabase  # expect api-facade-import (plus layering-import: core cannot reach api)
+
+
+def load(path):
+    return ModelDatabase.from_files(path, path)

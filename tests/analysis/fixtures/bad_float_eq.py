@@ -1,0 +1,18 @@
+# repro-fixture-module: repro.core.badfloat
+"""Golden fixture: float equality in a scoring path."""
+
+
+def same_score(score: float) -> bool:
+    return score == 1.0  # expect float-equality
+
+
+def ratio_check(a: float, b: float, c: float) -> bool:
+    return a / b != c  # expect float-equality (true division)
+
+
+def infinity_check(deadline: float) -> bool:
+    return deadline == float("inf")  # expect float-equality (use math.isinf)
+
+
+def fine(n: int) -> bool:
+    return n == 0  # ints compare exactly; not flagged

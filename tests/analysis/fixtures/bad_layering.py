@@ -1,0 +1,7 @@
+# repro-fixture-module: repro.core.badimport
+"""Golden fixture: upward imports out of the core layer."""
+
+from repro.obs.runtime import get_observability  # expect layering-import (forbidden edge)
+from repro.sim.engine import EventQueue  # expect layering-import (matrix)
+
+__all__ = ["EventQueue", "get_observability"]

@@ -1,0 +1,15 @@
+# repro-fixture-module: repro.strategies.badrng
+"""Golden fixture: unmanaged randomness inside a simulated layer."""
+
+import random  # expect determinism-rng
+
+import numpy as np
+
+
+def pick(values):
+    return random.choice(values)
+
+
+def noise():
+    np.random.seed(7)  # expect determinism-rng
+    return np.random.default_rng()  # expect determinism-rng

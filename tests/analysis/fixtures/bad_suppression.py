@@ -1,0 +1,9 @@
+# repro-fixture-module: repro.sim.badsuppress
+"""Golden fixture: suppression directives that must be rejected."""
+
+VALUE = 1  # repro: allow no-such-rule -- typoed id, expect suppression-unknown-rule
+
+# repro: allowance float-equality
+# (the line above mentions 'repro:' but does not parse: expect
+# suppression-unknown-rule for the malformed directive)
+OTHER = 2

@@ -1,0 +1,18 @@
+# repro-fixture-module: repro.sim.badclock
+"""Golden fixture: wall-clock reads inside a simulated layer."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp() -> float:
+    return time.time()  # expect determinism-wallclock
+
+
+def latency() -> float:
+    return pc()  # expect determinism-wallclock
+
+
+def when() -> str:
+    return datetime.now().isoformat()  # expect determinism-wallclock

@@ -1,0 +1,24 @@
+# repro-fixture-module: repro.sim.okclock
+"""Golden fixture: real violations, each correctly suppressed.
+
+Exercises all three directive placements (trailing, standalone line
+above, file-level); the engine must report nothing for this file.
+"""
+
+# repro: allow-file determinism-rng -- fixture demonstrates file-level allows
+
+import random
+import time
+
+
+def trailing(started: float) -> float:
+    return time.time() - started  # repro: allow determinism-wallclock -- demo
+
+
+def preceding() -> float:
+    # repro: allow determinism-wallclock -- demo
+    return time.perf_counter()
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,96 @@
+"""CLI contracts: exit codes, JSON mode, uniform --format validation."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.cli import main as analysis_main
+from repro.cli import main as repro_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+
+class TestAnalysisEntryPoint:
+    def test_clean_tree_exits_zero(self):
+        assert analysis_main([str(PACKAGE_DIR / "analysis")]) == 0
+
+    def test_findings_exit_one_with_json_document(self, capsys):
+        code = analysis_main([str(FIXTURES / "bad_wallclock.py"), "--format", "json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["n_violations"] > 0
+        assert all(v["rule"] == "determinism-wallclock" for v in document["violations"])
+
+    def test_unknown_format_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            analysis_main([str(FIXTURES), "--format", "yaml"])
+        assert excinfo.value.code == 2
+        assert "format must be one of" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            analysis_main([str(FIXTURES), "--rules", "no-such-rule"])
+        assert excinfo.value.code == 2
+
+    def test_list_rules_names_the_whole_catalog(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        output = capsys.readouterr().out
+        for rule_id in (
+            "determinism-wallclock",
+            "determinism-rng",
+            "layering-import",
+            "layering-cycle",
+            "api-all-resolves",
+            "api-facade-import",
+            "api-deprecation",
+            "float-equality",
+            "except-bare",
+            "except-swallow",
+            "suppression-unknown-rule",
+        ):
+            assert rule_id in output
+
+    def test_missing_path_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            analysis_main(["/no/such/path.txt"])
+        assert excinfo.value.code == 2
+
+
+class TestReproLintSubcommand:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert repro_main(["lint", str(PACKAGE_DIR / "analysis")]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_lint_json_exits_nonzero_on_findings(self, capsys):
+        code = repro_main(["lint", str(FIXTURES / "bad_rng.py"), "--format", "json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["n_violations"] == 3
+
+    def test_lint_list_rules(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+        assert "determinism-wallclock" in capsys.readouterr().out
+
+
+class TestUniformFormatValidation:
+    """--format rejects junk with exit code 2 on every subcommand."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["lint", ".", "--format", "xml"],
+            ["allocate", "--model", "m", "--format", "xml"],
+            ["evaluate", "--format", "xml"],
+        ],
+        ids=["lint", "allocate", "evaluate"],
+    )
+    def test_bad_format_exits_two(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(argv)
+        assert excinfo.value.code == 2
+        assert "format must be one of" in capsys.readouterr().err

@@ -1,0 +1,31 @@
+"""The tier-1 gate: the shipped tree satisfies every invariant.
+
+This is the test that turns the linter from advice into enforcement --
+``pytest -x -q`` fails the moment anyone adds a wall-clock read to the
+simulator, an upward import, a facade leak, or a float ``==`` to a
+scoring path, unless they suppress it with a justification that then
+shows up in review.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis import run_lint
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+
+def test_package_tree_is_invariant_clean():
+    result = run_lint([PACKAGE_DIR])
+    assert result.checked_files > 90  # the whole package, not a subset
+    assert result.ok, "\n".join(
+        ["the repro package violates its own invariants:"]
+        + [violation.render() for violation in result.violations]
+    )
+
+
+def test_linter_lints_itself():
+    result = run_lint([PACKAGE_DIR / "analysis"])
+    assert result.ok, "\n".join(violation.render() for violation in result.violations)

@@ -1,0 +1,66 @@
+"""Reporter contracts: the JSON schema is stable, the text is readable."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import run_lint, to_json, to_text
+from repro.analysis.reporters import JSON_SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestJsonReporter:
+    def test_schema_keys_and_types(self):
+        result = run_lint([FIXTURES / "bad_float_eq.py"], rules={"float-equality"})
+        document = json.loads(to_json(result))
+        assert set(document) == {
+            "version",
+            "tool",
+            "checked_files",
+            "n_violations",
+            "violations",
+        }
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["tool"] == "repro.analysis"
+        assert document["checked_files"] == 1
+        assert document["n_violations"] == len(document["violations"]) > 0
+        for entry in document["violations"]:
+            assert set(entry) == {"rule", "path", "line", "col", "message"}
+            assert isinstance(entry["line"], int)
+            assert isinstance(entry["col"], int)
+
+    def test_key_order_is_stable_and_sorted(self):
+        result = run_lint([FIXTURES / "bad_float_eq.py"], rules={"float-equality"})
+        rendered = to_json(result)
+        # Byte-stable: same tree, same report.
+        assert rendered == to_json(result)
+        # Keys are emitted sorted at both levels.
+        document = json.loads(rendered)
+        assert list(json.loads(rendered)) == sorted(document)
+        first = rendered.index("{", 1)
+        assert rendered.index('"checked_files"') < rendered.index('"n_violations"') < first
+
+    def test_violations_ordered_by_position(self):
+        result = run_lint([FIXTURES])
+        entries = json.loads(to_json(result))["violations"]
+        keys = [(e["path"], e["line"], e["col"], e["rule"]) for e in entries]
+        assert keys == sorted(keys)
+
+
+class TestTextReporter:
+    def test_one_line_per_finding_plus_summary(self):
+        result = run_lint([FIXTURES / "bad_except.py"], rules={"except-bare"})
+        text = to_text(result)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "bad_except.py" in lines[0]
+        assert "except-bare" in lines[0]
+        assert lines[1] == "1 violation in 1 checked file(s)"
+
+    def test_clean_run_prints_summary_only(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n", encoding="utf-8")
+        result = run_lint([clean])
+        assert to_text(result) == "0 violations in 1 checked file(s)"

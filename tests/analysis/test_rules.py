@@ -1,0 +1,153 @@
+"""Golden-fixture tests: every shipped rule flags its known-bad snippet.
+
+Each fixture under ``fixtures/`` is a minimal violation of exactly one
+rule family, pinned to a pretend module via ``# repro-fixture-module:``
+so layer-scoped rules apply.  Deleting (or breaking) any single rule's
+implementation makes its case here fail, which is the point: the rule
+catalog is itself regression-tested.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name: str, *rules: str):
+    return run_lint([FIXTURES / name], rules=set(rules))
+
+
+class TestDeterminismRules:
+    def test_wallclock_flags_time_datetime_and_from_imports(self):
+        result = lint_fixture("bad_wallclock.py", "determinism-wallclock")
+        lines = [violation.line for violation in result.violations]
+        assert len(lines) == 3  # time.time(), pc(), datetime.now()
+        assert all(v.rule == "determinism-wallclock" for v in result.violations)
+
+    def test_rng_flags_stdlib_import_and_numpy_global(self):
+        result = lint_fixture("bad_rng.py", "determinism-rng")
+        assert len(result.violations) == 3  # import random, np.random.seed, np.random.default_rng
+        assert {v.rule for v in result.violations} == {"determinism-rng"}
+
+    def test_wallclock_rule_skips_unchecked_layers(self, tmp_path):
+        # The identical call is fine outside core/sim/strategies/campaign/obs.
+        clock = tmp_path / "clock.py"
+        clock.write_text(
+            "# repro-fixture-module: repro.experiments.clock\n"
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n",
+            encoding="utf-8",
+        )
+        result = run_lint([clock], rules={"determinism-wallclock"})
+        assert result.ok
+
+    def test_tracer_allowlisted_for_wallclock(self, tmp_path):
+        tracer = tmp_path / "tracer.py"
+        tracer.write_text(
+            "# repro-fixture-module: repro.obs.tracer\n"
+            "import time\n"
+            "def now():\n"
+            "    return time.perf_counter()\n",
+            encoding="utf-8",
+        )
+        result = run_lint([tracer], rules={"determinism-wallclock"})
+        assert result.ok
+
+
+class TestLayeringRules:
+    def test_upward_imports_flagged(self):
+        result = lint_fixture("bad_layering.py", "layering-import")
+        assert len(result.violations) == 2
+        messages = " ".join(v.message for v in result.violations)
+        assert "repro.obs.runtime" in messages  # the forbidden submodule edge
+        assert "repro.sim.engine" in messages  # the matrix violation
+
+    def test_cycle_detected_once(self):
+        result = run_lint(
+            [FIXTURES / "bad_cycle_a.py", FIXTURES / "bad_cycle_b.py"],
+            rules={"layering-cycle"},
+        )
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert "repro.campaign.cycle_a" in violation.message
+        assert "repro.campaign.cycle_b" in violation.message
+
+    def test_acyclic_pair_is_clean(self):
+        result = run_lint(
+            [FIXTURES / "bad_cycle_a.py", FIXTURES / "bad_wallclock.py"],
+            rules={"layering-cycle"},
+        )
+        assert result.ok
+
+
+class TestApiSurfaceRules:
+    def test_unbound_all_export_flagged(self):
+        result = lint_fixture("bad_api_all.py", "api-all-resolves")
+        assert len(result.violations) == 1
+        assert "ghost_function" in result.violations[0].message
+
+    def test_facade_import_from_internal_flagged(self):
+        result = lint_fixture("bad_facade_import.py", "api-facade-import")
+        assert len(result.violations) == 1
+        assert "repro.api" in result.violations[0].message
+
+    def test_deprecation_shims_need_category_and_version(self):
+        result = lint_fixture("bad_deprecation.py", "api-deprecation")
+        assert len(result.violations) == 2  # good_shim passes
+        messages = " ".join(v.message for v in result.violations)
+        assert "removal" in messages
+        assert "UserWarning" in messages
+
+
+class TestFloatRule:
+    def test_float_equality_flagged(self):
+        result = lint_fixture("bad_float_eq.py", "float-equality")
+        assert len(result.violations) == 3  # literal, division, float("inf")
+        int_compare_lines = [v for v in result.violations if "n == 0" in v.message]
+        assert not int_compare_lines
+
+
+class TestExceptRules:
+    def test_bare_except_flagged(self):
+        result = lint_fixture("bad_except.py", "except-bare")
+        assert len(result.violations) == 1
+
+    def test_swallowed_broad_handler_flagged_reraise_ok(self):
+        result = lint_fixture("bad_except.py", "except-swallow")
+        assert len(result.violations) == 1  # only swallow_broad
+
+
+class TestEngineBehaviour:
+    def test_unknown_rule_id_raises_immediately(self):
+        with pytest.raises(KeyError):
+            run_lint([FIXTURES / "bad_wallclock.py"], rules={"no-such-rule"})
+
+    def test_parse_error_is_a_finding_not_a_crash(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n", encoding="utf-8")
+        result = run_lint([broken])
+        assert len(result.violations) == 1
+        assert result.violations[0].rule == "parse-error"
+
+    def test_full_catalog_on_fixture_dir_reports_every_family(self):
+        result = run_lint([FIXTURES])
+        rules_seen = {violation.rule for violation in result.violations}
+        assert {
+            "determinism-wallclock",
+            "determinism-rng",
+            "layering-import",
+            "layering-cycle",
+            "api-all-resolves",
+            "api-facade-import",
+            "api-deprecation",
+            "float-equality",
+            "except-bare",
+            "except-swallow",
+            "suppression-unknown-rule",
+        } <= rules_seen

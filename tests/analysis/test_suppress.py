@@ -1,0 +1,76 @@
+"""Suppression syntax: placements, file-level allows, rejection of typos."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.suppress import scan
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestDirectiveParsing:
+    def test_trailing_directive_with_justification(self):
+        suppressions = scan("x = f()  # repro: allow determinism-wallclock -- measuring obs overhead\n")
+        (directive,) = suppressions.directives
+        assert directive.kind == "allow"
+        assert directive.rule_ids == ("determinism-wallclock",)
+        assert directive.justification == "measuring obs overhead"
+        assert not directive.standalone
+        assert suppressions.is_suppressed("determinism-wallclock", 1)
+        assert not suppressions.is_suppressed("determinism-wallclock", 2)
+
+    def test_standalone_directive_shields_the_next_line(self):
+        suppressions = scan("# repro: allow float-equality\nx = a == 1.0\n")
+        assert suppressions.is_suppressed("float-equality", 1)
+        assert suppressions.is_suppressed("float-equality", 2)
+        assert not suppressions.is_suppressed("float-equality", 3)
+
+    def test_multiple_rule_ids_in_one_directive(self):
+        suppressions = scan("y = g()  # repro: allow except-bare, except-swallow\n")
+        assert suppressions.is_suppressed("except-bare", 1)
+        assert suppressions.is_suppressed("except-swallow", 1)
+
+    def test_file_level_allow_covers_every_line(self):
+        suppressions = scan("# repro: allow-file determinism-rng -- demo\n\nimport random\n")
+        assert suppressions.is_suppressed("determinism-rng", 1)
+        assert suppressions.is_suppressed("determinism-rng", 999)
+        assert not suppressions.is_suppressed("determinism-wallclock", 3)
+
+    def test_malformed_repro_comment_is_recorded(self):
+        suppressions = scan("# repro: allowance float-equality\n")
+        assert suppressions.directives == ()
+        assert suppressions.malformed == (1,)
+
+    def test_unrelated_comments_ignored(self):
+        suppressions = scan("# plain comment\nx = 1  # reproducibility note\n")
+        assert suppressions.directives == ()
+        assert suppressions.malformed == ()
+
+
+class TestSuppressionEndToEnd:
+    def test_correctly_suppressed_file_is_clean(self):
+        result = run_lint([FIXTURES / "suppressed_clean.py"])
+        assert result.ok, [violation.render() for violation in result.violations]
+
+    def test_unknown_rule_id_in_directive_is_rejected(self):
+        result = run_lint(
+            [FIXTURES / "bad_suppression.py"], rules={"suppression-unknown-rule"}
+        )
+        assert len(result.violations) == 2  # typoed id + malformed directive
+        messages = " ".join(violation.message for violation in result.violations)
+        assert "no-such-rule" in messages
+        assert "malformed" in messages
+
+    def test_suppression_only_silences_the_named_rule(self, tmp_path):
+        source = (
+            "# repro-fixture-module: repro.sim.partial\n"
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow float-equality -- wrong rule id\n"
+        )
+        path = tmp_path / "partial.py"
+        path.write_text(source, encoding="utf-8")
+        result = run_lint([path], rules={"determinism-wallclock"})
+        assert len(result.violations) == 1  # the wallclock finding survives
