@@ -6,9 +6,15 @@ variation in the results was not significant enough."
 
 This bench sweeps alpha over {0, 0.25, 0.5, 0.75, 1} on a quarter-scale
 SMALLER cloud and verifies the variation between adjacent alphas stays
-moderate, with the endpoints ordered as the goals dictate.
+moderate, with the endpoints ordered as the goals dictate.  The sweep
+points are independent simulations, so they fan out over
+``repro.exec.pmap`` -- which returns bit-identical results at any
+worker count, keeping the assertions meaningful.
 """
 
+from dataclasses import dataclass
+
+from repro.exec import pmap
 from repro.experiments.config import SMALLER
 from repro.experiments.evaluation import prepare_workload
 from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator
@@ -17,19 +23,38 @@ from repro.workloads.qos import QoSPolicy
 
 ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
 SCALE = 2500
+JOBS = 4
+
+
+@dataclass(frozen=True)
+class _SweepPayload:
+    jobs: tuple
+    qos: QoSPolicy
+    datacenter: DatacenterConfig
+    database: object
+
+
+def _run_alpha(payload, alpha):
+    simulator = DatacenterSimulator(payload.datacenter)
+    strategy = ProactiveStrategy(payload.database, alpha=alpha)
+    return simulator.run(payload.jobs, strategy, payload.qos)
 
 
 def test_alpha_sweep(benchmark, campaign, database):
     config = SMALLER.scaled(SCALE)
     jobs, _ = prepare_workload(config)
-    qos = QoSPolicy.from_optima(campaign.optima, factor=config.qos_factor)
-    simulator = DatacenterSimulator(DatacenterConfig(n_servers=config.n_servers))
+    payload = _SweepPayload(
+        jobs=tuple(jobs),
+        qos=QoSPolicy.from_optima(campaign.optima, factor=config.qos_factor),
+        datacenter=DatacenterConfig(n_servers=config.n_servers),
+        database=database,
+    )
 
     results = {}
 
     def sweep():
-        for alpha in ALPHAS:
-            results[alpha] = simulator.run(jobs, ProactiveStrategy(database, alpha=alpha), qos)
+        values = pmap(_run_alpha, ALPHAS, jobs=JOBS, payload=payload)
+        results.update(zip(ALPHAS, values))
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 

@@ -1,0 +1,127 @@
+"""Performance benchmark: the parallel evaluation fan-out vs serial.
+
+Times ``run_evaluation`` over the default two-cloud lineup (SMALLER +
+LARGER at the quarter-scale 2500-VM budget) serially and at ``jobs``
+in {2, 4} with observability disabled (the perf-relevant
+configuration), then checks the engine's contract under a fully
+enabled deterministic bundle: outcome tuples, merged metrics snapshots
+and deterministic traces must be bit-identical between serial and
+``jobs=4``.
+
+Writes ``benchmarks/BENCH_parallel.json`` with per-mode wall clock,
+speedups over serial, the host's CPU count, and the identity verdicts.
+``scripts/check_bench_regression.py`` requires the identity checks to
+hold unconditionally and gates the jobs=4 speedup (>= 1.5x by
+default) when the host has the cores to deliver it -- a process pool
+cannot beat serial on a single-CPU box, and pretending otherwise would
+just teach people to ignore the gate.
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_parallel.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign.platformrunner import run_campaign
+from repro.experiments.config import LARGER, SMALLER
+from repro.experiments.evaluation import run_evaluation
+from repro.obs.runtime import observed
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_parallel.json"
+
+SCALE = 2500
+IDENTITY_SCALE = 400
+QUICK_SCALE = 400
+JOB_COUNTS = (2, 4)
+
+
+def timed_run(campaign, configs, jobs):
+    """One untraced evaluation run; returns (outcomes, wall seconds)."""
+    started = time.perf_counter()
+    result = run_evaluation(configs=configs, campaign=campaign, jobs=jobs)
+    return result.outcomes, time.perf_counter() - started
+
+
+def observed_run(campaign, configs, jobs):
+    """One run under a deterministic bundle; returns everything the
+    identity check compares."""
+    sink = io.StringIO()
+    with observed(trace_sink=sink, deterministic=True) as bundle:
+        result = run_evaluation(configs=configs, campaign=campaign, jobs=jobs)
+        snapshot = bundle.snapshot()
+    return result.outcomes, snapshot, sink.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"time at the {QUICK_SCALE}-VM budget (smoke test; the "
+        "committed numbers use the full quarter scale)",
+    )
+    args = parser.parse_args(argv)
+    scale = QUICK_SCALE if args.quick else SCALE
+
+    print("campaign (shared model) ...", flush=True)
+    campaign = run_campaign()
+    configs = [SMALLER.scaled(scale), LARGER.scaled(scale)]
+
+    print(f"serial evaluation at {scale} VMs ...", flush=True)
+    outcomes, serial_s = timed_run(campaign, configs, jobs=1)
+    print(f"  {serial_s:.2f}s over {len(outcomes)} cells")
+
+    modes = {}
+    outcomes_identical = True
+    for jobs in JOB_COUNTS:
+        print(f"jobs={jobs} ...", flush=True)
+        par_outcomes, wall_s = timed_run(campaign, configs, jobs=jobs)
+        outcomes_identical &= par_outcomes == outcomes
+        speedup = serial_s / wall_s if wall_s > 0 else float("inf")
+        modes[str(jobs)] = {"wall_s": wall_s, "speedup": speedup}
+        print(f"  {wall_s:.2f}s  speedup {speedup:.2f}x")
+
+    print(f"identity check at {IDENTITY_SCALE} VMs (deterministic obs) ...", flush=True)
+    identity_configs = [SMALLER.scaled(IDENTITY_SCALE), LARGER.scaled(IDENTITY_SCALE)]
+    ser_outcomes, ser_snapshot, ser_trace = observed_run(
+        campaign, identity_configs, jobs=1
+    )
+    par_outcomes, par_snapshot, par_trace = observed_run(
+        campaign, identity_configs, jobs=4
+    )
+    outcomes_identical &= ser_outcomes == par_outcomes
+    snapshot_identical = json.dumps(ser_snapshot, sort_keys=True) == json.dumps(
+        par_snapshot, sort_keys=True
+    )
+    trace_identical = ser_trace == par_trace
+
+    document = {
+        "scale": scale,
+        "n_cells": len(outcomes),
+        "cpu_count": os.cpu_count() or 1,
+        "serial": {"wall_s": serial_s},
+        "parallel": modes,
+        "identity": {
+            "outcomes": outcomes_identical,
+            "snapshot": snapshot_identical,
+            "trace": trace_identical,
+        },
+    }
+    OUTPUT.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(
+        f"identity: outcomes={outcomes_identical} "
+        f"snapshot={snapshot_identical} trace={trace_identical}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Gate: fail when allocator latency regresses against the baseline.
+"""Gate: fail when allocator latency or the parallel fan-out regress.
 
 Compares a fresh ``benchmarks/BENCH_allocator.json`` (produced by
 ``benchmarks/bench_perf_allocator.py``) against the committed
@@ -9,8 +9,20 @@ undercutting the materialized candidate pool, or when enabling
 observability (metrics + tracing) costs more than the allowed overhead
 over the no-op path (default 5%).
 
+Additionally gates ``benchmarks/BENCH_parallel.json`` (produced by
+``benchmarks/bench_perf_parallel.py``) when present: the jobs=4
+evaluation fan-out must reach the required speedup over serial
+(default 1.5x) *and* the identity checks -- outcomes, merged metrics
+snapshot, and deterministic trace bit-identical to serial -- must
+hold.  A fast but wrong pool is a regression, not a win.  The speedup
+clause only applies when the recorded host had at least
+``--parallel-min-cpus`` cores (default 4): a process pool cannot beat
+serial on a single-CPU box, so the gate prints an explicit skip there
+instead of failing on physics.  Identity is enforced unconditionally.
+
 Run:
     PYTHONPATH=src python benchmarks/bench_perf_allocator.py
+    PYTHONPATH=src python benchmarks/bench_perf_parallel.py
     python scripts/check_bench_regression.py [--tolerance 0.2]
 """
 
@@ -24,6 +36,7 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 CURRENT = BENCH_DIR / "BENCH_allocator.json"
 BASELINE = BENCH_DIR / "BENCH_allocator_baseline.json"
+PARALLEL = BENCH_DIR / "BENCH_parallel.json"
 
 
 def load(path: Path) -> dict:
@@ -50,8 +63,22 @@ def main(argv=None) -> int:
         help="allowed enabled-observability overhead fraction over the "
         "no-op path (default 0.05)",
     )
+    parser.add_argument(
+        "--parallel-speedup",
+        type=float,
+        default=1.5,
+        help="required jobs=4 evaluation speedup over serial (default 1.5)",
+    )
+    parser.add_argument(
+        "--parallel-min-cpus",
+        type=int,
+        default=4,
+        help="enforce the speedup clause only when the benchmark host had "
+        "at least this many CPUs (default 4); identity is always enforced",
+    )
     parser.add_argument("--current", type=Path, default=CURRENT)
     parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--parallel", type=Path, default=PARALLEL)
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -104,6 +131,52 @@ def main(argv=None) -> int:
             f"observability: noop p50 {observability['noop']['p50_s'] * 1e3:8.3f}ms  "
             f"enabled p50 {observability['enabled']['p50_s'] * 1e3:8.3f}ms  "
             f"{overhead * 100:+6.1f}%  {verdict}"
+        )
+
+    if not args.parallel.exists():
+        print(
+            f"parallel: no {args.parallel.name} (skipped; run "
+            f"benchmarks/bench_perf_parallel.py to gate the fan-out)"
+        )
+    else:
+        parallel = json.loads(args.parallel.read_text())
+        cpu_count = parallel.get("cpu_count", 1)
+        entry = parallel.get("parallel", {}).get("4")
+        if entry is None:
+            failures.append("parallel: no jobs=4 entry in BENCH_parallel.json")
+        else:
+            speedup = entry["speedup"]
+            if cpu_count < args.parallel_min_cpus:
+                verdict = (
+                    f"SKIPPED (host had {cpu_count} CPU"
+                    f"{'s' if cpu_count != 1 else ''}; speedup gated at "
+                    f">= {args.parallel_min_cpus})"
+                )
+            else:
+                verdict = "OK"
+                if speedup < args.parallel_speedup:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"parallel: jobs=4 speedup {speedup:.2f}x below the "
+                        f"required {args.parallel_speedup:.2f}x on a "
+                        f"{cpu_count}-CPU host "
+                        f"(serial {parallel['serial']['wall_s']:.2f}s, "
+                        f"jobs=4 {entry['wall_s']:.2f}s)"
+                    )
+            print(
+                f"parallel: jobs=4 {entry['wall_s']:8.2f}s  serial "
+                f"{parallel['serial']['wall_s']:8.2f}s  {speedup:5.2f}x  {verdict}"
+            )
+        identity = parallel.get("identity", {})
+        for check in ("outcomes", "snapshot", "trace"):
+            if not identity.get(check, False):
+                failures.append(
+                    f"parallel: {check} identity check failed -- the pool no "
+                    f"longer reproduces the serial run bit-for-bit"
+                )
+        print(
+            f"parallel: identity outcomes={identity.get('outcomes')} "
+            f"snapshot={identity.get('snapshot')} trace={identity.get('trace')}"
         )
 
     if failures:

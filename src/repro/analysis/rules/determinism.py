@@ -28,7 +28,7 @@ from repro.analysis.astutils import alias_maps, dotted_call_name, iter_imports, 
 from repro.analysis.registry import rule
 
 #: Layers whose code runs under simulated time / seeded streams.
-CHECKED_LAYERS = frozenset({"core", "sim", "strategies", "campaign", "obs"})
+CHECKED_LAYERS = frozenset({"core", "sim", "strategies", "campaign", "obs", "exec"})
 
 #: Modules exempt from the wall-clock rule (and only that rule).
 WALLCLOCK_ALLOWLIST = frozenset({"repro.obs.tracer"})

@@ -13,8 +13,13 @@ may import only from the layers below it:
     core                     -> common, testbed, campaign, obs
     strategies               -> core + everything core may use
     sim                      -> strategies, workloads, campaign, ...
+    exec                     -> sim + everything sim may use, core
     experiments, ext         -> any of the above
     api, cli, __main__, root -> unconstrained (the wiring crust)
+
+The execution engine (``exec``) sits above the simulator: layers below
+it (e.g. the campaign runner) parallelize through an *injected*
+``mapper(fn, items, payload)`` rather than importing the engine.
 
 On top of the matrix one submodule edge is singled out: ``core`` must
 not import ``repro.obs.runtime`` (the process-global observability
@@ -53,6 +58,18 @@ ALLOWED_IMPORTS = {
     "core": frozenset({"common", "testbed", "campaign", "obs"}),
     "strategies": frozenset({"common", "testbed", "campaign", "core", "obs"}),
     "sim": frozenset({"common", "testbed", "campaign", "obs", "strategies", "workloads"}),
+    "exec": frozenset(
+        {
+            "common",
+            "testbed",
+            "campaign",
+            "workloads",
+            "core",
+            "obs",
+            "strategies",
+            "sim",
+        }
+    ),
     "experiments": frozenset(
         {
             "common",
@@ -64,6 +81,7 @@ ALLOWED_IMPORTS = {
             "strategies",
             "sim",
             "profiling",
+            "exec",
         }
     ),
     "ext": frozenset(
@@ -77,6 +95,7 @@ ALLOWED_IMPORTS = {
             "strategies",
             "sim",
             "profiling",
+            "exec",
             "experiments",
         }
     ),

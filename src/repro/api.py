@@ -24,6 +24,9 @@ Allocation
 Simulation & evaluation
     :class:`AllocationStrategy`, :func:`paper_strategies`,
     :func:`run_evaluation`.
+Parallel execution
+    :func:`pmap` -- the deterministic process-pool map behind
+    ``run_evaluation(jobs=N)``.
 Observability
     :class:`MetricsRegistry`, :class:`Tracer`,
     :class:`Observability`, :func:`observed`,
@@ -36,6 +39,7 @@ from repro.campaign.platformrunner import CampaignResult, run_campaign
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.model import ModelDatabase
 from repro.core.plan import AllocationPlan, AllocationProvenance
+from repro.exec import pmap
 from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
 from repro.experiments.evaluation import EvaluationResult, run_evaluation
 from repro.obs.registry import MetricsRegistry
@@ -72,6 +76,8 @@ __all__ = [
     "EvaluationConfig",  # one cloud scenario (servers, VM budget, QoS factor)
     "SMALLER",  # the paper's smaller cloud (Sect. IV-B)
     "LARGER",  # the paper's larger cloud (Sect. IV-B)
+    # parallel execution
+    "pmap",  # deterministic process-pool map, bit-identical to serial
     # observability
     "MetricsRegistry",  # labeled counters/gauges/histograms with deterministic snapshots
     "Tracer",  # span tracer writing JSONL events (t_wall + t_sim clocks)

@@ -12,7 +12,8 @@ workload type [the all-zero combination] and the base tests
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.campaign.optimal import OptimalScenarios
 from repro.campaign.records import BenchmarkRecord, MixKey
@@ -72,6 +73,29 @@ def build_mix_instances(
     return instances
 
 
+@dataclass(frozen=True)
+class _MixPayload:
+    """Read-only state every combined-test mix needs (mapper path)."""
+
+    server: ServerSpec
+    params: ContentionParams | None
+    benchmarks: Mapping[WorkloadClass, BenchmarkSpec] | None
+
+
+def _measure_mix(payload: _MixPayload, key: MixKey) -> BenchmarkRecord:
+    """Measure one mix; the mapper path never carries a meter (its
+    noise stream is sequential by contract, so metered campaigns stay
+    on the serial loop)."""
+    instances = build_mix_instances(key, payload.benchmarks)
+    result = run_mix(payload.server, instances, params=payload.params)
+    return BenchmarkRecord.from_measurement(
+        key,
+        time_s=float(result.total_time_s),
+        energy_j=float(result.energy_j),
+        max_power_w=float(result.max_power_w),
+    )
+
+
 def run_combined_tests(
     server: ServerSpec,
     optima: OptimalScenarios,
@@ -79,6 +103,7 @@ def run_combined_tests(
     benchmarks: Mapping[WorkloadClass, BenchmarkSpec] | None = None,
     meter: PowerMeter | None = None,
     progress: Callable[[MixKey], None] | None = None,
+    mapper: Callable[[Callable, Sequence, object], list] | None = None,
 ) -> list[BenchmarkRecord]:
     """Run every combined-test mix and return its Table II records.
 
@@ -86,6 +111,14 @@ def run_combined_tests(
     ``optima.grid_bounds``; mixes larger than the server's VM limit are
     rejected up front (a configuration problem: the base tests should
     have bounded OSx below it).
+
+    ``mapper`` optionally fans the grid out: a ``mapper(fn, items,
+    payload)`` callable (e.g. one bound by :func:`repro.exec.mapper`)
+    receives the per-mix worker and the grid keys and must return the
+    records in key order.  This layer cannot import the engine (it
+    sits below it), hence the injection.  A metered campaign ignores
+    the mapper: the Watts Up? noise stream draws sequentially from one
+    generator, which only the serial loop preserves.
     """
     osc, osm, osi = optima.grid_bounds
     worst_case = osc + osm + osi
@@ -95,8 +128,15 @@ def run_combined_tests(
             f"server supports {server.max_vms}; re-run base tests with a "
             f"tighter max or a larger server"
         )
+    keys = list(combination_grid(osc, osm, osi))
+    if mapper is not None and meter is None:
+        if progress is not None:
+            for key in keys:
+                progress(key)
+        payload = _MixPayload(server=server, params=params, benchmarks=benchmarks)
+        return list(mapper(_measure_mix, keys, payload))
     records: list[BenchmarkRecord] = []
-    for key in combination_grid(osc, osm, osi):
+    for key in keys:
         if progress is not None:
             progress(key)
         instances = build_mix_instances(key, benchmarks)

@@ -79,6 +79,7 @@ def run_campaign(
     meter_rng: RngLike = None,
     progress: Callable[[str], None] | None = None,
     obs: Observability | None = None,
+    mapper: Callable | None = None,
 ) -> CampaignResult:
     """Run the full benchmarking campaign on an emulated server.
 
@@ -105,6 +106,12 @@ def run_campaign(
         Observability bundle; when enabled, the base-test and
         combined-test phases run under ``campaign.*`` spans and record
         their record counts as ``campaign.*`` counters.
+    mapper:
+        Optional ``mapper(fn, items, payload)`` fanning the combined
+        tests out (see :func:`repro.exec.mapper`); ignored by metered
+        campaigns, whose noise stream must stay sequential.  Injected
+        rather than imported because the campaign layer sits below the
+        execution engine.
 
     Notes
     -----
@@ -147,6 +154,7 @@ def run_campaign(
             params=params,
             benchmarks=benchmarks,
             meter=meter,
+            mapper=mapper,
         )
 
     records: list[BenchmarkRecord] = list(combined)

@@ -25,7 +25,6 @@ import json
 import sys
 from typing import Sequence
 
-from repro.analysis.cli import format_arg as _format_arg
 from repro.analysis.cli import main as _analysis_main
 from repro.campaign.platformrunner import run_campaign
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
@@ -42,18 +41,60 @@ from repro.profiling.profiler import ApplicationProfiler
 from repro.testbed.benchmarks import BENCHMARKS, WorkloadClass, get_benchmark
 
 
-def _alpha_arg(text: str) -> float:
-    """Parse --alpha, constrained to the paper's [0, 1] goal range."""
+def _flag_arg(parse):
+    """One validation path for every typed flag (--alpha/--jobs/--format).
+
+    ``parse`` raises :class:`ValueError` carrying the user-facing
+    message; argparse turns the re-raised ``ArgumentTypeError`` into a
+    usage error, so every flag built through here rejects bad values
+    identically: same exit code (2), message on stderr.
+    """
+
+    def typed(text: str):
+        try:
+            return parse(text)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+
+    return typed
+
+
+def _parse_alpha(text: str) -> float:
+    """--alpha, constrained to the paper's [0, 1] goal range."""
     try:
         value = float(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"alpha must be a number, got {text!r}") from None
+        raise ValueError(f"alpha must be a number, got {text!r}") from None
     if not 0.0 <= value <= 1.0:
-        raise argparse.ArgumentTypeError(
+        raise ValueError(
             f"alpha must be within [0, 1] (1 = minimize energy, 0 = minimize "
             f"time), got {value:g}"
         )
     return value
+
+
+def _parse_jobs(text: str) -> int:
+    """--jobs, a worker-process count (1 = serial in-process)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(f"jobs must be an integer >= 1, got {text!r}") from None
+    if value < 1:
+        raise ValueError(f"jobs must be an integer >= 1, got {value}")
+    return value
+
+
+def _parse_format(text: str) -> str:
+    """--format, the output style shared by every reporting subcommand."""
+    value = text.strip().lower()
+    if value not in ("text", "json"):
+        raise ValueError(f"format must be one of 'text', 'json', got {text!r}")
+    return value
+
+
+_alpha_arg = _flag_arg(_parse_alpha)
+_jobs_arg = _flag_arg(_parse_jobs)
+_format_arg = _flag_arg(_parse_format)
 
 
 def _add_obs_arguments(command: argparse.ArgumentParser, formats: bool = True) -> None:
@@ -110,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = sub.add_parser("evaluate", help="run the Figs. 5-7 evaluation")
     evaluate.add_argument("--vm-budget", type=int, default=2500)
+    evaluate.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="worker processes for the (cloud, strategy) cells; results "
+        "are bit-identical to serial at any value (default: 1)",
+    )
     evaluate.add_argument("--quiet", action="store_true")
     _add_obs_arguments(evaluate)
 
@@ -144,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduce", help="regenerate every paper artifact and print the summary"
     )
     reproduce.add_argument("--vm-budget", type=int, default=2500)
+    reproduce.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="worker processes for the campaign grid and evaluation "
+        "cells; results are bit-identical to serial (default: 1)",
+    )
     reproduce.add_argument("--quiet", action="store_true")
     _add_obs_arguments(reproduce, formats=False)
     return parser
@@ -276,7 +333,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     else:
         progress = print
     configs = [SMALLER.scaled(args.vm_budget), LARGER.scaled(args.vm_budget)]
-    result = run_evaluation(configs=configs, progress=progress)
+    result = run_evaluation(configs=configs, progress=progress, jobs=args.jobs)
     if json_output:
         _print_json(
             {
@@ -361,7 +418,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.paper_summary import reproduce_paper
 
     progress = None if args.quiet else print
-    reproduction = reproduce_paper(vm_budget=args.vm_budget, progress=progress)
+    reproduction = reproduce_paper(
+        vm_budget=args.vm_budget, progress=progress, jobs=args.jobs
+    )
     print()
     print(reproduction.report)
     return 0

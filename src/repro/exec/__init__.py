@@ -1,0 +1,27 @@
+"""Deterministic multiprocess execution engine.
+
+``pmap`` fans independent tasks over a spawn-safe process pool and
+guarantees results -- values, metrics snapshots and deterministic
+traces -- bit-identical to a serial run at any worker count.  See
+DESIGN.md, "Parallel execution", for the determinism contract and
+:mod:`repro.exec.engine` for the scheduler internals.
+"""
+
+from repro.exec.engine import (
+    CHUNKS_PER_WORKER,
+    chunk_spans,
+    mapper,
+    pmap,
+    task_seeds,
+)
+from repro.exec.merge import TaskCapture, merge_capture
+
+__all__ = [
+    "pmap",
+    "mapper",
+    "task_seeds",
+    "chunk_spans",
+    "CHUNKS_PER_WORKER",
+    "TaskCapture",
+    "merge_capture",
+]

@@ -1,0 +1,327 @@
+"""Deterministic process-pool fan-out: ``pmap`` and its scheduler.
+
+The contract, in priority order:
+
+* **Bit-identical to serial at any worker count.**  Tasks are pure
+  functions of ``(payload, item[, seed])``; per-task seeds derive from
+  the input *index* through :class:`~repro.common.rng.SeedSequenceFactory`
+  (never from scheduling); each task records observability into its own
+  fresh registry/tracer which the parent merges strictly in input
+  order.  Nothing a worker produces depends on which worker ran it or
+  when.
+* **Ship the read-only payload once.**  The ``payload`` (e.g. a
+  ``ModelDatabase`` plus a prepared trace) is pickled a single time and
+  handed to each worker through the pool initializer; per-chunk traffic
+  is just the task items.
+* **Degrade, never break.**  ``jobs=1`` runs in-process with zero
+  pickling; an unpicklable function or payload falls back to the same
+  serial path with an ``exec.fallback_serial`` counter recording the
+  deviation.  Calls from inside a worker (nested fan-out) run serially
+  too -- a pool never spawns grandchildren.
+
+Spawn-safety: the pool always uses the ``spawn`` start method, so
+worker state is exactly what the initializer ships -- no inherited
+parent globals, identical behaviour across platforms.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeedSequenceFactory
+from repro.exec.merge import (
+    CALLS_TOTAL,
+    FALLBACKS_TOTAL,
+    TASKS_TOTAL,
+    TaskCapture,
+    merge_capture,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import (
+    Observability,
+    get_observability,
+    set_observability,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: Target chunks per worker: small enough to amortize IPC, large enough
+#: to balance uneven task durations across the pool.
+CHUNKS_PER_WORKER = 4
+
+#: Seed labels are derived per task index: stable under re-chunking and
+#: under any worker count, unique per position in the input sequence.
+SEED_LABEL = "exec.task.{index}"
+
+
+@dataclass(frozen=True)
+class _ObsMode:
+    """What the parent bundle wants workers to capture."""
+
+    enabled: bool
+    tracing: bool
+    deterministic: bool
+
+    @classmethod
+    def of(cls, obs: Observability) -> "_ObsMode":
+        return cls(
+            enabled=obs.enabled,
+            tracing=bool(obs.tracer.enabled),
+            deterministic=bool(getattr(obs.tracer, "deterministic", False)),
+        )
+
+
+@dataclass(frozen=True)
+class _Task:
+    index: int
+    item: object
+    seed: Optional[int]
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Module-level state is populated by the pool initializer
+# (under the spawn start method nothing else leaks in).
+
+_worker_fn: Optional[Callable] = None
+_worker_payload: object = None
+_worker_obs_mode: Optional[_ObsMode] = None
+_in_worker = False
+
+
+def _worker_init(shared_blob: bytes, obs_mode: _ObsMode) -> None:
+    global _worker_fn, _worker_payload, _worker_obs_mode, _in_worker
+    _worker_fn, _worker_payload = pickle.loads(shared_blob)
+    _worker_obs_mode = obs_mode
+    _in_worker = True
+
+
+def _execute_task(
+    fn: Callable, payload: object, task: _Task, mode: _ObsMode
+) -> TaskCapture:
+    """Run one task under its own observability capture.
+
+    Used verbatim by both the serial path and the pool workers, which
+    is what makes the two paths indistinguishable downstream.
+    """
+    registry = None
+    sink = None
+    if mode.enabled:
+        registry = MetricsRegistry()
+        if mode.tracing:
+            sink = io.StringIO()
+            tracer = Tracer(sink, deterministic=mode.deterministic)
+        else:
+            tracer = NULL_TRACER
+        previous = set_observability(Observability(registry=registry, tracer=tracer))
+    started = time.perf_counter()  # repro: allow determinism-wallclock -- worker task timing feeds only the volatile exec.task_wall_s histogram
+    try:
+        if task.seed is None:
+            value = fn(payload, task.item)
+        else:
+            value = fn(payload, task.item, task.seed)
+    finally:
+        if mode.enabled:
+            set_observability(previous)
+    wall_s = time.perf_counter() - started  # repro: allow determinism-wallclock -- worker task timing feeds only the volatile exec.task_wall_s histogram
+    return TaskCapture(
+        index=task.index,
+        value=value,
+        wall_s=wall_s,
+        seed=task.seed,
+        registry_state=registry.dump_state() if registry is not None else None,
+        trace_lines=sink.getvalue() if sink is not None else "",
+        mode="parallel" if _in_worker else "serial",
+    )
+
+
+def _worker_run_chunk(chunk_blob: bytes) -> list[TaskCapture]:
+    tasks: list[_Task] = pickle.loads(chunk_blob)
+    return [
+        _execute_task(_worker_fn, _worker_payload, task, _worker_obs_mode)
+        for task in tasks
+    ]
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+
+
+def task_seeds(seed_root: int, count: int) -> list[int]:
+    """Per-task integer seeds, independent of chunking and worker count.
+
+    Seed ``i`` is ``SeedSequenceFactory(seed_root).child_seed("exec.task.i")``;
+    two calls with the same root and count always agree, and the i-th
+    seed never depends on how many tasks follow it.
+    """
+    factory = SeedSequenceFactory(seed_root)
+    return [factory.child_seed(SEED_LABEL.format(index=i)) for i in range(count)]
+
+
+def chunk_spans(count: int, jobs: int, chunk_size: Optional[int] = None) -> list[range]:
+    """Contiguous input-order chunks for ``count`` tasks over ``jobs`` workers.
+
+    The default size targets :data:`CHUNKS_PER_WORKER` chunks per
+    worker; an explicit ``chunk_size`` overrides it.  Chunks partition
+    ``range(count)`` in order, so reassembling chunk results in chunk
+    order restores input order.
+    """
+    if count <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-count // (jobs * CHUNKS_PER_WORKER)))
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [range(start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)]
+
+
+def _build_tasks(items: Sequence, seed_root: Optional[int]) -> list[_Task]:
+    seeds = task_seeds(seed_root, len(items)) if seed_root is not None else None
+    return [
+        _Task(index=index, item=item, seed=seeds[index] if seeds is not None else None)
+        for index, item in enumerate(items)
+    ]
+
+
+def _consume(
+    obs: Observability,
+    capture: TaskCapture,
+    on_result: Optional[Callable[[int, object], None]],
+) -> object:
+    merge_capture(obs, capture)
+    if on_result is not None:
+        on_result(capture.index, capture.value)
+    return capture.value
+
+
+def _run_serial(
+    fn: Callable,
+    payload: object,
+    tasks: list[_Task],
+    obs: Observability,
+    on_result: Optional[Callable[[int, object], None]],
+) -> list:
+    mode = _ObsMode.of(obs)
+    values = []
+    for task in tasks:
+        capture = _execute_task(fn, payload, task, mode)
+        values.append(_consume(obs, capture, on_result))
+    return values
+
+
+def pmap(
+    fn: Callable,
+    items: Sequence,
+    *,
+    jobs: int = 1,
+    payload: object = None,
+    seed_root: Optional[int] = None,
+    obs: Optional[Observability] = None,
+    chunk_size: Optional[int] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> list:
+    """Map ``fn`` over ``items`` on a process pool, in input order.
+
+    Parameters
+    ----------
+    fn:
+        A module-level callable invoked as ``fn(payload, item)`` -- or
+        ``fn(payload, item, seed)`` when ``seed_root`` is given.  Must
+        be picklable for the pool path; otherwise the call falls back
+        to serial (counted, see below).
+    items:
+        The task items, one call per item; results return in the same
+        order regardless of completion order.
+    jobs:
+        Worker processes.  ``1`` (the default) runs in-process with no
+        pickling at all; ``N > 1`` uses a spawn-based
+        :class:`~concurrent.futures.ProcessPoolExecutor`.
+    payload:
+        Read-only shared state shipped to each worker exactly once via
+        the pool initializer (e.g. a model database plus a prepared
+        trace).  Workers must treat it as immutable: mutations are
+        process-local and lost.
+    seed_root:
+        When given, each task receives a seed from
+        :func:`task_seeds` -- derived from the task *index*, so results
+        are reproducible at any worker count.
+    obs:
+        Parent observability bundle (``None`` resolves the process
+        default).  Each task records into a private registry/tracer;
+        captures merge back here in input order, making the merged
+        snapshot identical between serial and parallel runs.
+    chunk_size:
+        Tasks per pool submission (default: sized for
+        :data:`CHUNKS_PER_WORKER` chunks per worker).
+    on_result:
+        Optional ``on_result(index, value)`` callback, invoked in input
+        order as results become available (streaming progress).
+
+    Falls back to the serial path -- with the parent registry's
+    ``exec.fallback_serial`` counter incremented -- when ``fn``,
+    ``payload`` or the items cannot pickle, and degrades to serial
+    silently when called from inside a worker (no nested pools) or when
+    there are fewer than two tasks.  A task exception propagates to the
+    caller; captures of tasks after the failing one are discarded.
+    """
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ConfigurationError(f"jobs must be an integer >= 1, got {jobs!r}")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be an integer >= 1, got {jobs}")
+    obs = obs if obs is not None else get_observability()
+    tasks = _build_tasks(list(items), seed_root)
+    if obs.enabled:
+        obs.registry.counter(CALLS_TOTAL).inc()
+        obs.registry.counter(TASKS_TOTAL).inc(len(tasks))
+    if jobs == 1 or len(tasks) < 2 or _in_worker:
+        return _run_serial(fn, payload, tasks, obs, on_result)
+
+    spans = chunk_spans(len(tasks), jobs, chunk_size)
+    try:
+        shared_blob = pickle.dumps((fn, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        chunk_blobs = [
+            pickle.dumps([tasks[i] for i in span], protocol=pickle.HIGHEST_PROTOCOL)
+            for span in spans
+        ]
+    except Exception:
+        # Closures, lambdas, open handles, ... -- anything the pool
+        # cannot ship.  Degrade to the identical serial path, counted
+        # so the deviation is visible in the snapshot.
+        if obs.enabled:
+            obs.registry.counter(FALLBACKS_TOTAL).inc()
+        return _run_serial(fn, payload, tasks, obs, on_result)
+
+    values: list = []
+    mode = _ObsMode.of(obs)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(spans)),
+        mp_context=get_context("spawn"),
+        initializer=_worker_init,
+        initargs=(shared_blob, mode),
+    ) as pool:
+        futures = [pool.submit(_worker_run_chunk, blob) for blob in chunk_blobs]
+        # Consume in submission (= input) order: chunk k+1's captures
+        # merge only after all of chunk k's, whatever finished first.
+        for future in futures:
+            for capture in future.result():
+                values.append(_consume(obs, capture, on_result))
+    return values
+
+
+def mapper(jobs: int, obs: Optional[Observability] = None) -> Callable:
+    """Bind ``pmap`` into the injected-mapper shape lower layers accept.
+
+    Layers below :mod:`repro.exec` (e.g. the campaign runner) cannot
+    import the engine; they take an optional ``mapper(fn, items,
+    payload)`` argument instead.  This returns one with the worker
+    count (and optionally the bundle) pre-bound.
+    """
+    def bound(fn: Callable, items: Sequence, payload: object = None) -> list:
+        return pmap(fn, items, payload=payload, jobs=jobs, obs=obs)
+
+    return bound

@@ -1,0 +1,74 @@
+"""Deterministic re-integration of worker-side observability.
+
+Every task executed by :mod:`repro.exec.engine` runs under its own
+fresh :class:`~repro.obs.registry.MetricsRegistry` and (when the parent
+traces) its own capturing :class:`~repro.obs.tracer.Tracer`.  The
+captured state travels back to the parent as plain data -- a registry
+dump and a list of JSONL trace events -- and is folded into the parent
+bundle **in task input order**, never completion order.  That single
+rule is what makes the merged snapshot and the deterministic trace
+independent of the worker count and of OS scheduling: merging the same
+per-task states in the same order is a pure fold.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.runtime import Observability
+
+#: Metric names the engine itself records into the parent registry.
+TASKS_TOTAL = "exec.tasks"
+CALLS_TOTAL = "exec.pmap_calls"
+CHUNKS_TOTAL = "exec.chunks"
+FALLBACKS_TOTAL = "exec.fallback_serial"
+TASK_WALL_HISTOGRAM = "exec.task_wall_s"
+
+
+@dataclass
+class TaskCapture:
+    """One task's result plus its captured observability state.
+
+    ``index`` is the task's position in the original input sequence;
+    ``wall_s`` is the worker-measured execution time (wall clock, hence
+    only ever recorded as a *volatile* histogram value).
+    """
+
+    index: int
+    value: object
+    wall_s: float
+    seed: Optional[int] = None
+    registry_state: Optional[list] = None
+    trace_lines: str = ""
+    mode: str = "serial"  # "serial" | "parallel" (which path ran it)
+    _merged: bool = field(default=False, repr=False)
+
+
+def parse_trace_lines(lines: str) -> list[dict]:
+    """Parse a worker capture (JSONL) back into event dicts."""
+    return [json.loads(line) for line in lines.splitlines() if line]
+
+
+def merge_capture(obs: Observability, capture: TaskCapture) -> None:
+    """Fold one task's captured state into the parent bundle.
+
+    Idempotent per capture (a capture merges at most once); callers
+    must invoke it in ascending ``capture.index`` order.
+    """
+    if capture._merged:
+        return
+    capture._merged = True
+    if not obs.enabled:
+        return
+    if capture.registry_state:
+        obs.registry.merge_state(capture.registry_state)
+    if capture.trace_lines and obs.tracer.enabled:
+        obs.tracer.replay(parse_trace_lines(capture.trace_lines))
+    # No mode label here: the snapshot must be identical whether the
+    # serial path or the pool ran the tasks (volatile values are hidden,
+    # but instrument *keys* are not).
+    obs.registry.histogram(TASK_WALL_HISTOGRAM, unit="s", volatile=True).observe(
+        capture.wall_s
+    )

@@ -4,17 +4,24 @@ One call to :func:`run_evaluation` produces the makespan (Fig. 5),
 energy (Fig. 6) and %-SLA-violation (Fig. 7) series for every strategy
 on both the SMALLER and LARGER clouds, from a single shared workload
 trace requesting (about) 10,000 VMs.
+
+The (cloud, strategy) cells are independent simulations, so with
+``jobs > 1`` they fan out over :func:`repro.exec.pmap` -- results,
+metrics snapshots and deterministic traces stay bit-identical to the
+serial run (see DESIGN.md, "Parallel execution").
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from repro.campaign.platformrunner import CampaignResult, run_campaign
 from repro.common.rng import SeedSequenceFactory
 from repro.core.model import ModelDatabase
+from repro.exec import mapper as exec_mapper
+from repro.exec import pmap
 from repro.obs.runtime import Observability, get_observability
 from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
 from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator, SimulationResult
@@ -35,7 +42,12 @@ from repro.workloads.synthetic import EGEETraceConfig, generate_egee_like_trace
 
 @dataclass(frozen=True)
 class StrategyOutcome:
-    """One bar of Figs. 5-7: a (cloud, strategy) cell."""
+    """One bar of Figs. 5-7: a (cloud, strategy) cell.
+
+    ``wall_time_s`` is excluded from equality: two equal-seed runs
+    produce the same simulated metrics but never the same wall clock,
+    and outcome tuples must compare equal across worker counts.
+    """
 
     cloud: str
     strategy: str
@@ -44,7 +56,7 @@ class StrategyOutcome:
     sla_violation_pct: float
     mean_response_s: float
     max_queue_length: int
-    wall_time_s: float
+    wall_time_s: float = field(compare=False)
 
     @classmethod
     def from_result(
@@ -72,10 +84,21 @@ class EvaluationResult:
     campaign: CampaignResult
 
     def cell(self, cloud: str, strategy: str) -> StrategyOutcome:
-        for outcome in self.outcomes:
-            if outcome.cloud == cloud and outcome.strategy == strategy:
-                return outcome
-        raise KeyError(f"no outcome for ({cloud!r}, {strategy!r})")
+        # O(1) after the first call: the index is built lazily and
+        # cached outside the dataclass fields (it never participates in
+        # equality or repr).
+        try:
+            index = object.__getattribute__(self, "_cell_index")
+        except AttributeError:
+            index = {
+                (outcome.cloud, outcome.strategy): outcome
+                for outcome in self.outcomes
+            }
+            object.__setattr__(self, "_cell_index", index)
+        try:
+            return index[(cloud, strategy)]
+        except KeyError:
+            raise KeyError(f"no outcome for ({cloud!r}, {strategy!r})") from None
 
     def series(self, metric: str) -> Mapping[str, "list[tuple[str, float]]"]:
         """{cloud: [(strategy, value), ...]} for one metric attribute."""
@@ -117,6 +140,63 @@ def prepare_workload(
     return prepared, total_vms_requested(prepared)
 
 
+@dataclass(frozen=True)
+class _CloudSetup:
+    """Per-config invariants, built once outside the strategy loop."""
+
+    label: str
+    datacenter: DatacenterConfig
+    qos: QoSPolicy
+
+
+@dataclass(frozen=True)
+class _EvalPayload:
+    """Read-only state shipped to every cell (once per worker)."""
+
+    database: ModelDatabase
+    prepared: tuple[PreparedJob, ...]
+    clouds: tuple[_CloudSetup, ...]
+    strategies: Callable[[ModelDatabase], "list[AllocationStrategy]"]
+
+
+@dataclass(frozen=True)
+class _EvalCell:
+    """One task: the (config, strategy) coordinates of a cell."""
+
+    config_index: int
+    strategy_index: int
+
+
+def _run_cell(
+    payload: _EvalPayload, cell: _EvalCell
+) -> tuple[SimulationResult, float]:
+    """Simulate one (cloud, strategy) cell; runs serial or in a worker.
+
+    Observability resolves the process default, which inside a
+    ``pmap`` task is the private capture bundle -- everything recorded
+    here merges back into the parent in input order.
+    """
+    setup = payload.clouds[cell.config_index]
+    strategy = payload.strategies(payload.database)[cell.strategy_index]
+    obs = get_observability()
+    simulator = DatacenterSimulator(setup.datacenter, obs=obs)
+    span = obs.tracer.start("eval.cell", cloud=setup.label, strategy=strategy.name)
+    started = time.perf_counter()
+    result = simulator.run(payload.prepared, strategy, setup.qos)
+    elapsed = time.perf_counter() - started
+    span.end(makespan_s=result.metrics.makespan_s)
+    if obs.enabled:
+        obs.registry.counter("eval.cells").inc()
+        obs.registry.histogram(
+            "eval.cell_wall_s",
+            unit="s",
+            volatile=True,
+            cloud=setup.label,
+            strategy=strategy.name,
+        ).observe(elapsed)
+    return result, elapsed
+
+
 def run_evaluation(
     configs: Sequence[EvaluationConfig] = (SMALLER, LARGER),
     server: ServerSpec | None = None,
@@ -125,6 +205,7 @@ def run_evaluation(
     campaign: CampaignResult | None = None,
     progress: Callable[[str], None] | None = None,
     obs: Observability | None = None,
+    jobs: int = 1,
 ) -> EvaluationResult:
     """Run the full Figs. 5-7 evaluation.
 
@@ -139,7 +220,10 @@ def run_evaluation(
     server / params:
         Testbed configuration shared by the campaign and the clouds.
     strategies:
-        Factory from a model database to the strategy lineup.
+        Factory from a model database to the strategy lineup.  For
+        ``jobs > 1`` it must be picklable (a module-level function);
+        otherwise the evaluation silently falls back to serial with
+        the ``exec.fallback_serial`` counter recording the deviation.
     campaign:
         Reuse a previously run campaign (saves rebuilding the model).
     progress:
@@ -153,6 +237,12 @@ def run_evaluation(
         ``strategies`` factory resolve the *global* default, so
         install the bundle via :func:`repro.obs.set_observability` (or
         ``repro.obs.observed``) to capture their counters too.
+    jobs:
+        Worker processes for the (cloud, strategy) cells (and, when the
+        campaign is rebuilt here, its combined tests).  ``1`` runs
+        serial in-process; any value produces bit-identical outcomes,
+        metrics snapshots and deterministic traces (see DESIGN.md,
+        "Parallel execution").
     """
     server = server or default_server()
     obs = obs if obs is not None else get_observability()
@@ -165,57 +255,81 @@ def run_evaluation(
     if campaign is None:
         say("running benchmarking campaign")
         with tracer.span("eval.campaign"):
-            campaign = run_campaign(server=server, params=params, obs=obs)
+            # The combined-test mapper routes through the same engine
+            # at every worker count, keeping the jobs=1 and jobs=N
+            # snapshots key-for-key identical.
+            campaign = run_campaign(
+                server=server,
+                params=params,
+                obs=obs,
+                mapper=exec_mapper(jobs, obs),
+            )
     database = ModelDatabase.from_campaign(campaign)
 
     say("preparing workload trace")
     with tracer.span("eval.prepare_workload", seed=configs[0].seed):
-        jobs, n_vms = prepare_workload(configs[0])
-    say(f"trace: {len(jobs)} jobs, {n_vms} VMs")
+        prepared, n_vms = prepare_workload(configs[0])
+    say(f"trace: {len(prepared)} jobs, {n_vms} VMs")
     if obs.enabled:
-        obs.registry.counter("eval.jobs").inc(len(jobs))
+        obs.registry.counter("eval.jobs").inc(len(prepared))
         obs.registry.counter("eval.vms").inc(n_vms)
 
-    outcomes: list[StrategyOutcome] = []
-    for config in configs:
-        qos = QoSPolicy.from_optima(campaign.optima, factor=config.qos_factor)
-        simulator = DatacenterSimulator(
-            DatacenterConfig(
+    # Per-config invariants (QoS policy, datacenter config) are built
+    # once here, not once per strategy: the strategy loop only varies
+    # the allocator.
+    clouds = tuple(
+        _CloudSetup(
+            label=config.label,
+            datacenter=DatacenterConfig(
                 n_servers=config.n_servers,
                 server_spec=server,
                 params=params,
             ),
-            obs=obs,
+            qos=QoSPolicy.from_optima(campaign.optima, factor=config.qos_factor),
         )
-        for strategy in strategies(database):
-            cell_span = tracer.start(
-                "eval.cell", cloud=config.label, strategy=strategy.name
-            )
-            started = time.perf_counter()
-            result = simulator.run(jobs, strategy, qos)
-            elapsed = time.perf_counter() - started
-            cell_span.end(makespan_s=result.metrics.makespan_s)
-            outcome = StrategyOutcome.from_result(config.label, result, elapsed)
-            outcomes.append(outcome)
-            if obs.enabled:
-                obs.registry.counter("eval.cells").inc()
-                obs.registry.histogram(
-                    "eval.cell_wall_s",
-                    unit="s",
-                    volatile=True,
-                    cloud=config.label,
-                    strategy=strategy.name,
-                ).observe(elapsed)
-            say(
-                f"{config.label:8s} {outcome.strategy:8s} "
-                f"makespan={outcome.makespan_s:.0f}s "
-                f"energy={outcome.energy_j / 1e3:.0f}kJ "
-                f"SLA={outcome.sla_violation_pct:.1f}% [{elapsed:.1f}s]"
-            )
+        for config in configs
+    )
+    n_strategies = len(strategies(database))
+    payload = _EvalPayload(
+        database=database,
+        prepared=tuple(prepared),
+        clouds=clouds,
+        strategies=strategies,
+    )
+    cells = [
+        _EvalCell(config_index=ci, strategy_index=si)
+        for ci in range(len(configs))
+        for si in range(n_strategies)
+    ]
+
+    def announce(index: int, value: "tuple[SimulationResult, float]") -> None:
+        result, elapsed = value
+        metrics = result.metrics
+        say(
+            f"{clouds[index // n_strategies].label:8s} {result.strategy_name:8s} "
+            f"makespan={metrics.makespan_s:.0f}s "
+            f"energy={metrics.energy_j / 1e3:.0f}kJ "
+            f"SLA={metrics.sla_violation_pct:.1f}% [{elapsed:.1f}s]"
+        )
+
+    values = pmap(
+        _run_cell,
+        cells,
+        jobs=jobs,
+        payload=payload,
+        obs=obs,
+        on_result=announce,
+    )
+    outcomes = tuple(
+        StrategyOutcome.from_result(
+            clouds[cell.config_index].label, result, elapsed
+        )
+        for cell, (result, elapsed) in zip(cells, values)
+    )
 
     return EvaluationResult(
-        outcomes=tuple(outcomes),
-        n_jobs=len(jobs),
+        outcomes=outcomes,
+        n_jobs=len(prepared),
         n_vms=n_vms,
         campaign=campaign,
     )

@@ -12,6 +12,7 @@ import io
 from dataclasses import dataclass
 
 from repro.campaign.platformrunner import run_campaign
+from repro.exec import mapper as exec_mapper
 from repro.experiments.config import LARGER, SMALLER
 from repro.experiments.evaluation import EvaluationResult, run_evaluation
 from repro.experiments.fig1_profiles import Fig1Result, fig1_profiles
@@ -43,12 +44,15 @@ class PaperReproduction:
 def reproduce_paper(
     vm_budget: int = 2500,
     progress=None,
+    jobs: int = 1,
 ) -> PaperReproduction:
     """Regenerate all artifacts and render the consolidated report.
 
     ``vm_budget`` scales the Figs. 5-7 evaluation (the paper's full
     scale is 10,000; the default quarter scale keeps the call under a
-    minute while preserving the relations).
+    minute while preserving the relations).  ``jobs`` fans the campaign
+    grid and the evaluation cells over worker processes; any value is
+    bit-identical to serial (DESIGN.md, "Parallel execution").
     """
 
     def say(message: str) -> None:
@@ -56,7 +60,7 @@ def reproduce_paper(
             progress(message)
 
     say("campaign + Tables I/II")
-    campaign = run_campaign()
+    campaign = run_campaign(mapper=exec_mapper(jobs))
     optima = campaign.optima
 
     say("Fig. 1 profiles")
@@ -70,6 +74,7 @@ def reproduce_paper(
         configs=[SMALLER.scaled(vm_budget), LARGER.scaled(vm_budget)],
         campaign=campaign,
         progress=progress,
+        jobs=jobs,
     )
 
     out = io.StringIO()

@@ -206,6 +206,96 @@ class MetricsRegistry:
         for key, value in counts.items():
             self.counter(f"{prefix}{key}", **labels).inc(value)
 
+    def dump_state(self) -> list[dict]:
+        """Plain-data dump of every instrument, for cross-process merges.
+
+        Unlike :meth:`snapshot` (a human/JSON view that hides volatile
+        values), the dump is lossless: :meth:`merge_state` can fold it
+        into another registry so that serial and fanned-out runs end in
+        identical registries.  Records are sorted by (name, labels) so
+        the dump itself is deterministic.
+        """
+        records: list[dict] = []
+        for (name, labels), instrument in sorted(self._instruments.items()):
+            record: dict = {"name": name, "labels": list(labels)}
+            if isinstance(instrument, Counter):
+                record["kind"] = "counter"
+                record["value"] = instrument.value
+            elif isinstance(instrument, Gauge):
+                record["kind"] = "gauge"
+                record.update(
+                    value=instrument.value,
+                    max=instrument.max,
+                    min=instrument.min,
+                    updates=instrument.updates,
+                )
+            elif isinstance(instrument, Histogram):
+                record["kind"] = "histogram"
+                record.update(
+                    unit=instrument.unit,
+                    volatile=instrument.volatile,
+                    buckets=list(instrument.buckets),
+                    bucket_counts=list(instrument.bucket_counts),
+                    count=instrument.count,
+                    sum=instrument.sum,
+                    min=instrument.min,
+                    max=instrument.max,
+                )
+            records.append(record)
+        return records
+
+    def merge_state(self, state: "list[dict]") -> None:
+        """Fold a :meth:`dump_state` dump into this registry.
+
+        Counters and histogram tallies add; gauge extrema and update
+        counts combine while the gauge *value* takes the incoming one
+        (merging worker states in task order thus reproduces the
+        last-writer value a serial run would have ended with).  Merging
+        the same dumps in the same order is deterministic, which is what
+        lets a process pool end bit-identical to a serial loop.
+        """
+        for record in state:
+            labels = {key: value for key, value in record["labels"]}
+            kind = record["kind"]
+            if kind == "counter":
+                self.counter(record["name"], **labels).inc(record["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(record["name"], **labels)
+                gauge.value = record["value"]
+                gauge.updates += record["updates"]
+                for incoming in (record["max"],):
+                    if incoming is not None and (gauge.max is None or incoming > gauge.max):
+                        gauge.max = incoming
+                for incoming in (record["min"],):
+                    if incoming is not None and (gauge.min is None or incoming < gauge.min):
+                        gauge.min = incoming
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    record["name"],
+                    unit=record["unit"],
+                    buckets=tuple(record["buckets"]),
+                    volatile=record["volatile"],
+                    **labels,
+                )
+                if histogram.buckets != tuple(record["buckets"]):
+                    raise ConfigurationError(
+                        f"histogram {record['name']!r} merge: bucket bounds differ"
+                    )
+                histogram.count += record["count"]
+                histogram.sum += record["sum"]
+                for index, count in enumerate(record["bucket_counts"]):
+                    histogram.bucket_counts[index] += count
+                if record["min"] is not None and (
+                    histogram.min is None or record["min"] < histogram.min
+                ):
+                    histogram.min = record["min"]
+                if record["max"] is not None and (
+                    histogram.max is None or record["max"] > histogram.max
+                ):
+                    histogram.max = record["max"]
+            else:
+                raise ConfigurationError(f"unknown instrument kind {kind!r} in dump")
+
     def reset(self) -> None:
         self._instruments.clear()
 

@@ -198,6 +198,43 @@ class Tracer:
     def n_events(self) -> int:
         return self._events
 
+    @property
+    def deterministic(self) -> bool:
+        return self._deterministic
+
+    def replay(self, events: "list[dict]") -> None:
+        """Re-emit events captured by another (worker) tracer.
+
+        The foreign tracer is assumed to have numbered its span ids
+        1, 2, ...; they are remapped onto this tracer's id sequence so a
+        replayed stream is indistinguishable from spans opened here
+        directly.  Foreign root events (``parent_id`` null) are
+        reparented under the currently open span.  ``t_wall`` is
+        restamped with this tracer's clock: under ``deterministic=True``
+        that makes a serial run and an in-order replay of worker
+        captures byte-identical; in wall-clock mode the original worker
+        timings are discarded (they were measured against a different
+        epoch).  ``t_sim`` and all attributes pass through untouched.
+        """
+        if not events:
+            return
+        base = self._next_id
+        local_parent = self._stack[-1] if self._stack else None
+        highest = 0
+        for event in events:
+            span_id = event["span_id"]
+            parent_id = event["parent_id"]
+            payload = dict(event)
+            payload["span_id"] = base + span_id - 1
+            payload["parent_id"] = (
+                local_parent if parent_id is None else base + parent_id - 1
+            )
+            payload["t_wall"] = self._now()
+            self._emit(payload)
+            if span_id > highest:
+                highest = span_id
+        self._next_id = base + highest
+
     def close(self) -> None:
         """Flush and, when the tracer opened its own file, close it."""
         self._sink.flush()
@@ -229,6 +266,7 @@ class NullTracer:
     reusable null span.  There is one shared instance, ``NULL_TRACER``."""
 
     enabled = False
+    deterministic = False
 
     def start(
         self, name: str, t_sim: float | None = None, detached: bool = False, **attrs
@@ -239,6 +277,9 @@ class NullTracer:
         return _NULL_SPAN
 
     def point(self, name: str, t_sim: float | None = None, **attrs) -> None:
+        pass
+
+    def replay(self, events: "list[dict]") -> None:
         pass
 
     @property

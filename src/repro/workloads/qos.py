@@ -41,6 +41,12 @@ class QoSPolicy:
             normalized[workload_class] = float(value)
         object.__setattr__(self, "max_response_s", MappingProxyType(normalized))
 
+    def __reduce__(self):
+        # The read-only MappingProxyType view cannot pickle; rebuild
+        # from a plain dict so policies can ship to worker processes
+        # (repro.exec) and land bit-identical.
+        return (type(self), (dict(self.max_response_s),))
+
     def deadline_for(self, workload_class: WorkloadClass, submit_time_s: float) -> float:
         """Absolute completion deadline of a job submitted at the given time."""
         return submit_time_s + self.max_response_s[WorkloadClass(workload_class)]

@@ -1,0 +1,10 @@
+# repro-fixture-module: repro.campaign.badexec
+"""Golden fixture: a lower layer importing the execution engine.
+
+The campaign runner parallelizes through an injected mapper; importing
+``repro.exec`` from below it inverts the layer order.
+"""
+
+from repro.exec import pmap  # expect layering-import (matrix)
+
+__all__ = ["pmap"]

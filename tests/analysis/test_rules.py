@@ -68,6 +68,34 @@ class TestLayeringRules:
         assert "repro.obs.runtime" in messages  # the forbidden submodule edge
         assert "repro.sim.engine" in messages  # the matrix violation
 
+    def test_lower_layer_importing_exec_flagged(self):
+        # The engine is reached from below via an injected mapper only.
+        result = lint_fixture("bad_exec_layering.py", "layering-import")
+        assert len(result.violations) == 1
+        assert "repro.exec" in result.violations[0].message
+
+    def test_exec_may_not_import_experiments(self, tmp_path):
+        bad = tmp_path / "bad_exec_up.py"
+        bad.write_text(
+            "# repro-fixture-module: repro.exec.badup\n"
+            "from repro.experiments.evaluation import run_evaluation\n",
+            encoding="utf-8",
+        )
+        result = run_lint([bad], rules={"layering-import"})
+        assert len(result.violations) == 1
+        assert "experiments" in result.violations[0].message
+
+    def test_exec_may_import_sim_and_obs(self, tmp_path):
+        ok = tmp_path / "ok_exec.py"
+        ok.write_text(
+            "# repro-fixture-module: repro.exec.okdown\n"
+            "from repro.obs.registry import MetricsRegistry\n"
+            "from repro.sim.datacenter import DatacenterSimulator\n",
+            encoding="utf-8",
+        )
+        result = run_lint([ok], rules={"layering-import"})
+        assert result.ok
+
     def test_cycle_detected_once(self):
         result = run_lint(
             [FIXTURES / "bad_cycle_a.py", FIXTURES / "bad_cycle_b.py"],

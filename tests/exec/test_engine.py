@@ -1,0 +1,145 @@
+"""The determinism contract of ``repro.exec.pmap``.
+
+The load-bearing guarantee: at any worker count, values come back in
+input order and the merged observability state is bit-identical to a
+serial run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.exec import CHUNKS_PER_WORKER, chunk_spans, mapper, pmap, task_seeds
+from repro.exec.merge import FALLBACKS_TOTAL
+from repro.obs.runtime import observed
+
+from .workers import boom, nested, record, square, with_seed
+
+ITEMS = list(range(10))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("jobs", [0, -1, True, 1.5, "2", None])
+    def test_bad_jobs_rejected(self, jobs):
+        with pytest.raises(ConfigurationError, match="jobs must be"):
+            pmap(square, ITEMS, jobs=jobs)
+
+    def test_chunk_size_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            chunk_spans(10, 2, chunk_size=0)
+
+
+class TestChunkSpans:
+    def test_partitions_in_order(self):
+        spans = chunk_spans(10, 3, chunk_size=4)
+        assert [list(span) for span in spans] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_default_targets_chunks_per_worker(self):
+        spans = chunk_spans(100, 4)
+        assert len(spans) >= 4 * CHUNKS_PER_WORKER - 3
+        assert sorted(i for span in spans for i in span) == list(range(100))
+
+    def test_empty(self):
+        assert chunk_spans(0, 4) == []
+
+
+class TestSeeds:
+    def test_prefix_stable(self):
+        assert task_seeds(123, 3) == task_seeds(123, 10)[:3]
+
+    def test_root_changes_seeds(self):
+        assert task_seeds(1, 4) != task_seeds(2, 4)
+
+    def test_seed_passed_by_index_at_any_worker_count(self):
+        serial = pmap(with_seed, ITEMS, jobs=1, seed_root=42)
+        parallel = pmap(with_seed, ITEMS, jobs=3, seed_root=42)
+        chunked = pmap(with_seed, ITEMS, jobs=3, seed_root=42, chunk_size=1)
+        assert serial == parallel == chunked
+        assert [item for item, _ in serial] == ITEMS
+
+
+class TestResults:
+    def test_serial_values_in_order(self):
+        assert pmap(square, ITEMS, jobs=1) == [i * i for i in ITEMS]
+
+    def test_parallel_values_in_order(self):
+        assert pmap(square, ITEMS, jobs=3, payload=100) == [
+            100 + i * i for i in ITEMS
+        ]
+
+    def test_single_task_stays_inline(self):
+        assert pmap(square, [7], jobs=4) == [49]
+
+    def test_on_result_streams_in_input_order(self):
+        seen = []
+        pmap(square, ITEMS, jobs=3, on_result=lambda i, v: seen.append(i))
+        assert seen == ITEMS
+
+    def test_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            pmap(boom, ITEMS, jobs=1)
+        with pytest.raises(ValueError, match="boom"):
+            pmap(boom, ITEMS, jobs=2)
+
+    def test_nested_call_degrades_to_serial(self):
+        assert pmap(nested, [1, 2], jobs=2) == [1 + 4, 4 + 9]
+
+    def test_mapper_binds_jobs(self):
+        bound = mapper(2)
+        assert bound(square, ITEMS, 100) == [100 + i * i for i in ITEMS]
+
+
+class TestFallback:
+    def test_unpicklable_fn_counted_and_correct(self):
+        with observed() as bundle:
+            values = pmap(lambda payload, item: item + 1, ITEMS, jobs=2)
+        assert values == [i + 1 for i in ITEMS]
+        counters = bundle.snapshot()["counters"]
+        assert counters[FALLBACKS_TOTAL] == 1
+
+    def test_serial_path_records_no_fallback(self):
+        with observed() as bundle:
+            pmap(square, ITEMS, jobs=1)
+        assert FALLBACKS_TOTAL not in bundle.snapshot()["counters"]
+
+
+class TestObservabilityIdentity:
+    def run_once(self, jobs):
+        sink = io.StringIO()
+        with observed(trace_sink=sink, deterministic=True) as bundle:
+            values = pmap(record, ITEMS, jobs=jobs)
+            snapshot = bundle.snapshot()
+        return values, snapshot, sink.getvalue()
+
+    def test_snapshot_and_trace_identical_to_serial(self):
+        serial_values, serial_snapshot, serial_trace = self.run_once(1)
+        parallel_values, parallel_snapshot, parallel_trace = self.run_once(4)
+        assert serial_values == parallel_values == ITEMS
+        assert json.dumps(serial_snapshot, sort_keys=True) == json.dumps(
+            parallel_snapshot, sort_keys=True
+        )
+        assert serial_trace == parallel_trace
+
+    def test_worker_metrics_merged(self):
+        _, snapshot, trace = self.run_once(3)
+        assert snapshot["counters"]["worker.calls"] == len(ITEMS)
+        gauge = snapshot["gauges"]["worker.last_item"]
+        # Last-writer in input order, extrema over all tasks.
+        assert gauge["value"] == ITEMS[-1]
+        assert gauge["min"] == ITEMS[0]
+        assert gauge["updates"] == len(ITEMS)
+        assert snapshot["histograms"]["worker.item"]["count"] == len(ITEMS)
+        names = [json.loads(line)["name"] for line in trace.splitlines()]
+        assert names.count("worker.task") == 2 * len(ITEMS)  # open + close
+        assert names.count("worker.tick") == len(ITEMS)
+
+    def test_disabled_bundle_records_nothing(self):
+        from repro.obs.runtime import NULL_OBS
+
+        before = len(NULL_OBS.registry)
+        assert pmap(record, ITEMS, jobs=2) == ITEMS
+        assert len(NULL_OBS.registry) == before

@@ -1,0 +1,160 @@
+"""Registry dump/merge and tracer replay: the merge-side primitives."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.exec.merge import (
+    TASK_WALL_HISTOGRAM,
+    TaskCapture,
+    merge_capture,
+    parse_trace_lines,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import Observability
+from repro.obs.tracer import Tracer
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("c.total").inc(3)
+    registry.counter("c.labeled", kind="x").inc()
+    gauge = registry.gauge("g.depth")
+    gauge.set(5.0)
+    gauge.set(2.0)
+    registry.histogram("h.lat", unit="s").observe(0.02)
+    registry.histogram("h.wall", unit="s", volatile=True).observe(1.5)
+    return registry
+
+
+class TestDumpState:
+    def test_roundtrip_into_empty_registry_is_lossless(self):
+        source = populated_registry()
+        target = MetricsRegistry()
+        target.merge_state(source.dump_state())
+        assert json.dumps(
+            target.snapshot(include_volatile=True), sort_keys=True
+        ) == json.dumps(source.snapshot(include_volatile=True), sort_keys=True)
+
+    def test_dump_is_json_serializable_and_sorted(self):
+        dump = populated_registry().dump_state()
+        json.dumps(dump)
+        assert [r["name"] for r in dump] == sorted(r["name"] for r in dump)
+
+    def test_counters_add(self):
+        target = MetricsRegistry()
+        dump = populated_registry().dump_state()
+        target.merge_state(dump)
+        target.merge_state(dump)
+        assert target.counter("c.total").value == 6
+
+    def test_gauge_merge_semantics(self):
+        target = MetricsRegistry()
+        target.gauge("g.depth").set(9.0)
+        target.merge_state(populated_registry().dump_state())
+        gauge = target.gauge("g.depth")
+        assert gauge.value == 2.0  # incoming wins (task-order last writer)
+        assert gauge.max == 9.0  # extrema combine
+        assert gauge.min == 2.0
+        assert gauge.updates == 3
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(5.0, 6.0)).observe(5.0)
+        with pytest.raises(ConfigurationError, match="bucket bounds differ"):
+            target.merge_state(source.dump_state())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown instrument kind"):
+            MetricsRegistry().merge_state(
+                [{"name": "x", "labels": [], "kind": "exotic"}]
+            )
+
+
+class TestTracerReplay:
+    def events_of(self, sink: io.StringIO) -> list[dict]:
+        return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+    def capture_worker_trace(self) -> str:
+        sink = io.StringIO()
+        tracer = Tracer(sink, deterministic=True)
+        with tracer.span("task.outer", index=4):
+            tracer.point("task.point")
+        return sink.getvalue()
+
+    def test_ids_remapped_and_roots_reparented(self):
+        parent_sink = io.StringIO()
+        parent = Tracer(parent_sink, deterministic=True)
+        host = parent.start("host")
+        parent.replay(parse_trace_lines(self.capture_worker_trace()))
+        host.end()
+        events = self.events_of(parent_sink)
+        outer = [e for e in events if e["name"] == "task.outer"][0]
+        point = [e for e in events if e["name"] == "task.point"][0]
+        assert outer["span_id"] == 2  # remapped past the host span
+        assert outer["parent_id"] == 1  # reparented under host
+        assert point["parent_id"] == outer["span_id"]
+
+    def test_next_spans_do_not_collide_after_replay(self):
+        parent = Tracer(io.StringIO(), deterministic=True)
+        parent.replay(parse_trace_lines(self.capture_worker_trace()))
+        span = parent.start("after")
+        assert span.span_id == 3  # worker used ids 1..2
+
+    def test_deterministic_restamp(self):
+        first = io.StringIO()
+        parent = Tracer(first, deterministic=True)
+        parent.replay(parse_trace_lines(self.capture_worker_trace()))
+        second = io.StringIO()
+        other = Tracer(second, deterministic=True)
+        other.replay(parse_trace_lines(self.capture_worker_trace()))
+        assert first.getvalue() == second.getvalue()
+        t_walls = [e["t_wall"] for e in self.events_of(first)]
+        assert t_walls == [0.0, 1.0, 2.0]
+
+    def test_empty_replay_is_noop(self):
+        parent = Tracer(io.StringIO(), deterministic=True)
+        parent.replay([])
+        assert parent.n_events == 0
+
+
+class TestMergeCapture:
+    def make_capture(self, index=0) -> TaskCapture:
+        registry = MetricsRegistry()
+        registry.counter("task.done").inc()
+        return TaskCapture(
+            index=index,
+            value=index,
+            wall_s=0.25,
+            registry_state=registry.dump_state(),
+        )
+
+    def test_merges_registry_and_wall_histogram(self):
+        obs = Observability()
+        merge_capture(obs, self.make_capture())
+        snapshot = obs.registry.snapshot()
+        assert snapshot["counters"]["task.done"] == 1
+        wall = snapshot["histograms"][TASK_WALL_HISTOGRAM]
+        assert wall["count"] == 1
+        assert wall["volatile"] is True
+        assert "sum" not in wall  # volatile: values hidden from snapshots
+
+    def test_idempotent_per_capture(self):
+        obs = Observability()
+        capture = self.make_capture()
+        merge_capture(obs, capture)
+        merge_capture(obs, capture)
+        assert obs.registry.counter("task.done").value == 1
+
+    def test_disabled_bundle_short_circuits(self):
+        from repro.obs.runtime import NULL_OBS
+
+        before = len(NULL_OBS.registry)
+        merge_capture(NULL_OBS, self.make_capture())
+        assert len(NULL_OBS.registry) == before

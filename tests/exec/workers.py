@@ -1,0 +1,41 @@
+"""Module-level worker functions for the engine tests.
+
+They must live in an importable module (not a test body) so the spawn
+start method can re-import them inside pool workers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.runtime import get_observability
+
+
+def square(payload, item):
+    return (payload or 0) + item * item
+
+
+def with_seed(payload, item, seed):
+    return (item, seed)
+
+
+def record(payload, item):
+    """Record one counter, one gauge, one span -- merge-path coverage."""
+    obs = get_observability()
+    obs.registry.counter("worker.calls").inc()
+    obs.registry.gauge("worker.last_item").set(item)
+    obs.registry.histogram("worker.item", unit="n").observe(item)
+    with obs.tracer.span("worker.task", index=item):
+        obs.tracer.point("worker.tick", index=item)
+    return item
+
+
+def boom(payload, item):
+    if item == 3:
+        raise ValueError("boom at 3")
+    return item
+
+
+def nested(payload, item):
+    """A worker that itself calls pmap (must degrade to serial)."""
+    from repro.exec import pmap
+
+    return sum(pmap(square, [item, item + 1], jobs=2))

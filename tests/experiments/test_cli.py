@@ -73,6 +73,19 @@ class TestArgValidation:
             build_parser().parse_args(["evaluate", "--format", "yaml"])
         assert excinfo.value.code == 2
 
+    @pytest.mark.parametrize("jobs", ["0", "-2", "1.5", "four"])
+    @pytest.mark.parametrize("command", ["evaluate", "reproduce"])
+    def test_bad_jobs_rejected_with_exit_code_2(self, command, jobs, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--jobs", jobs])
+        assert excinfo.value.code == 2
+        assert "jobs must be an integer >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["evaluate", "reproduce"])
+    def test_jobs_accepted_and_defaults_to_serial(self, command):
+        assert build_parser().parse_args([command, "--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args([command]).jobs == 1
+
 
 class TestCommands:
     def test_profile_command(self, capsys):
@@ -84,6 +97,10 @@ class TestCommands:
         assert main(["fig2"]) == 0
         out = capsys.readouterr().out
         assert "optimum at 9 VMs" in out
+
+    def test_evaluate_with_jobs(self, capsys):
+        assert main(["evaluate", "--vm-budget", "60", "--jobs", "2", "--quiet"]) == 0
+        assert "Fig. 5: makespan" in capsys.readouterr().out
 
     def test_campaign_then_allocate(self, tmp_path, capsys):
         assert main(["campaign", "-o", str(tmp_path), "--quiet"]) == 0

@@ -1,0 +1,121 @@
+"""Serial/parallel identity of the evaluation fan-out.
+
+``run_evaluation(jobs=N)`` must be bit-identical to ``jobs=1``: same
+outcome tuple, same merged metrics snapshot, same deterministic trace.
+The scale here is small (the point is identity, not throughput; the
+speedup gate lives in ``benchmarks/bench_perf_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.experiments.config import SMALLER
+from repro.experiments.evaluation import run_evaluation
+from repro.obs.runtime import observed
+from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator
+from repro.strategies import paper_strategies
+from repro.workloads.qos import QoSPolicy
+
+SCALE = 300
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SMALLER.scaled(SCALE)
+
+
+class TestSerialParallelIdentity:
+    def run_once(self, campaign, config, jobs):
+        sink = io.StringIO()
+        with observed(trace_sink=sink, deterministic=True) as bundle:
+            result = run_evaluation(configs=[config], campaign=campaign, jobs=jobs)
+            snapshot = bundle.snapshot()
+        return result, snapshot, sink.getvalue()
+
+    def test_outcomes_snapshot_and_trace_identical(self, campaign, tiny_config):
+        serial, serial_snapshot, serial_trace = self.run_once(
+            campaign, tiny_config, jobs=1
+        )
+        parallel, parallel_snapshot, parallel_trace = self.run_once(
+            campaign, tiny_config, jobs=4
+        )
+        assert serial.outcomes == parallel.outcomes
+        assert serial == parallel
+        assert json.dumps(serial_snapshot, sort_keys=True) == json.dumps(
+            parallel_snapshot, sort_keys=True
+        )
+        assert serial_trace == parallel_trace
+
+    def test_parallel_without_observability(self, campaign, tiny_config):
+        serial = run_evaluation(configs=[tiny_config], campaign=campaign, jobs=1)
+        parallel = run_evaluation(configs=[tiny_config], campaign=campaign, jobs=2)
+        assert serial.outcomes == parallel.outcomes
+
+    def test_unpicklable_strategy_factory_falls_back(self, campaign, tiny_config):
+        lineup = lambda db: paper_strategies(db)[:2]  # noqa: E731
+        with observed() as bundle:
+            result = run_evaluation(
+                configs=[tiny_config], campaign=campaign, strategies=lineup, jobs=2
+            )
+        assert len(result.outcomes) == 2
+        assert bundle.snapshot()["counters"]["exec.fallback_serial"] == 1
+
+
+class TestCellIndex:
+    def test_lookup_matches_linear_scan(self, campaign, tiny_config):
+        result = run_evaluation(configs=[tiny_config], campaign=campaign)
+        for outcome in result.outcomes:
+            assert result.cell(outcome.cloud, outcome.strategy) is outcome
+
+    def test_missing_cell_raises_keyerror(self, campaign, tiny_config):
+        result = run_evaluation(configs=[tiny_config], campaign=campaign)
+        with pytest.raises(KeyError, match="no outcome"):
+            result.cell("nope", "FF")
+
+    def test_index_does_not_affect_equality(self, campaign, tiny_config):
+        first = run_evaluation(configs=[tiny_config], campaign=campaign)
+        second = run_evaluation(configs=[tiny_config], campaign=campaign)
+        first.cell(first.outcomes[0].cloud, first.outcomes[0].strategy)
+        assert first == second  # the cached index is not a field
+
+
+class TestHoistedInvariants:
+    def test_equal_to_per_cell_construction(self, campaign, tiny_config, server):
+        """Hoisting QoS/simulator construction out of the strategy loop
+        must not change any cell: rebuild everything per cell and
+        compare."""
+        result = run_evaluation(configs=[tiny_config], campaign=campaign)
+        from repro.core.model import ModelDatabase
+        from repro.experiments.evaluation import prepare_workload
+
+        database = ModelDatabase.from_campaign(campaign)
+        jobs, _ = prepare_workload(tiny_config)
+        for index, strategy in enumerate(paper_strategies(database)):
+            qos = QoSPolicy.from_optima(
+                campaign.optima, factor=tiny_config.qos_factor
+            )
+            simulator = DatacenterSimulator(
+                DatacenterConfig(
+                    n_servers=tiny_config.n_servers, server_spec=server
+                )
+            )
+            fresh = simulator.run(jobs, strategy, qos)
+            outcome = result.outcomes[index]
+            assert outcome.strategy == fresh.strategy_name
+            assert outcome.makespan_s == fresh.metrics.makespan_s
+            assert outcome.energy_j == fresh.metrics.energy_j
+            assert outcome.sla_violation_pct == fresh.metrics.sla_violation_pct
+
+
+class TestOutcomeEquality:
+    def test_wall_time_excluded_from_comparison(self, campaign, tiny_config):
+        first = run_evaluation(configs=[tiny_config], campaign=campaign)
+        time.sleep(0.01)
+        second = run_evaluation(configs=[tiny_config], campaign=campaign)
+        for left, right in zip(first.outcomes, second.outcomes):
+            assert left == right
