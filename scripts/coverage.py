@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the execution engine and the fault layer.
+
+Runs the ``tests/exec`` and ``tests/faults`` suites with line tracing
+restricted to ``src/repro/exec/`` and ``src/repro/faults/`` (the
+``[tool.coverage.run] source`` list in pyproject.toml), reports the
+lines missed per file, and gates the total against the recorded
+baseline:
+
+    python scripts/coverage.py                 # measure + gate
+    python scripts/coverage.py --update-baseline
+
+Exit status: 0 within gate, 1 coverage regressed more than
+:data:`TOLERANCE_PCT` below the baseline, 2 usage/tooling error.
+
+Uses coverage.py when installed; otherwise a stdlib ``sys.settrace``
+tracer (executable lines computed from compiled code objects, so dead
+``else`` branches and unexecuted handlers count as missed).  The
+backend is recorded in the baseline file and the gate only compares
+within the same backend -- the two disagree on a few line classes.
+Worker-process lines (``_worker_*`` on the spawn pool path) execute in
+child processes the in-process tracer cannot see; they are missed
+consistently on both sides of the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+# Running `python scripts/coverage.py` puts scripts/ first on sys.path,
+# where this very file would shadow the coverage.py package.
+sys.path = [
+    entry
+    for entry in sys.path
+    if Path(entry or ".").resolve() != REPO_ROOT / "scripts"
+]
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+#: Measured scope: must match [tool.coverage.run] source in pyproject.
+SOURCES = [SRC / "repro" / "exec", SRC / "repro" / "faults"]
+TEST_ARGS = ["tests/exec", "tests/faults", "-q", "-p", "no:cacheprovider"]
+BASELINE_PATH = REPO_ROOT / "scripts" / "COVERAGE_baseline.json"
+#: The gate: total line coverage may drop at most this far below the
+#: recorded baseline before the script fails.
+TOLERANCE_PCT = 1.0
+PRAGMA = "pragma: no cover"
+
+
+def _source_files() -> list[Path]:
+    files: list[Path] = []
+    for root in SOURCES:
+        files.extend(sorted(root.rglob("*.py")))
+    return files
+
+
+def _excluded_lines(path: Path, text: str) -> set[int]:
+    """Lines opted out via ``pragma: no cover`` -- on a def/class/if
+    header the whole block is excluded, matching coverage.py."""
+    excluded: set[int] = set()
+    flagged = {
+        number
+        for number, line in enumerate(text.splitlines(), start=1)
+        if PRAGMA in line
+    }
+    if not flagged:
+        return excluded
+    tree = ast.parse(text, filename=str(path))
+    for node in ast.walk(tree):
+        lineno = getattr(node, "lineno", None)
+        if lineno in flagged and hasattr(node, "body"):
+            excluded.update(range(lineno, node.end_lineno + 1))
+    excluded.update(flagged)
+    return excluded
+
+
+def _executable_lines(path: Path) -> set[int]:
+    """Line numbers the compiled module can actually execute."""
+    text = path.read_text(encoding="utf-8")
+    lines: set[int] = set()
+    stack = [compile(text, str(path), "exec")]
+    while stack:
+        code = stack.pop()
+        lines.update(
+            line for _, _, line in code.co_lines() if line is not None and line > 0
+        )
+        stack.extend(c for c in code.co_consts if hasattr(c, "co_lines"))
+    return lines - _excluded_lines(path, text)
+
+
+def _condense(lines: list[int]) -> str:
+    """[3, 4, 5, 9] -> '3-5, 9' (coverage.py's missing-lines style)."""
+    spans: list[str] = []
+    start = previous = None
+    for line in lines:
+        if start is None:
+            start = previous = line
+        elif line == previous + 1:
+            previous = line
+        else:
+            spans.append(str(start) if start == previous else f"{start}-{previous}")
+            start = previous = line
+    if start is not None:
+        spans.append(str(start) if start == previous else f"{start}-{previous}")
+    return ", ".join(spans)
+
+
+def _run_with_settrace() -> dict[str, set[int]]:
+    """Stdlib fallback: trace (filename -> executed lines) in-process."""
+    prefixes = tuple(str(root) + "/" for root in SOURCES)
+    executed: dict[str, set[int]] = {}
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            executed.setdefault(frame.f_code.co_filename, set()).add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename.startswith(prefixes):
+            return local_trace
+        return None
+
+    import pytest
+
+    threading.settrace(global_trace)
+    sys.settrace(global_trace)
+    try:
+        exit_code = pytest.main(TEST_ARGS)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"coverage: test run failed (pytest exit {exit_code})", file=sys.stderr)
+        raise SystemExit(2)
+    return executed
+
+
+def _run_with_coverage_py() -> dict[str, set[int]]:
+    """Preferred backend when coverage.py is importable."""
+    import coverage  # noqa: F401
+    import pytest
+
+    cov = coverage.Coverage(source=[str(root) for root in SOURCES])
+    cov.start()
+    exit_code = pytest.main(TEST_ARGS)
+    cov.stop()
+    if exit_code != 0:
+        print(f"coverage: test run failed (pytest exit {exit_code})", file=sys.stderr)
+        raise SystemExit(2)
+    data = cov.get_data()
+    return {
+        filename: set(data.lines(filename) or ())
+        for filename in data.measured_files()
+    }
+
+
+def measure() -> tuple[str, list[dict], float]:
+    """(backend, per-file report rows, total percent covered)."""
+    try:
+        import coverage  # noqa: F401
+
+        backend = "coverage.py"
+        executed = _run_with_coverage_py()
+    except ImportError:
+        backend = "settrace"
+        executed = _run_with_settrace()
+
+    rows: list[dict] = []
+    total_executable = total_covered = 0
+    for path in _source_files():
+        executable = _executable_lines(path)
+        covered = executable & executed.get(str(path), set())
+        missed = sorted(executable - covered)
+        total_executable += len(executable)
+        total_covered += len(covered)
+        rows.append(
+            {
+                "file": str(path.relative_to(REPO_ROOT)),
+                "executable": len(executable),
+                "covered": len(covered),
+                "missed": missed,
+            }
+        )
+    total_pct = 100.0 * total_covered / total_executable if total_executable else 100.0
+    return backend, rows, total_pct
+
+
+def report(backend: str, rows: list[dict], total_pct: float) -> None:
+    width = max(len(row["file"]) for row in rows)
+    print(f"\nline coverage ({backend}), tests/exec + tests/faults:")
+    for row in rows:
+        pct = 100.0 * row["covered"] / row["executable"] if row["executable"] else 100.0
+        print(f"  {row['file']:<{width}}  {pct:6.1f}%  ({row['covered']}/{row['executable']})")
+        if row["missed"]:
+            print(f"  {'':<{width}}  missed: {_condense(row['missed'])}")
+    print(f"  {'TOTAL':<{width}}  {total_pct:6.1f}%")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the measured total as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    backend, rows, total_pct = measure()
+    report(backend, rows, total_pct)
+
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+
+    if args.update_baseline or baseline is None or baseline.get("backend") != backend:
+        reason = (
+            "requested"
+            if args.update_baseline
+            else "no baseline recorded" if baseline is None else "backend changed"
+        )
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {"backend": backend, "total_pct": round(total_pct, 2)}, indent=2
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline written ({reason}): {total_pct:.1f}% [{backend}]")
+        return 0
+
+    floor = baseline["total_pct"] - TOLERANCE_PCT
+    if total_pct < floor:
+        print(
+            f"coverage gate FAILED: {total_pct:.1f}% < baseline "
+            f"{baseline['total_pct']:.1f}% - {TOLERANCE_PCT:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"coverage gate ok: {total_pct:.1f}% (baseline {baseline['total_pct']:.1f}%, "
+        f"floor {floor:.1f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,8 @@ bit-identical plans, traces and metrics.  Two leaks can break that:
   :func:`repro.common.rng.derive_rng` so one root seed reproduces the
   whole experiment.
 
-Scope: the ``core``, ``sim``, ``strategies``, ``campaign`` and ``obs``
-layers.  ``repro.obs.tracer`` is allowlisted for the wall-clock rule --
+Scope: the ``core``, ``sim``, ``strategies``, ``campaign``, ``obs``,
+``exec`` and ``faults`` layers.  ``repro.obs.tracer`` is allowlisted for the wall-clock rule --
 its whole point is stamping ``t_wall`` -- but not for the RNG rule.
 """
 
@@ -28,7 +28,9 @@ from repro.analysis.astutils import alias_maps, dotted_call_name, iter_imports, 
 from repro.analysis.registry import rule
 
 #: Layers whose code runs under simulated time / seeded streams.
-CHECKED_LAYERS = frozenset({"core", "sim", "strategies", "campaign", "obs", "exec"})
+CHECKED_LAYERS = frozenset(
+    {"core", "sim", "strategies", "campaign", "obs", "exec", "faults"}
+)
 
 #: Modules exempt from the wall-clock rule (and only that rule).
 WALLCLOCK_ALLOWLIST = frozenset({"repro.obs.tracer"})

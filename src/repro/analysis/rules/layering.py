@@ -7,15 +7,20 @@ may import only from the layers below it:
 
     common, analysis         (leaf: import nothing internal)
     testbed, obs             -> common
+    faults                   -> common, obs
     profiling                -> common, testbed
     campaign                 -> common, testbed, obs
     workloads                -> common, testbed, campaign
     core                     -> common, testbed, campaign, obs
     strategies               -> core + everything core may use
-    sim                      -> strategies, workloads, campaign, ...
-    exec                     -> sim + everything sim may use, core
+    sim                      -> strategies, workloads, campaign, faults, ...
+    exec                     -> sim + everything sim may use, core, faults
     experiments, ext         -> any of the above
     api, cli, __main__, root -> unconstrained (the wiring crust)
+
+The fault-injection vocabulary (``faults``) is deliberately low in the
+stack: ``sim`` and ``exec`` consume its event types, while ``faults``
+itself must never reach up into strategies or experiments.
 
 The execution engine (``exec``) sits above the simulator: layers below
 it (e.g. the campaign runner) parallelize through an *injected*
@@ -52,12 +57,15 @@ ALLOWED_IMPORTS = {
     "analysis": frozenset(),
     "testbed": frozenset({"common"}),
     "obs": frozenset({"common"}),
+    "faults": frozenset({"common", "obs"}),
     "profiling": frozenset({"common", "testbed"}),
     "campaign": frozenset({"common", "testbed", "obs"}),
     "workloads": frozenset({"common", "testbed", "campaign"}),
     "core": frozenset({"common", "testbed", "campaign", "obs"}),
     "strategies": frozenset({"common", "testbed", "campaign", "core", "obs"}),
-    "sim": frozenset({"common", "testbed", "campaign", "obs", "strategies", "workloads"}),
+    "sim": frozenset(
+        {"common", "testbed", "campaign", "obs", "strategies", "workloads", "faults"}
+    ),
     "exec": frozenset(
         {
             "common",
@@ -68,6 +76,7 @@ ALLOWED_IMPORTS = {
             "obs",
             "strategies",
             "sim",
+            "faults",
         }
     ),
     "experiments": frozenset(
@@ -82,6 +91,7 @@ ALLOWED_IMPORTS = {
             "sim",
             "profiling",
             "exec",
+            "faults",
         }
     ),
     "ext": frozenset(
@@ -97,6 +107,7 @@ ALLOWED_IMPORTS = {
             "profiling",
             "exec",
             "experiments",
+            "faults",
         }
     ),
     "api": FREE,

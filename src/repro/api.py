@@ -27,6 +27,10 @@ Simulation & evaluation
 Parallel execution
     :func:`pmap` -- the deterministic process-pool map behind
     ``run_evaluation(jobs=N)``.
+Fault injection
+    :class:`FaultSpec`, :class:`FaultKind`, :func:`random_crash_spec`
+    -- the declarative, seeded chaos schedules behind
+    ``run_evaluation(faults=...)`` and ``repro evaluate --faults``.
 Observability
     :class:`MetricsRegistry`, :class:`Tracer`,
     :class:`Observability`, :func:`observed`,
@@ -42,6 +46,7 @@ from repro.core.plan import AllocationPlan, AllocationProvenance
 from repro.exec import pmap
 from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
 from repro.experiments.evaluation import EvaluationResult, run_evaluation
+from repro.faults import FaultKind, FaultSpec, random_crash_spec
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runtime import (
     Observability,
@@ -78,6 +83,10 @@ __all__ = [
     "LARGER",  # the paper's larger cloud (Sect. IV-B)
     # parallel execution
     "pmap",  # deterministic process-pool map, bit-identical to serial
+    # fault injection
+    "FaultSpec",  # declarative fault schedule (events + seeded random crashes)
+    "FaultKind",  # fault taxonomy: crash/recover/abort/slowdown/worker failure
+    "random_crash_spec",  # convenience: seeded Poisson server-crash spec
     # observability
     "MetricsRegistry",  # labeled counters/gauges/histograms with deterministic snapshots
     "Tracer",  # span tracer writing JSONL events (t_wall + t_sim clocks)

@@ -7,6 +7,7 @@
   database + auxiliary file,
 * ``allocate``  -- load a model from disk and place a described batch,
 * ``evaluate``  -- the Figs. 5-7 evaluation at a chosen VM budget,
+  optionally under a deterministic fault schedule (``--faults``),
 * ``fig2``      -- print the FFTW base curve as an ASCII chart,
 * ``lint``      -- run the repo invariant linter (see
   :mod:`repro.analysis` and DESIGN.md "Enforced invariants").
@@ -34,6 +35,8 @@ from repro.experiments.config import LARGER, SMALLER
 from repro.experiments.evaluation import run_evaluation
 from repro.experiments.fig2_basecurve import fig2_basecurve
 from repro.experiments.report import headline_claims
+from repro.common.errors import FaultSpecError
+from repro.faults import FaultSpec
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runtime import Observability, get_observability, set_observability
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -92,9 +95,21 @@ def _parse_format(text: str) -> str:
     return value
 
 
+def _parse_faults(text: str) -> FaultSpec:
+    """--faults, a JSON fault-injection spec loaded and validated here.
+
+    :class:`~repro.common.errors.FaultSpecError` derives from
+    ValueError, so an unreadable file, malformed JSON, an unknown fault
+    kind or a negative time all exit 2 through the shared typed-flag
+    path -- same as a bad --jobs or --alpha.
+    """
+    return FaultSpec.from_path(text)
+
+
 _alpha_arg = _flag_arg(_parse_alpha)
 _jobs_arg = _flag_arg(_parse_jobs)
 _format_arg = _flag_arg(_parse_format)
+_faults_arg = _flag_arg(_parse_faults)
 
 
 def _add_obs_arguments(command: argparse.ArgumentParser, formats: bool = True) -> None:
@@ -158,6 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the (cloud, strategy) cells; results "
         "are bit-identical to serial at any value (default: 1)",
+    )
+    evaluate.add_argument(
+        "--faults",
+        type=_faults_arg,
+        default=None,
+        metavar="SPEC.json",
+        help="inject a deterministic fault schedule (server crashes, VM "
+        "aborts, slowdowns, worker failures) from a JSON spec; see "
+        "README 'Fault injection'",
     )
     evaluate.add_argument("--quiet", action="store_true")
     _add_obs_arguments(evaluate)
@@ -333,12 +357,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     else:
         progress = print
     configs = [SMALLER.scaled(args.vm_budget), LARGER.scaled(args.vm_budget)]
-    result = run_evaluation(configs=configs, progress=progress, jobs=args.jobs)
+    try:
+        result = run_evaluation(
+            configs=configs, progress=progress, jobs=args.jobs, faults=args.faults
+        )
+    except FaultSpecError as error:
+        # Parse-time validation cannot know the cloud sizes; a server
+        # index outside the simulated cluster surfaces here.
+        print(f"repro evaluate: error: {error}", file=sys.stderr)
+        return 2
     if json_output:
         _print_json(
             {
                 "command": "evaluate",
                 "vm_budget": args.vm_budget,
+                "faults": args.faults.to_dict() if args.faults is not None else None,
                 "n_jobs": result.n_jobs,
                 "n_vms": result.n_vms,
                 "outcomes": [

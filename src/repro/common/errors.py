@@ -67,3 +67,25 @@ class TraceFormatError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class FaultSpecError(ReproError, ValueError):
+    """A fault-injection spec (see :mod:`repro.faults`) is invalid.
+
+    Examples: an unknown fault kind, a negative injection time, a
+    slowdown factor below 1, or a server index outside the simulated
+    cluster.  Derives from :class:`ValueError` so argument-validation
+    call sites (e.g. the CLI's typed-flag helper) can treat it like any
+    other bad-input error.
+    """
+
+
+class TransientTaskError(ReproError):
+    """A retryable task failure inside the execution engine.
+
+    Raised by (or injected into) worker tasks to model transient
+    worker-process failures; :func:`repro.exec.pmap` retries the task
+    with deterministic backoff and falls back to in-parent serial
+    re-execution as the last resort.  Any other exception type is
+    treated as a genuine task error and propagates immediately.
+    """

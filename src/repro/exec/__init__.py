@@ -9,12 +9,14 @@ DESIGN.md, "Parallel execution", for the determinism contract and
 
 from repro.exec.engine import (
     CHUNKS_PER_WORKER,
+    MAX_TASK_ATTEMPTS,
     chunk_spans,
     mapper,
     pmap,
+    retry_backoff_s,
     task_seeds,
 )
-from repro.exec.merge import TaskCapture, merge_capture
+from repro.exec.merge import RESCUES_TOTAL, TaskCapture, merge_capture
 
 __all__ = [
     "pmap",
@@ -22,6 +24,9 @@ __all__ = [
     "task_seeds",
     "chunk_spans",
     "CHUNKS_PER_WORKER",
+    "MAX_TASK_ATTEMPTS",
+    "retry_backoff_s",
+    "RESCUES_TOTAL",
     "TaskCapture",
     "merge_capture",
 ]

@@ -29,20 +29,22 @@ from __future__ import annotations
 import io
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, Union
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, TransientTaskError
 from repro.common.rng import SeedSequenceFactory
 from repro.exec.merge import (
     CALLS_TOTAL,
     FALLBACKS_TOTAL,
+    RESCUES_TOTAL,
     TASKS_TOTAL,
     TaskCapture,
     merge_capture,
 )
+from repro.faults import WorkerFaultPlan
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runtime import (
     Observability,
@@ -58,6 +60,23 @@ CHUNKS_PER_WORKER = 4
 #: Seed labels are derived per task index: stable under re-chunking and
 #: under any worker count, unique per position in the input sequence.
 SEED_LABEL = "exec.task.{index}"
+
+#: Bounded attempts per task before the parent takes over: one initial
+#: execution plus two retries absorbs transient worker failures without
+#: hiding a systematic one.
+MAX_TASK_ATTEMPTS = 3
+
+#: First-retry backoff; doubles per attempt.  Deliberately tiny -- the
+#: point is a deterministic, bounded schedule, not politeness to an
+#: external service.
+RETRY_BACKOFF_BASE_S = 0.002
+
+
+def retry_backoff_s(attempt: int) -> float:
+    """Deterministic exponential backoff before retry ``attempt`` (1-based)."""
+    if attempt < 1:
+        raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+    return RETRY_BACKOFF_BASE_S * (2 ** (attempt - 1))
 
 
 @dataclass(frozen=True)
@@ -82,6 +101,9 @@ class _Task:
     index: int
     item: object
     seed: Optional[int]
+    #: Injected transient failures (from a WorkerFaultPlan): the first
+    #: ``fail_times`` attempts raise TransientTaskError before fn runs.
+    fail_times: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -140,10 +162,54 @@ def _execute_task(
     )
 
 
+def _run_task_with_retries(
+    fn: Callable, payload: object, task: _Task, mode: _ObsMode
+) -> TaskCapture:
+    """Execute one task under the bounded-retry policy.
+
+    :class:`~repro.common.errors.TransientTaskError` -- whether raised
+    by ``fn`` or injected via ``task.fail_times`` -- triggers a retry
+    after a deterministic backoff, up to :data:`MAX_TASK_ATTEMPTS`
+    attempts total.  Failed attempts leave no captured state.  When
+    every attempt fails the returned capture is marked ``exhausted``
+    (value invalid); the parent re-executes the task itself.  Any other
+    exception propagates immediately.
+    """
+    injected = 0
+    retries = 0
+    for attempt in range(1, MAX_TASK_ATTEMPTS + 1):
+        try:
+            if injected < task.fail_times:
+                injected += 1
+                raise TransientTaskError(
+                    f"injected worker failure for task {task.index} "
+                    f"(attempt {attempt})"
+                )
+            capture = _execute_task(fn, payload, task, mode)
+        except TransientTaskError:
+            if attempt < MAX_TASK_ATTEMPTS:
+                retries += 1
+                time.sleep(retry_backoff_s(attempt))
+            continue
+        capture.retries = retries
+        capture.injected = injected
+        return capture
+    return TaskCapture(
+        index=task.index,
+        value=None,
+        wall_s=0.0,
+        seed=task.seed,
+        mode="parallel" if _in_worker else "serial",
+        retries=retries,
+        injected=injected,
+        exhausted=True,
+    )
+
+
 def _worker_run_chunk(chunk_blob: bytes) -> list[TaskCapture]:
     tasks: list[_Task] = pickle.loads(chunk_blob)
     return [
-        _execute_task(_worker_fn, _worker_payload, task, _worker_obs_mode)
+        _run_task_with_retries(_worker_fn, _worker_payload, task, _worker_obs_mode)
         for task in tasks
     ]
 
@@ -180,10 +246,19 @@ def chunk_spans(count: int, jobs: int, chunk_size: Optional[int] = None) -> list
     return [range(start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)]
 
 
-def _build_tasks(items: Sequence, seed_root: Optional[int]) -> list[_Task]:
+def _build_tasks(
+    items: Sequence,
+    seed_root: Optional[int],
+    fault_plan: Optional[WorkerFaultPlan] = None,
+) -> list[_Task]:
     seeds = task_seeds(seed_root, len(items)) if seed_root is not None else None
     return [
-        _Task(index=index, item=item, seed=seeds[index] if seeds is not None else None)
+        _Task(
+            index=index,
+            item=item,
+            seed=seeds[index] if seeds is not None else None,
+            fail_times=fault_plan.failures_for(index) if fault_plan is not None else 0,
+        )
         for index, item in enumerate(items)
     ]
 
@@ -199,6 +274,32 @@ def _consume(
     return capture.value
 
 
+def _finish_task(
+    fn: Callable,
+    payload: object,
+    task: _Task,
+    capture: TaskCapture,
+    obs: Observability,
+    mode: _ObsMode,
+    on_result: Optional[Callable[[int, object], None]],
+) -> object:
+    """Fold one capture into the parent, rescuing exhausted tasks.
+
+    An exhausted capture still merges (its retry counters are real);
+    the task is then re-executed in the parent with injection stripped
+    -- the counted last resort.  A genuine transient failure that also
+    fails here propagates to the caller.
+    """
+    if capture.exhausted:
+        merge_capture(obs, capture)
+        if obs.enabled:
+            obs.registry.counter(RESCUES_TOTAL).inc()
+        capture = _execute_task(
+            fn, payload, _Task(index=task.index, item=task.item, seed=task.seed), mode
+        )
+    return _consume(obs, capture, on_result)
+
+
 def _run_serial(
     fn: Callable,
     payload: object,
@@ -209,8 +310,8 @@ def _run_serial(
     mode = _ObsMode.of(obs)
     values = []
     for task in tasks:
-        capture = _execute_task(fn, payload, task, mode)
-        values.append(_consume(obs, capture, on_result))
+        capture = _run_task_with_retries(fn, payload, task, mode)
+        values.append(_finish_task(fn, payload, task, capture, obs, mode, on_result))
     return values
 
 
@@ -224,6 +325,7 @@ def pmap(
     obs: Optional[Observability] = None,
     chunk_size: Optional[int] = None,
     on_result: Optional[Callable[[int, object], None]] = None,
+    fault_plan: Optional[Union[WorkerFaultPlan, Mapping[int, int]]] = None,
 ) -> list:
     """Map ``fn`` over ``items`` on a process pool, in input order.
 
@@ -261,20 +363,37 @@ def pmap(
     on_result:
         Optional ``on_result(index, value)`` callback, invoked in input
         order as results become available (streaming progress).
+    fault_plan:
+        Injected transient failures for resilience testing: a
+        :class:`~repro.faults.WorkerFaultPlan` or a plain ``{task index:
+        failure count}`` mapping.  Injection depends only on the input
+        index, so retry counters and results are identical at any
+        worker count.
 
     Falls back to the serial path -- with the parent registry's
     ``exec.fallback_serial`` counter incremented -- when ``fn``,
-    ``payload`` or the items cannot pickle, and degrades to serial
-    silently when called from inside a worker (no nested pools) or when
-    there are fewer than two tasks.  A task exception propagates to the
-    caller; captures of tasks after the failing one are discarded.
+    ``payload`` or the items cannot pickle, or when the pool itself
+    breaks mid-run (dead worker processes: the unconsumed tasks rerun
+    serially in the parent), and degrades to serial silently when
+    called from inside a worker (no nested pools) or when there are
+    fewer than two tasks.
+
+    :class:`~repro.common.errors.TransientTaskError` raised by (or
+    injected into) a task triggers a deterministic bounded
+    retry-with-backoff (``faults.retries``/``faults.injected``
+    counters); after :data:`MAX_TASK_ATTEMPTS` failures the parent
+    re-executes the task in-process, counted as ``exec.retry_serial``.
+    Any other task exception propagates to the caller; captures of
+    tasks after the failing one are discarded.
     """
     if isinstance(jobs, bool) or not isinstance(jobs, int):
         raise ConfigurationError(f"jobs must be an integer >= 1, got {jobs!r}")
     if jobs < 1:
         raise ConfigurationError(f"jobs must be an integer >= 1, got {jobs}")
     obs = obs if obs is not None else get_observability()
-    tasks = _build_tasks(list(items), seed_root)
+    if fault_plan is not None and not isinstance(fault_plan, WorkerFaultPlan):
+        fault_plan = WorkerFaultPlan(failures=dict(fault_plan))
+    tasks = _build_tasks(list(items), seed_root, fault_plan)
     if obs.enabled:
         obs.registry.counter(CALLS_TOTAL).inc()
         obs.registry.counter(TASKS_TOTAL).inc(len(tasks))
@@ -298,18 +417,30 @@ def pmap(
 
     values: list = []
     mode = _ObsMode.of(obs)
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(spans)),
-        mp_context=get_context("spawn"),
-        initializer=_worker_init,
-        initargs=(shared_blob, mode),
-    ) as pool:
-        futures = [pool.submit(_worker_run_chunk, blob) for blob in chunk_blobs]
-        # Consume in submission (= input) order: chunk k+1's captures
-        # merge only after all of chunk k's, whatever finished first.
-        for future in futures:
-            for capture in future.result():
-                values.append(_consume(obs, capture, on_result))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(spans)),
+            mp_context=get_context("spawn"),
+            initializer=_worker_init,
+            initargs=(shared_blob, mode),
+        ) as pool:
+            futures = [pool.submit(_worker_run_chunk, blob) for blob in chunk_blobs]
+            # Consume in submission (= input) order: chunk k+1's captures
+            # merge only after all of chunk k's, whatever finished first.
+            for future in futures:
+                for capture in future.result():
+                    values.append(
+                        _finish_task(
+                            fn, payload, tasks[capture.index], capture, obs, mode, on_result
+                        )
+                    )
+    except BrokenExecutor:
+        # Worker processes died (OOM kill, hard crash).  Values already
+        # merged stay; the rest reruns on the identical serial path,
+        # counted so the deviation is visible in the snapshot.
+        if obs.enabled:
+            obs.registry.counter(FALLBACKS_TOTAL).inc()
+        values.extend(_run_serial(fn, payload, tasks[len(values):], obs, on_result))
     return values
 
 

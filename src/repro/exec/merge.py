@@ -17,6 +17,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults import FAULTS_INJECTED, FAULTS_RETRIES
 from repro.obs.runtime import Observability
 
 #: Metric names the engine itself records into the parent registry.
@@ -24,6 +25,9 @@ TASKS_TOTAL = "exec.tasks"
 CALLS_TOTAL = "exec.pmap_calls"
 CHUNKS_TOTAL = "exec.chunks"
 FALLBACKS_TOTAL = "exec.fallback_serial"
+#: Tasks whose bounded retries were exhausted and that the parent
+#: re-executed in-process as the last resort.
+RESCUES_TOTAL = "exec.retry_serial"
 TASK_WALL_HISTOGRAM = "exec.task_wall_s"
 
 
@@ -43,6 +47,13 @@ class TaskCapture:
     registry_state: Optional[list] = None
     trace_lines: str = ""
     mode: str = "serial"  # "serial" | "parallel" (which path ran it)
+    #: Transient failures survived before the value was produced
+    #: (injected ones counted separately in ``injected``).
+    retries: int = 0
+    injected: int = 0
+    #: True when every bounded attempt failed: ``value`` is invalid and
+    #: the parent must re-execute the task itself (see engine docs).
+    exhausted: bool = False
     _merged: bool = field(default=False, repr=False)
 
 
@@ -61,6 +72,16 @@ def merge_capture(obs: Observability, capture: TaskCapture) -> None:
         return
     capture._merged = True
     if not obs.enabled:
+        return
+    # Retry accounting first: it is valid even for exhausted captures,
+    # and incremented lazily so fault-free runs never materialize the
+    # counters (snapshot identity with pre-fault code).
+    if capture.injected:
+        obs.registry.counter(FAULTS_INJECTED).inc(capture.injected)
+    if capture.retries:
+        obs.registry.counter(FAULTS_RETRIES).inc(capture.retries)
+    if capture.exhausted:
+        # No execution happened: no state, no wall-clock observation.
         return
     if capture.registry_state:
         obs.registry.merge_state(capture.registry_state)

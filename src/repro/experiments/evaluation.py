@@ -22,6 +22,7 @@ from repro.common.rng import SeedSequenceFactory
 from repro.core.model import ModelDatabase
 from repro.exec import mapper as exec_mapper
 from repro.exec import pmap
+from repro.faults import FaultSpec, materialize
 from repro.obs.runtime import Observability, get_observability
 from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
 from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator, SimulationResult
@@ -157,6 +158,8 @@ class _EvalPayload:
     prepared: tuple[PreparedJob, ...]
     clouds: tuple[_CloudSetup, ...]
     strategies: Callable[[ModelDatabase], "list[AllocationStrategy]"]
+    #: Declarative fault spec applied to every cell (None = fault-free).
+    faults: FaultSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -182,7 +185,14 @@ def _run_cell(
     simulator = DatacenterSimulator(setup.datacenter, obs=obs)
     span = obs.tracer.start("eval.cell", cloud=setup.label, strategy=strategy.name)
     started = time.perf_counter()
-    result = simulator.run(payload.prepared, strategy, setup.qos)
+    if payload.faults is not None and not payload.faults.is_empty():
+        # Materialized per cell: the timeline depends on the cloud's
+        # server count but only on the spec's seed, never on the cell's
+        # execution order.
+        schedule = materialize(payload.faults, setup.datacenter.n_servers)
+        result = simulator.run(payload.prepared, strategy, setup.qos, faults=schedule)
+    else:
+        result = simulator.run(payload.prepared, strategy, setup.qos)
     elapsed = time.perf_counter() - started
     span.end(makespan_s=result.metrics.makespan_s)
     if obs.enabled:
@@ -206,6 +216,7 @@ def run_evaluation(
     progress: Callable[[str], None] | None = None,
     obs: Observability | None = None,
     jobs: int = 1,
+    faults: FaultSpec | None = None,
 ) -> EvaluationResult:
     """Run the full Figs. 5-7 evaluation.
 
@@ -243,6 +254,13 @@ def run_evaluation(
         serial in-process; any value produces bit-identical outcomes,
         metrics snapshots and deterministic traces (see DESIGN.md,
         "Parallel execution").
+    faults:
+        Optional :class:`~repro.faults.FaultSpec` injected into every
+        (cloud, strategy) cell -- the same declarative schedule,
+        materialized per cloud size -- plus the spec's worker-failure
+        plan injected into the cell fan-out itself (exercising the
+        bounded-retry path).  ``None`` or an empty spec is byte-for-byte
+        the fault-free evaluation.
     """
     server = server or default_server()
     obs = obs if obs is not None else get_observability()
@@ -295,6 +313,7 @@ def run_evaluation(
         prepared=tuple(prepared),
         clouds=clouds,
         strategies=strategies,
+        faults=faults if faults is not None and not faults.is_empty() else None,
     )
     cells = [
         _EvalCell(config_index=ci, strategy_index=si)
@@ -312,6 +331,7 @@ def run_evaluation(
             f"SLA={metrics.sla_violation_pct:.1f}% [{elapsed:.1f}s]"
         )
 
+    worker_failures = faults.worker_failures if faults is not None else {}
     values = pmap(
         _run_cell,
         cells,
@@ -319,6 +339,7 @@ def run_evaluation(
         payload=payload,
         obs=obs,
         on_result=announce,
+        fault_plan=worker_failures or None,
     )
     outcomes = tuple(
         StrategyOutcome.from_result(

@@ -19,6 +19,17 @@ from repro.common.errors import SimulationError
 
 
 @dataclass(frozen=True)
+class ChronicleNote:
+    """A point annotation on a server's timeline (fault, recovery,
+    re-placement).  Notes carry no energy; they exist so post-hoc
+    audits can line the interval log up against the fault timeline."""
+
+    t_s: float
+    kind: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class Interval:
     """One constant-mix span of a server's life."""
 
@@ -47,6 +58,7 @@ class Chronicle:
     def __init__(self, server_id: str):
         self.server_id = server_id
         self._intervals: list[Interval] = []
+        self._notes: list[ChronicleNote] = []
 
     def record(
         self,
@@ -67,6 +79,15 @@ class Chronicle:
         self._intervals.append(
             Interval(t0_s=t0_s, t1_s=t1_s, mix=mix, power_w=power_w, vm_ids=tuple(vm_ids))
         )
+
+    def note(self, t_s: float, kind: str, detail: str = "") -> None:
+        """Annotate the timeline (faults may land mid-interval, so notes
+        are not checked against interval boundaries)."""
+        self._notes.append(ChronicleNote(t_s=t_s, kind=kind, detail=detail))
+
+    @property
+    def notes(self) -> tuple[ChronicleNote, ...]:
+        return tuple(self._notes)
 
     def __len__(self) -> int:
         return len(self._intervals)

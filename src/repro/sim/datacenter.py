@@ -25,19 +25,28 @@ from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 from repro.common.errors import ConfigurationError, SimulationError
+from repro.faults import (
+    FAULTS_INJECTED,
+    FAULTS_REALLOCATIONS,
+    FaultAction,
+    FaultRecord,
+    FaultSchedule,
+    ScheduledFault,
+)
 from repro.obs.runtime import Observability, get_observability
 from repro.sim.engine import EventQueue
 from repro.sim.metrics import JobOutcome, SimulationMetrics, compute_metrics
 from repro.sim.server import ServerRuntime
-from repro.sim.vm import SimVM
+from repro.sim.vm import SimVM, VMState
 from repro.strategies.base import AllocationStrategy, ServerView, VMDescriptor
 from repro.testbed.contention import ContentionParams
 from repro.testbed.spec import ServerSpec, Subsystem, default_server
 from repro.workloads.assignment import PreparedJob
 from repro.workloads.qos import QoSPolicy
 
-_Event = tuple[Literal["arrival", "boundary"], int, int]
-# ("arrival", job_index, 0) or ("boundary", server_index, token)
+_Event = tuple[Literal["arrival", "boundary", "fault"], int, int]
+# ("arrival", job_index, 0), ("boundary", server_index, token), or
+# ("fault", timeline_index, 0)
 
 
 @dataclass(frozen=True)
@@ -99,6 +108,9 @@ class SimulationResult:
     per_server_idle_j: tuple[float, ...]
     n_servers: int
     chronicles: tuple = ()
+    #: What the fault schedule actually did (empty without faults);
+    #: one :class:`repro.faults.FaultRecord` per timeline entry.
+    fault_log: tuple = ()
 
     @property
     def energy_j(self) -> float:
@@ -151,6 +163,7 @@ class DatacenterSimulator:
         strategy: AllocationStrategy,
         qos: QoSPolicy,
         rebalancer=None,
+        faults: FaultSchedule | None = None,
     ) -> SimulationResult:
         """Run the simulation to completion and aggregate metrics.
 
@@ -162,13 +175,24 @@ class DatacenterSimulator:
             :class:`repro.ext.migration.rebalancer.ReactiveRebalancer`);
             invoked after VM completions, with the returned servers'
             boundary events rescheduled.
+        faults:
+            Optional materialized fault timeline (see
+            :func:`repro.faults.materialize`).  Crashed servers evict
+            their VMs, which restart from scratch via the strategy's
+            :meth:`~repro.strategies.base.AllocationStrategy.reallocate`
+            hook; the run's :class:`~repro.faults.FaultRecord` log lands
+            on ``SimulationResult.fault_log``.  ``None`` or an empty
+            schedule leaves every code path of the fault-free simulation
+            untouched.
 
         Raises
         ------
         SimulationError
             If some job can never be placed (queue deadlock with an
             empty cluster -- the strategy rejects the job even with
-            everything idle), to fail loudly instead of looping.
+            everything idle), to fail loudly instead of looping.  With
+            faults the idle-cluster check is deferred until no failed
+            server or pending fault event could still change capacity.
         """
         obs = self._obs if self._obs is not None else get_observability()
         enabled = obs.enabled
@@ -228,6 +252,16 @@ class DatacenterSimulator:
         for index, tracker in enumerate(trackers):
             events.schedule(tracker.job.submit_time_s, ("arrival", index, 0))
 
+        fault_timeline = faults.timeline if faults is not None else ()
+        if faults is not None:
+            faults.validate_servers(config.n_servers)
+        for findex, entry in enumerate(fault_timeline):
+            events.schedule(entry.time_s, ("fault", findex, 0))
+        faults_remaining = len(fault_timeline)
+        fault_log: list[FaultRecord] = []
+        #: Evicted VM groups (one per job) awaiting re-placement, FIFO.
+        realloc_queue: deque[tuple[_JobTracker, list[SimVM]]] = deque()
+
         boundary_tokens = [0] * len(servers)
         queue: deque[_JobTracker] = deque()
         outcomes: list[JobOutcome] = []
@@ -251,6 +285,7 @@ class DatacenterSimulator:
                     powered_on=server.powered_on,
                 )
                 for server in servers
+                if not server.failed
             ]
 
         def schedule_boundary(index: int, now: float) -> None:
@@ -328,7 +363,15 @@ class DatacenterSimulator:
                 if try_place(queue[0], now):
                     queue.popleft()
                     continue
-                if all(server.n_vms == 0 for server in servers):
+                if (
+                    all(server.n_vms == 0 for server in servers)
+                    and not any(server.failed for server in servers)
+                    and faults_remaining == 0
+                    and not realloc_queue
+                ):
+                    # With a failed server or faults still pending,
+                    # capacity may yet return; the end-of-run unfinished
+                    # check is the backstop against a silent hang.
                     raise SimulationError(
                         f"strategy {strategy.name} rejects job "
                         f"{queue[0].job.job_id} on an idle cluster; it can "
@@ -383,6 +426,202 @@ class DatacenterSimulator:
                             )
             return any_job_done
 
+        def respawn(vm: SimVM) -> tuple[SimVM, float]:
+            """Fresh restart of an evicted/aborted VM.
+
+            A crash loses the VM's progress; the replacement keeps the
+            identity (vm_id, deadline) so QoS accounting and chronicle
+            audits see one logical VM, restarted.  Returns the fresh VM
+            and the discarded seconds-of-solo-work.
+            """
+            assert vm.benchmark is not None
+            total = vm.benchmark.serial_time_s + vm.benchmark.work_time_s
+            lost = total - sum(vm.remaining)
+            fresh = SimVM(
+                vm_id=vm.vm_id,
+                job_id=vm.job_id,
+                workload_class=vm.workload_class,
+                submit_time_s=vm.submit_time_s,
+                deadline_s=vm.deadline_s,
+                benchmark=vm.benchmark,
+            )
+            tracker = vm_to_tracker[vm.vm_id]
+            for i, existing in enumerate(tracker.vms):
+                if existing is vm:
+                    tracker.vms[i] = fresh
+                    break
+            else:  # pragma: no cover - tracker bookkeeping invariant
+                raise SimulationError(f"VM {vm.vm_id!r} missing from its tracker")
+            return fresh, lost
+
+        def drain_realloc(now: float) -> None:
+            """Re-place evicted VM groups FIFO; stop at the first the
+            strategy cannot host (retried at the next state change)."""
+            while realloc_queue:
+                tracker, group = realloc_queue[0]
+                descriptors = [
+                    VMDescriptor(
+                        vm_id=vm.vm_id,
+                        workload_class=vm.workload_class,
+                        remaining_deadline_s=(
+                            None
+                            if math.isinf(vm.deadline_s)
+                            else max(vm.deadline_s - now, 0.0)
+                        ),
+                    )
+                    for vm in group
+                ]
+                placement = strategy.reallocate(descriptors, views())
+                if placement is None:
+                    break
+                missing = {vm.vm_id for vm in group} - set(placement)
+                if missing:
+                    raise SimulationError(
+                        f"strategy {strategy.name} returned a partial "
+                        f"re-placement (missing {sorted(missing)})"
+                    )
+                touched: set[int] = set()
+                finished_during_sync: list[SimVM] = []
+                for vm in group:
+                    index = server_index[placement[vm.vm_id]]
+                    finished_during_sync.extend(servers[index].sync(now))
+                    servers[index].add_vm(vm, now)
+                    touched.add(index)
+                    if servers[index].chronicle is not None:
+                        servers[index].chronicle.note(now, "replace", vm.vm_id)
+                for index in touched:
+                    schedule_boundary(index, now)
+                realloc_queue.popleft()
+                if enabled:
+                    registry.counter(FAULTS_REALLOCATIONS, **label).inc(len(group))
+                    if tracer.enabled:
+                        tracer.point(
+                            "sim.fault.replace",
+                            t_sim=now,
+                            job_id=tracker.job.job_id,
+                            n_vms=len(group),
+                            servers=sorted(set(placement.values())),
+                        )
+                if finished_during_sync:
+                    complete_vms(finished_during_sync, now)
+
+        def drain_all(now: float) -> None:
+            drain_realloc(now)
+            drain_queue(now)
+
+        def handle_fault(entry: ScheduledFault, now: float) -> None:
+            applied = True
+            vm_ids: tuple[str, ...] = ()
+            lost_total = 0.0
+            detail = ""
+            target = entry.vm if entry.vm is not None else servers[entry.server].server_id
+            if entry.action is FaultAction.CRASH:
+                server = servers[entry.server]
+                if server.failed:
+                    applied, detail = False, "already failed"
+                else:
+                    finished = server.sync(now)
+                    evicted = server.fail(now)
+                    boundary_tokens[entry.server] += 1
+                    if finished:
+                        complete_vms(finished, now)
+                    vm_ids = tuple(vm.vm_id for vm in evicted)
+                    groups: dict[int, list[SimVM]] = {}
+                    for vm in evicted:
+                        fresh, lost = respawn(vm)
+                        lost_total += lost
+                        groups.setdefault(vm.job_id, []).append(fresh)
+                    for group in groups.values():
+                        realloc_queue.append((vm_to_tracker[group[0].vm_id], group))
+                    if server.chronicle is not None:
+                        server.chronicle.note(now, "crash", f"evicted={len(evicted)}")
+            elif entry.action is FaultAction.RECOVER:
+                server = servers[entry.server]
+                if not server.failed:
+                    applied, detail = False, "not failed"
+                else:
+                    server.recover(now)
+                    if server.chronicle is not None:
+                        server.chronicle.note(now, "recover")
+            elif entry.action is FaultAction.SLOWDOWN_START:
+                server = servers[entry.server]
+                if server.failed:
+                    applied, detail = False, "server failed"
+                else:
+                    finished = server.sync(now)
+                    server.set_slowdown(entry.factor, now)
+                    schedule_boundary(entry.server, now)
+                    if finished:
+                        complete_vms(finished, now)
+                    if server.chronicle is not None:
+                        server.chronicle.note(now, "slowdown", f"factor={entry.factor}")
+            elif entry.action is FaultAction.SLOWDOWN_END:
+                server = servers[entry.server]
+                if server.failed:
+                    # A crash reset the factor; the paired end is moot.
+                    applied, detail = False, "server failed"
+                else:
+                    finished = server.sync(now)
+                    server.clear_slowdown(now)
+                    schedule_boundary(entry.server, now)
+                    if finished:
+                        complete_vms(finished, now)
+                    if server.chronicle is not None:
+                        server.chronicle.note(now, "slowdown_end")
+            else:  # ABORT_VM
+                tracker = vm_to_tracker.get(entry.vm)
+                victim = None
+                if tracker is not None:
+                    for vm in tracker.vms:
+                        if vm.vm_id == entry.vm:
+                            victim = vm
+                            break
+                if victim is None:
+                    applied, detail = False, "unknown VM"
+                elif victim.state is not VMState.RUNNING:
+                    applied, detail = False, f"VM is {victim.state.value}"
+                else:
+                    sidx = server_index[victim.server_id]
+                    finished = servers[sidx].sync(now)
+                    if victim.done:
+                        applied, detail = False, "completed at abort time"
+                        schedule_boundary(sidx, now)
+                        complete_vms(finished, now)
+                    else:
+                        servers[sidx].detach_vm(victim, now)
+                        boundary_tokens[sidx] += 1
+                        schedule_boundary(sidx, now)
+                        if finished:
+                            complete_vms(finished, now)
+                        fresh, lost = respawn(victim)
+                        lost_total += lost
+                        vm_ids = (victim.vm_id,)
+                        assert tracker is not None
+                        realloc_queue.append((tracker, [fresh]))
+                        if servers[sidx].chronicle is not None:
+                            servers[sidx].chronicle.note(now, "abort", victim.vm_id)
+            fault_log.append(
+                FaultRecord(
+                    time_s=now,
+                    kind=entry.action.value,
+                    target=target,
+                    vm_ids=vm_ids,
+                    lost_work_s=lost_total,
+                    applied=applied,
+                    detail=detail,
+                )
+            )
+            if enabled and applied:
+                registry.counter(FAULTS_INJECTED, **label).inc()
+                if tracer.enabled:
+                    tracer.point(
+                        "sim.fault",
+                        t_sim=now,
+                        action=entry.action.value,
+                        target=target,
+                        n_evicted=len(vm_ids),
+                    )
+
         while events:
             now, (kind, index, token) = events.pop()
             if kind == "arrival":
@@ -401,7 +640,13 @@ class DatacenterSimulator:
                             workload_class=tracker.job.workload_class.value,
                             n_vms=tracker.job.n_vms,
                         )
-                drain_queue(now)
+                drain_all(now)
+                if enabled:
+                    g_powered.set(sum(1 for s in servers if s.powered_on))
+            elif kind == "fault":
+                faults_remaining -= 1
+                handle_fault(fault_timeline[index], now)
+                drain_all(now)
                 if enabled:
                     g_powered.set(sum(1 for s in servers if s.powered_on))
             else:  # boundary
@@ -420,17 +665,19 @@ class DatacenterSimulator:
                             # Migration syncs the server itself; only
                             # the boundary prediction needs refreshing.
                             schedule_boundary(moved_index, now)
-                    drain_queue(now)
+                    drain_all(now)
                     if enabled:
                         g_powered.set(sum(1 for s in servers if s.powered_on))
 
-        if queue or any(tracker.unfinished for tracker in trackers):
+        if queue or realloc_queue or any(tracker.unfinished for tracker in trackers):
             stuck = [t.job.job_id for t in trackers if t.unfinished]
             raise SimulationError(f"simulation ended with unfinished jobs: {stuck[:10]}")
 
         end_time = max((o.completion_time_s for o in outcomes), default=0.0)
         for server in servers:
-            server.sync(end_time)
+            # A fault handled after the last completion may have synced
+            # its server past end_time; never rewind.
+            server.sync(max(end_time, server.last_sync_s))
 
         if enabled:
             g_queue.set(0)
@@ -460,4 +707,5 @@ class DatacenterSimulator:
                 if config.record_chronicles
                 else ()
             ),
+            fault_log=tuple(fault_log),
         )

@@ -67,6 +67,10 @@ class ServerRuntime:
         self._power_off_when_empty = power_off_when_empty
         self._powered_since_s: float | None = None  # None = off
         self.epoch = 0
+        #: Crashed servers host nothing and draw nothing until recovery
+        #: (see repro.faults); all mutations except recover() reject.
+        self.failed = False
+        self._slowdown_factor = 1.0
         if record_chronicle:
             from repro.sim.chronicle import Chronicle
 
@@ -87,6 +91,16 @@ class ServerRuntime:
     @property
     def powered_on(self) -> bool:
         return self._powered_since_s is not None
+
+    @property
+    def slowdown_factor(self) -> float:
+        """Transient-fault progress multiplier (1.0 = nominal speed)."""
+        return self._slowdown_factor
+
+    @property
+    def last_sync_s(self) -> float:
+        """Sim time up to which progress/energy are integrated."""
+        return self._last_sync_s
 
     def mix_key(self) -> MixKey:
         """Current (Ncpu, Nmem, Nio) counts."""
@@ -140,7 +154,9 @@ class ServerRuntime:
                 t = now_s
                 break
             views = [vm.active_view() for vm in self._vms]
-            slowdowns = self._model.slowdowns(views)
+            # Multiplying by the (usually 1.0) transient-fault factor is
+            # exact, so the unfaulted path is bit-identical to before.
+            slowdowns = [s * self._slowdown_factor for s in self._model.slowdowns(views)]
             loads = self._model.subsystem_loads(views)
             power = instantaneous_power(loads, len(self._vms), self.spec.power)
             next_boundary = min(
@@ -178,6 +194,10 @@ class ServerRuntime:
                 f"server {self.server_id}: add_vm at {now_s} without sync "
                 f"(last sync {self._last_sync_s})"
             )
+        if self.failed:
+            raise SimulationError(
+                f"server {self.server_id}: cannot place VM on a failed server"
+            )
         if not self.powered_on:
             self._powered_since_s = now_s
         vm.place(self.server_id, now_s)
@@ -194,6 +214,10 @@ class ServerRuntime:
         if abs(now_s - self._last_sync_s) > 1e-6:
             raise SimulationError(
                 f"server {self.server_id}: attach_vm at {now_s} without sync"
+            )
+        if self.failed:
+            raise SimulationError(
+                f"server {self.server_id}: cannot attach VM to a failed server"
             )
         if vm.done:
             raise SimulationError(f"cannot attach finished VM {vm.vm_id!r}")
@@ -238,7 +262,7 @@ class ServerRuntime:
         slowdowns = self._model.slowdowns(views)
         earliest = None
         for vm, slowdown in zip(self._vms, slowdowns):
-            eta = vm.remaining[vm.stage] * slowdown
+            eta = vm.remaining[vm.stage] * slowdown * self._slowdown_factor
             if earliest is None or eta < earliest:
                 earliest = eta
         assert earliest is not None
@@ -260,3 +284,59 @@ class ServerRuntime:
                 f"server {self.server_id}: cannot power off with {len(self._vms)} VMs"
             )
         self._powered_since_s = None
+
+    # -- fault injection --------------------------------------------------
+
+    def fail(self, now_s: float) -> list[SimVM]:
+        """Crash the server, evicting its unfinished VMs.
+
+        Caller must have synced to ``now_s`` first (so finished VMs
+        were already harvested through :meth:`sync` and progress is
+        integrated up to the crash instant).  Returns the evicted VMs
+        with their progress state intact; the datacenter driver turns
+        them into fresh re-allocation requests.
+        """
+        if abs(now_s - self._last_sync_s) > 1e-6:
+            raise SimulationError(
+                f"server {self.server_id}: fail at {now_s} without sync"
+            )
+        if self.failed:
+            raise SimulationError(f"server {self.server_id}: already failed")
+        evicted = [vm for vm in self._vms if not vm.done]
+        self._vms.clear()
+        self.epoch += 1
+        self._powered_since_s = None
+        self._slowdown_factor = 1.0
+        self.failed = True
+        return evicted
+
+    def recover(self, now_s: float) -> None:
+        """Return a crashed server to service (still powered off)."""
+        if not self.failed:
+            raise SimulationError(
+                f"server {self.server_id}: recover without a prior crash"
+            )
+        self.sync(now_s)
+        self.failed = False
+
+    def set_slowdown(self, factor: float, now_s: float) -> None:
+        """Begin a transient slowdown; caller must have synced first."""
+        if factor < 1.0:
+            raise SimulationError(
+                f"server {self.server_id}: slowdown factor must be >= 1, got {factor}"
+            )
+        if abs(now_s - self._last_sync_s) > 1e-6:
+            raise SimulationError(
+                f"server {self.server_id}: set_slowdown at {now_s} without sync"
+            )
+        self._slowdown_factor = factor
+        self.epoch += 1
+
+    def clear_slowdown(self, now_s: float) -> None:
+        """End a transient slowdown; caller must have synced first."""
+        if abs(now_s - self._last_sync_s) > 1e-6:
+            raise SimulationError(
+                f"server {self.server_id}: clear_slowdown at {now_s} without sync"
+            )
+        self._slowdown_factor = 1.0
+        self.epoch += 1

@@ -76,6 +76,22 @@ class AllocationStrategy(abc.ABC):
         every state change.
         """
 
+    def reallocate(
+        self,
+        vms: Sequence[VMDescriptor],
+        servers: Sequence[ServerView],
+    ) -> Optional[Mapping[str, str]]:
+        """Re-place VMs evicted by a server failure.
+
+        Evicted VMs keep their progress, so a fast re-placement
+        matters more than an optimal one; the default simply reuses
+        :meth:`place`.  Strategies can override to treat displaced
+        work differently (e.g. ignore consolidation thresholds).  The
+        same atomicity contract applies: cover all VMs or return
+        ``None`` to leave them queued.
+        """
+        return self.place(vms, servers)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name}>"
 

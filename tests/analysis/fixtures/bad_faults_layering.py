@@ -1,0 +1,12 @@
+# repro-fixture-module: repro.faults.badup
+"""Golden fixture: the fault layer reaching up into its consumers.
+
+``repro.faults`` is plain declarative data (specs, schedules, records)
+consumed by the simulator and the execution engine; importing either
+consumer -- or the strategy layer -- from it inverts the layer order.
+"""
+
+from repro.sim.datacenter import DatacenterSimulator  # expect layering-import
+from repro.strategies.base import AllocationStrategy  # expect layering-import
+
+__all__ = ["DatacenterSimulator", "AllocationStrategy"]

@@ -85,6 +85,36 @@ class TestLayeringRules:
         assert len(result.violations) == 1
         assert "experiments" in result.violations[0].message
 
+    def test_faults_layer_may_not_import_consumers(self):
+        # repro.faults is plain data under sim/exec; importing either
+        # consumer (or strategies) from it inverts the layer order.
+        result = lint_fixture("bad_faults_layering.py", "layering-import")
+        assert len(result.violations) == 2
+        messages = " ".join(v.message for v in result.violations)
+        assert "repro.sim" in messages
+        assert "repro.strategies" in messages
+
+    def test_faults_layer_may_import_common_and_obs(self, tmp_path):
+        ok = tmp_path / "ok_faults.py"
+        ok.write_text(
+            "# repro-fixture-module: repro.faults.okdown\n"
+            "from repro.common.errors import FaultSpecError\n"
+            "from repro.obs.registry import MetricsRegistry\n",
+            encoding="utf-8",
+        )
+        result = run_lint([ok], rules={"layering-import"})
+        assert result.ok
+
+    def test_sim_and_exec_may_import_faults(self, tmp_path):
+        ok = tmp_path / "ok_consumers.py"
+        ok.write_text(
+            "# repro-fixture-module: repro.exec.okfaults\n"
+            "from repro.faults import WorkerFaultPlan\n",
+            encoding="utf-8",
+        )
+        result = run_lint([ok], rules={"layering-import"})
+        assert result.ok
+
     def test_exec_may_import_sim_and_obs(self, tmp_path):
         ok = tmp_path / "ok_exec.py"
         ok.write_text(

@@ -1,0 +1,128 @@
+"""Worker-failure injection and the engine's bounded-retry policy.
+
+``pmap(fault_plan=...)`` injects :class:`TransientTaskError` before a
+task's function runs; the engine retries with deterministic backoff up
+to :data:`MAX_TASK_ATTEMPTS` attempts, then the parent re-executes the
+task itself (the counted serial last resort).  Values, ordering and
+merged observability state must be unaffected at any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError, FaultSpecError, TransientTaskError
+from repro.exec import MAX_TASK_ATTEMPTS, pmap, retry_backoff_s
+from repro.exec.engine import RETRY_BACKOFF_BASE_S
+from repro.exec.merge import RESCUES_TOTAL
+from repro.faults import FAULTS_INJECTED, FAULTS_RETRIES, WorkerFaultPlan
+from repro.obs.runtime import observed
+
+from .workers import always_transient, flaky, reset_flaky, square
+
+ITEMS = list(range(8))
+#: Task 0 fails once, task 3 twice (both recover in-worker); task 5
+#: fails more times than the engine will attempt, forcing a rescue.
+PLAN = {0: 1, 3: 2, 5: MAX_TASK_ATTEMPTS + 2}
+
+
+class TestBackoff:
+    def test_exponential_schedule(self):
+        assert retry_backoff_s(1) == pytest.approx(RETRY_BACKOFF_BASE_S)
+        assert retry_backoff_s(2) == pytest.approx(2 * RETRY_BACKOFF_BASE_S)
+        assert retry_backoff_s(3) == pytest.approx(4 * RETRY_BACKOFF_BASE_S)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            retry_backoff_s(0)
+
+
+class TestInjection:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_values_unaffected_by_injection(self, jobs):
+        assert pmap(square, ITEMS, jobs=jobs, fault_plan=PLAN) == [
+            i * i for i in ITEMS
+        ]
+
+    def test_plain_mapping_normalized(self):
+        plan = WorkerFaultPlan(failures=PLAN)
+        assert pmap(square, ITEMS, jobs=1, fault_plan=plan) == pmap(
+            square, ITEMS, jobs=1, fault_plan=PLAN
+        )
+
+    def test_bad_plan_rejected(self):
+        with pytest.raises(FaultSpecError, match="failure count"):
+            pmap(square, ITEMS, jobs=1, fault_plan={0: 0})
+        with pytest.raises(FaultSpecError, match="task index"):
+            pmap(square, ITEMS, jobs=1, fault_plan={-2: 1})
+
+    def test_out_of_range_task_indexes_are_inert(self):
+        # A plan for task 99 of an 8-item map simply never fires.
+        assert pmap(square, ITEMS, jobs=1, fault_plan={99: 2}) == [
+            i * i for i in ITEMS
+        ]
+
+    def test_on_result_fires_once_per_task(self):
+        seen = []
+        pmap(square, ITEMS, jobs=1, fault_plan=PLAN, on_result=lambda i, v: seen.append(i))
+        assert sorted(seen) == ITEMS
+
+
+class TestCounters:
+    def run_observed(self, jobs):
+        with observed(deterministic=True) as bundle:
+            values = pmap(square, ITEMS, jobs=jobs, fault_plan=PLAN)
+            counters = dict(bundle.registry.counter_values())
+            snapshot = bundle.snapshot()
+        return values, counters, snapshot
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_retry_accounting(self, jobs):
+        _, counters, _ = self.run_observed(jobs)
+        # Injections are capped by the attempt budget: 1 + 2 for the
+        # recovering tasks, MAX_TASK_ATTEMPTS for the exhausted one.
+        assert counters[FAULTS_INJECTED] == 3 + MAX_TASK_ATTEMPTS
+        # Retries are the sleeps taken: 1 + 2 + (MAX_TASK_ATTEMPTS - 1).
+        assert counters[FAULTS_RETRIES] == 3 + MAX_TASK_ATTEMPTS - 1
+        assert counters[RESCUES_TOTAL] == 1
+
+    def test_serial_pool_snapshot_identity(self):
+        serial_values, _, serial_snapshot = self.run_observed(jobs=1)
+        pool_values, _, pool_snapshot = self.run_observed(jobs=3)
+        assert serial_values == pool_values
+        assert json.dumps(serial_snapshot, sort_keys=True) == json.dumps(
+            pool_snapshot, sort_keys=True
+        )
+
+    def test_no_plan_leaves_no_fault_counters(self):
+        with observed(deterministic=True) as bundle:
+            pmap(square, ITEMS, jobs=1)
+            counters = bundle.registry.counter_values()
+        assert FAULTS_INJECTED not in counters
+        assert FAULTS_RETRIES not in counters
+        assert RESCUES_TOTAL not in counters
+
+
+class TestFunctionRaisedTransients:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_flaky_function_retried_to_success(self, jobs):
+        reset_flaky()
+        # Each item fails twice then succeeds: within the attempt budget.
+        assert pmap(flaky, [1, 2], jobs=jobs, payload=2) == [1, 4]
+
+    def test_flaky_retries_counted(self):
+        reset_flaky()
+        with observed(deterministic=True) as bundle:
+            pmap(flaky, [1, 2], jobs=1, payload=2)
+            counters = bundle.registry.counter_values()
+        assert counters[FAULTS_RETRIES] == 4
+        # fn-raised transients are real failures, not injections.
+        assert FAULTS_INJECTED not in counters
+
+    def test_always_transient_propagates_from_rescue(self):
+        # Exhausts in the worker, then fails the parent's rescue too:
+        # the error must surface, not be swallowed.
+        with pytest.raises(TransientTaskError, match="never succeeds"):
+            pmap(always_transient, [0], jobs=1)

@@ -34,6 +34,32 @@ def boom(payload, item):
     return item
 
 
+#: Per-process attempt counts for :func:`flaky` (attempts of one task
+#: all run in the same process, so a module global sees every retry).
+_FLAKY_ATTEMPTS: dict = {}
+
+
+def reset_flaky():
+    _FLAKY_ATTEMPTS.clear()
+
+
+def flaky(payload, item):
+    """Raise TransientTaskError for the first ``payload`` calls per item."""
+    from repro.common.errors import TransientTaskError
+
+    attempts = _FLAKY_ATTEMPTS.get(item, 0) + 1
+    _FLAKY_ATTEMPTS[item] = attempts
+    if attempts <= (payload or 0):
+        raise TransientTaskError(f"flaky item {item} attempt {attempts}")
+    return item * item
+
+
+def always_transient(payload, item):
+    from repro.common.errors import TransientTaskError
+
+    raise TransientTaskError(f"item {item} never succeeds")
+
+
 def nested(payload, item):
     """A worker that itself calls pmap (must degrade to serial)."""
     from repro.exec import pmap

@@ -1,0 +1,109 @@
+"""Fault injection must preserve the engine's determinism contract.
+
+Same (workload, strategy lineup, fault spec) must give bit-identical
+results -- outcome tuples, merged metrics snapshots, deterministic
+traces -- at any worker count, and an empty spec must leave the
+fault-free paths byte-identical (no stray counters, no fault records).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.config import SMALLER
+from repro.experiments.evaluation import run_evaluation
+from repro.faults import FaultEvent, FaultKind, FaultSpec, RandomFaults
+from repro.obs.runtime import observed
+
+SCALE = 300
+
+#: Chaos that always leaves the (2-server) scaled cluster able to
+#: finish: the crash recovers, the slowdown ends, and worker failures
+#: are retried by the engine.  Cell (task) indexes 0..5 cover the
+#: paper's 6-strategy lineup over one cloud.
+CHAOS = FaultSpec(
+    events=(
+        FaultEvent(kind=FaultKind.SERVER_CRASH, time_s=900.0, server=1),
+        FaultEvent(kind=FaultKind.SERVER_RECOVER, time_s=1200.0, server=1),
+        FaultEvent(
+            kind=FaultKind.SLOWDOWN, time_s=300.0, server=0, duration_s=400.0, factor=1.5
+        ),
+        FaultEvent(kind=FaultKind.WORKER_FAILURE, task=1, times=2),
+        FaultEvent(kind=FaultKind.WORKER_FAILURE, task=4, times=1),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SMALLER.scaled(SCALE)
+
+
+def run_once(campaign, config, jobs, faults):
+    sink = io.StringIO()
+    with observed(trace_sink=sink, deterministic=True) as bundle:
+        result = run_evaluation(
+            configs=[config], campaign=campaign, jobs=jobs, faults=faults
+        )
+        snapshot = bundle.snapshot()
+    return result, snapshot, sink.getvalue()
+
+
+class TestFaultedSerialParallelIdentity:
+    def test_faulted_run_identical_at_any_worker_count(self, campaign, tiny_config):
+        serial, serial_snapshot, serial_trace = run_once(
+            campaign, tiny_config, jobs=1, faults=CHAOS
+        )
+        parallel, parallel_snapshot, parallel_trace = run_once(
+            campaign, tiny_config, jobs=4, faults=CHAOS
+        )
+        assert serial.outcomes == parallel.outcomes
+        assert serial == parallel
+        assert json.dumps(serial_snapshot, sort_keys=True) == json.dumps(
+            parallel_snapshot, sort_keys=True
+        )
+        assert serial_trace == parallel_trace
+
+    def test_fault_counters_present_and_identical(self, campaign, tiny_config):
+        _, snapshot, _ = run_once(campaign, tiny_config, jobs=2, faults=CHAOS)
+        counters = snapshot["counters"]
+        assert any(key.startswith("faults.injected") for key in counters)
+        assert any(key.startswith("faults.retries") for key in counters)
+        # 2 + 1 worker failures, all retried to success.
+        assert sum(v for k, v in counters.items() if k.startswith("faults.retries")) == 3
+
+    def test_faulted_run_repeats_bit_identical(self, campaign, tiny_config):
+        first = run_once(campaign, tiny_config, jobs=2, faults=CHAOS)
+        second = run_once(campaign, tiny_config, jobs=2, faults=CHAOS)
+        assert first[0] == second[0]
+        assert json.dumps(first[1], sort_keys=True) == json.dumps(
+            second[1], sort_keys=True
+        )
+        assert first[2] == second[2]
+
+
+class TestEmptySpecIsInert:
+    def test_empty_spec_identical_to_no_faults(self, campaign, tiny_config):
+        plain = run_once(campaign, tiny_config, jobs=1, faults=None)
+        empty = run_once(campaign, tiny_config, jobs=1, faults=FaultSpec())
+        assert plain[0] == empty[0]
+        assert json.dumps(plain[1], sort_keys=True) == json.dumps(
+            empty[1], sort_keys=True
+        )
+        assert plain[2] == empty[2]
+
+    def test_zero_rate_random_spec_identical_to_no_faults(self, campaign, tiny_config):
+        plain = run_once(campaign, tiny_config, jobs=1, faults=None)
+        zero = run_once(
+            campaign,
+            tiny_config,
+            jobs=1,
+            faults=FaultSpec(random=RandomFaults(crash_rate_per_1000s=0.0), seed=5),
+        )
+        assert plain[0] == zero[0]
+        assert json.dumps(plain[1], sort_keys=True) == json.dumps(
+            zero[1], sort_keys=True
+        )

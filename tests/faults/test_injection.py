@@ -1,0 +1,269 @@
+"""Chaos tests: fault injection against the datacenter simulator.
+
+The accounting invariants pinned here: crashes lose work but never
+energy already burned, evicted VMs keep their identity and deadline
+(faults can only add SLA violations), no-op injections are recorded
+with ``applied=False`` and change nothing, and the whole faulted run
+is deterministic -- same (schedule, trace, strategy, seed) twice gives
+identical outcomes, metrics and fault logs.
+"""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.faults import (
+    FAULTS_INJECTED,
+    FAULTS_REALLOCATIONS,
+    FaultEvent,
+    FaultKind,
+    FaultSpec,
+    materialize,
+)
+from repro.obs.runtime import observed
+from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator
+from repro.strategies import FirstFitStrategy
+from repro.testbed.benchmarks import WorkloadClass
+from repro.workloads.assignment import PreparedJob
+from repro.workloads.qos import QoSPolicy
+
+#: Solo fftw (CPU class) reference runtime on the default server.
+SOLO_S = 600.0
+
+
+def job(job_id=1, submit=0.0, n_vms=1):
+    return PreparedJob(
+        job_id=job_id,
+        submit_time_s=submit,
+        workload_class=WorkloadClass.CPU,
+        n_vms=n_vms,
+        burst_id=job_id,
+    )
+
+
+def spec(*events):
+    return FaultSpec(events=tuple(events))
+
+
+def crash(t, server=0):
+    return FaultEvent(kind=FaultKind.SERVER_CRASH, time_s=t, server=server)
+
+
+def recover(t, server=0):
+    return FaultEvent(kind=FaultKind.SERVER_RECOVER, time_s=t, server=server)
+
+
+def abort(t, vm):
+    return FaultEvent(kind=FaultKind.VM_ABORT, time_s=t, vm=vm)
+
+
+def slowdown(t, duration_s, factor, server=0):
+    return FaultEvent(
+        kind=FaultKind.SLOWDOWN, time_s=t, server=server, duration_s=duration_s,
+        factor=factor,
+    )
+
+
+def run(jobs, fault_spec=None, n_servers=2, qos=None, record_chronicles=False):
+    config = DatacenterConfig(n_servers=n_servers, record_chronicles=record_chronicles)
+    simulator = DatacenterSimulator(config)
+    schedule = (
+        materialize(fault_spec, n_servers) if fault_spec is not None else None
+    )
+    return simulator.run(
+        jobs,
+        FirstFitStrategy(1),
+        qos if qos is not None else QoSPolicy.unlimited(),
+        faults=schedule,
+    )
+
+
+class TestServerCrash:
+    def test_crash_restarts_evicted_vm_elsewhere(self):
+        result = run([job()], spec(crash(100.0)))
+        assert result.metrics.n_jobs == 1
+        # Work restarts from scratch on the surviving server.
+        outcome = result.outcomes[0]
+        assert outcome.completion_time_s == pytest.approx(100.0 + SOLO_S, rel=1e-6)
+
+    def test_crash_record_carries_eviction_details(self):
+        result = run([job()], spec(crash(100.0)))
+        [record] = result.fault_log
+        assert record.applied
+        assert record.kind == "crash"
+        assert record.target == "s0000"
+        assert record.vm_ids == ("j1-0",)
+        assert record.lost_work_s == pytest.approx(100.0, rel=1e-6)
+
+    def test_burned_energy_stays_accounted(self):
+        plain = run([job()])
+        faulted = run([job()], spec(crash(100.0)))
+        # 100 s of discarded progress still drew power: strictly more
+        # energy than the clean run, not a refund.
+        assert faulted.metrics.energy_j > plain.metrics.energy_j
+
+    def test_crash_can_only_add_sla_violations(self):
+        qos = QoSPolicy(max_response_s={wc: SOLO_S + 50.0 for wc in WorkloadClass})
+        plain = run([job()], qos=qos)
+        faulted = run([job()], spec(crash(100.0)), qos=qos)
+        assert plain.metrics.sla_violations == 0
+        assert faulted.metrics.sla_violations == 1
+
+    def test_crash_with_nowhere_to_go_fails_loudly(self):
+        with pytest.raises(SimulationError, match="unfinished"):
+            run([job()], spec(crash(100.0)), n_servers=1)
+
+    def test_crash_then_recover_resumes_single_server(self):
+        result = run([job()], spec(crash(100.0), recover(150.0)), n_servers=1)
+        assert result.outcomes[0].completion_time_s == pytest.approx(
+            150.0 + SOLO_S, rel=1e-6
+        )
+
+    def test_crash_on_failed_server_is_noop(self):
+        result = run(
+            [job()], spec(crash(100.0), crash(110.0), recover(150.0)), n_servers=1
+        )
+        noop = result.fault_log[1]
+        assert not noop.applied
+        assert noop.detail == "already failed"
+        assert noop.vm_ids == ()
+
+    def test_recover_on_healthy_server_is_noop(self):
+        result = run([job()], spec(recover(100.0)))
+        [record] = result.fault_log
+        assert not record.applied
+        assert record.detail == "not failed"
+
+    def test_crash_of_idle_server_after_completion(self):
+        # Applies cleanly (nothing to evict) and must not corrupt the
+        # final energy sync even though it lands past the makespan.
+        result = run([job()], spec(crash(SOLO_S + 400.0)))
+        [record] = result.fault_log
+        assert record.applied
+        assert record.vm_ids == ()
+        assert result.metrics.makespan_s == pytest.approx(SOLO_S, rel=1e-6)
+
+    def test_multi_vm_job_evicted_and_replaced_as_group(self):
+        result = run([job(n_vms=3)], spec(crash(100.0)))
+        [record] = result.fault_log
+        assert set(record.vm_ids) == {"j1-0", "j1-1", "j1-2"}
+        assert record.lost_work_s > 100.0  # 3 VMs each lose their progress
+        assert result.metrics.n_jobs == 1
+
+
+class TestVMAbort:
+    def test_abort_restarts_one_vm(self):
+        result = run([job()], spec(abort(200.0, "j1-0")), n_servers=1)
+        assert result.outcomes[0].completion_time_s == pytest.approx(
+            200.0 + SOLO_S, rel=1e-6
+        )
+        [record] = result.fault_log
+        assert record.applied
+        assert record.kind == "abort_vm"
+        assert record.lost_work_s == pytest.approx(200.0, rel=1e-6)
+
+    def test_abort_unknown_vm_is_noop(self):
+        result = run([job()], spec(abort(100.0, "no-such-vm")))
+        [record] = result.fault_log
+        assert not record.applied
+        assert record.detail == "unknown VM"
+
+    def test_abort_after_completion_is_noop(self):
+        result = run([job()], spec(abort(SOLO_S + 100.0, "j1-0")))
+        [record] = result.fault_log
+        assert not record.applied
+        assert result.metrics.makespan_s == pytest.approx(SOLO_S, rel=1e-6)
+
+    def test_abort_queued_vm_is_noop(self):
+        # Job 2 waits behind job 1 on a full server; aborting a VM that
+        # has not started yet cannot apply.
+        jobs = [job(job_id=1, n_vms=4), job(job_id=2, n_vms=4)]
+        result = run(jobs, spec(abort(100.0, "j2-0")), n_servers=1)
+        [record] = result.fault_log
+        assert not record.applied
+        assert "pending" in record.detail or "VM is" in record.detail
+
+
+class TestSlowdown:
+    def test_slowdown_stretches_execution(self):
+        # Factor 2 over [100, 300): 200 wall seconds yield 100 s of
+        # progress, pushing completion from 600 to 700.
+        result = run([job()], spec(slowdown(100.0, 200.0, 2.0)), n_servers=1)
+        assert result.outcomes[0].completion_time_s == pytest.approx(
+            SOLO_S + 100.0, rel=1e-6
+        )
+
+    def test_slowdown_records_start_and_end(self):
+        result = run([job()], spec(slowdown(100.0, 200.0, 2.0)), n_servers=1)
+        kinds = [record.kind for record in result.fault_log]
+        assert kinds == ["slowdown_start", "slowdown_end"]
+        assert all(record.applied for record in result.fault_log)
+
+    def test_slowdown_on_failed_server_is_noop(self):
+        result = run(
+            [job()], spec(crash(50.0), slowdown(100.0, 50.0, 2.0)), n_servers=2
+        )
+        start = next(r for r in result.fault_log if r.kind == "slowdown_start")
+        end = next(r for r in result.fault_log if r.kind == "slowdown_end")
+        assert not start.applied and start.detail == "server failed"
+        assert not end.applied
+
+    def test_factor_one_slowdown_changes_nothing(self):
+        plain = run([job()])
+        unity = run([job()], spec(slowdown(100.0, 200.0, 1.0)))
+        assert unity.outcomes == plain.outcomes
+        assert unity.metrics == plain.metrics
+
+
+class TestDeterminismAndNoFault:
+    def test_same_schedule_same_result(self):
+        chaos = spec(
+            crash(80.0), recover(140.0), abort(220.0, "j2-0"),
+            slowdown(50.0, 100.0, 1.5, server=1),
+        )
+        jobs = [job(job_id=1, n_vms=2), job(job_id=2, submit=30.0, n_vms=2)]
+        first = run(jobs, chaos, n_servers=3)
+        second = run(jobs, chaos, n_servers=3)
+        assert first.outcomes == second.outcomes
+        assert first.metrics == second.metrics
+        assert first.fault_log == second.fault_log
+
+    def test_empty_schedule_is_bit_identical_to_no_faults(self):
+        jobs = [job(job_id=1, n_vms=2), job(job_id=2, submit=30.0)]
+        plain = run(jobs)
+        empty = run(jobs, FaultSpec())
+        assert empty == plain
+        assert empty.fault_log == ()
+
+
+class TestObservability:
+    def test_fault_counters_match_the_log(self):
+        chaos = spec(crash(100.0), recover(9999.0), abort(4000.0, "j1-0"))
+        with observed(deterministic=True) as bundle:
+            result = run([job(n_vms=2)], chaos)
+            injected = sum(
+                bundle.registry.counter_values(FAULTS_INJECTED).values()
+            )
+            reallocated = sum(
+                bundle.registry.counter_values(FAULTS_REALLOCATIONS).values()
+            )
+        applied = [record for record in result.fault_log if record.applied]
+        assert injected == len(applied)
+        # Crash evicts 2 VMs, both re-placed; the abort at 4000 s lands
+        # after completion (no-op) and the recover targets a healthy
+        # server, so only the crash contributes re-allocations.
+        assert reallocated == 2
+
+    def test_no_fault_run_emits_no_fault_counters(self):
+        with observed(deterministic=True) as bundle:
+            run([job()])
+            snapshot = bundle.snapshot()
+        assert not [key for key in snapshot["counters"] if key.startswith("faults.")]
+
+    def test_chronicle_notes_crash_and_replacement(self):
+        result = run([job()], spec(crash(100.0)), record_chronicles=True)
+        crash_notes = [n for n in result.chronicles[0].notes if n.kind == "crash"]
+        replace_notes = [n for n in result.chronicles[1].notes if n.kind == "replace"]
+        assert len(crash_notes) == 1
+        assert crash_notes[0].detail == "evicted=1"
+        assert len(replace_notes) == 1
+        assert replace_notes[0].detail == "j1-0"

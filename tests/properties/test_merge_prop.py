@@ -1,0 +1,144 @@
+"""Order-independence properties of cross-process registry merging.
+
+``merge_state`` is what makes a fanned-out run end bit-identical to a
+serial one, so its algebra matters: counters and histogram tallies are
+commutative (any permutation of worker dumps merges to the same
+state), while gauge *values* are documented last-writer -- merging in
+task order reproduces the serial outcome -- with permutation-invariant
+extrema and update counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import MetricsRegistry
+
+NAMES = ["a.count", "b.count", "c.gauge", "d.hist"]
+
+op = st.one_of(
+    st.tuples(
+        st.just("counter"),
+        st.sampled_from(NAMES[:2]),
+        st.integers(min_value=1, max_value=100),
+    ),
+    st.tuples(
+        st.just("gauge"),
+        st.just(NAMES[2]),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    st.tuples(
+        st.just("histogram"),
+        st.just(NAMES[3]),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+)
+
+#: Each worker is a short program of instrument updates.
+worker_programs = st.lists(
+    st.lists(op, min_size=0, max_size=8), min_size=1, max_size=6
+)
+
+
+def run_program(program):
+    registry = MetricsRegistry()
+    for kind, name, value in program:
+        if kind == "counter":
+            registry.counter(name).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name).set(value)
+        else:
+            registry.histogram(name, unit="s").observe(value)
+    return registry.dump_state()
+
+
+def merged(dumps):
+    registry = MetricsRegistry()
+    for dump in dumps:
+        registry.merge_state(dump)
+    return registry.dump_state()
+
+
+def split(dump):
+    """(order-invariant records, gauge values, histogram sums).
+
+    Gauge *values* are last-writer (order-dependent by design) and a
+    histogram's ``sum`` accumulates floats, so permuting the merge
+    order can move it by rounding ulps; both are pulled out of the
+    exact comparison and asserted separately.
+    """
+    invariant = []
+    gauge_values = {}
+    histogram_sums = {}
+    for record in dump:
+        if record["kind"] == "gauge":
+            gauge_values[record["name"]] = record["value"]
+            invariant.append(
+                {key: record[key] for key in ("name", "kind", "max", "min", "updates")}
+            )
+        elif record["kind"] == "histogram":
+            histogram_sums[record["name"]] = record["sum"]
+            invariant.append({k: v for k, v in record.items() if k != "sum"})
+        else:
+            invariant.append(record)
+    return invariant, gauge_values, histogram_sums
+
+
+class TestMergePermutationInvariance:
+    @given(worker_programs, st.randoms(use_true_random=False))
+    @settings(max_examples=80, derandomize=True)
+    def test_counters_histograms_and_gauge_extrema_commute(self, programs, rng):
+        dumps = [run_program(program) for program in programs]
+        shuffled = list(dumps)
+        rng.shuffle(shuffled)
+        base_invariant, _, base_sums = split(merged(dumps))
+        shuffled_invariant, _, shuffled_sums = split(merged(shuffled))
+        assert base_invariant == shuffled_invariant
+        assert shuffled_sums == pytest.approx(base_sums)
+
+    @given(worker_programs)
+    @settings(max_examples=80, derandomize=True)
+    def test_gauge_value_is_last_writer_in_merge_order(self, programs):
+        dumps = [run_program(program) for program in programs]
+        _, gauge_values, _ = split(merged(dumps))
+        last_written = {}
+        for program in programs:  # merge order == task order
+            for kind, name, value in program:
+                if kind == "gauge":
+                    last_written[name] = value
+        assert gauge_values == last_written
+
+    @given(worker_programs)
+    @settings(max_examples=60, derandomize=True)
+    def test_merge_equals_one_serial_registry(self, programs):
+        # Folding per-worker dumps in task order must reproduce the
+        # registry a single serial run of all programs would build.
+        serial = MetricsRegistry()
+        for program in programs:
+            for kind, name, value in program:
+                if kind == "counter":
+                    serial.counter(name).inc(value)
+                elif kind == "gauge":
+                    serial.gauge(name).set(value)
+                else:
+                    serial.histogram(name, unit="s").observe(value)
+        merged_invariant, merged_gauges, merged_sums = split(
+            merged(run_program(p) for p in programs)
+        )
+        serial_invariant, serial_gauges, serial_sums = split(serial.dump_state())
+        assert merged_invariant == serial_invariant
+        assert merged_gauges == serial_gauges
+        # The merge adds per-worker subtotals where the serial run adds
+        # one observation at a time: equal up to float associativity.
+        assert merged_sums == pytest.approx(serial_sums)
+
+    @given(worker_programs)
+    @settings(max_examples=40, derandomize=True)
+    def test_merge_is_idempotent_on_empty_dumps(self, programs):
+        dumps = [run_program(program) for program in programs]
+        with_empties = []
+        for dump in dumps:
+            with_empties.extend([[], dump, []])
+        assert merged(with_empties) == merged(dumps)
