@@ -16,6 +16,13 @@ metrics + tracing.  ``scripts/check_bench_regression.py`` compares
 that file against the committed ``BENCH_allocator_baseline.json`` and
 fails when the enabled-observability overhead exceeds its bound.
 
+An ``anytime`` section times automatic mode selection on batches past
+the exact-affordable threshold (16/24/32 VMs, where exhaustive
+enumeration takes seconds to minutes) and records the anytime/exact
+quality ratio at batch 16 under the shared :func:`plan_objective`; the
+regression gate holds those p50s under absolute ceilings and the ratio
+under the 5% quality bound.
+
 Run:  PYTHONPATH=src python benchmarks/bench_perf_allocator.py [--quick]
 """
 
@@ -29,7 +36,12 @@ import time
 from pathlib import Path
 
 from repro.campaign.platformrunner import run_campaign
-from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.allocator import (
+    ProactiveAllocator,
+    ServerState,
+    VMRequest,
+    plan_objective,
+)
 from repro.core.model import ModelDatabase
 from repro.obs.runtime import observed
 from repro.testbed.benchmarks import WorkloadClass
@@ -45,6 +57,11 @@ N_SERVERS = 16
 #: so it gets fewer samples than the optimized path.
 OPT_REPEATS = {8: 9, 16: 3, 24: 5}
 SEED_REPEATS = {8: 3, 16: 1, 24: 3}
+
+#: batch size -> (Ncpu, Nmem, Nio) for the anytime-mode section; every
+#: mix clears the exact_partition_limit so automatic selection engages.
+ANYTIME_BATCHES = {16: (6, 5, 5), 24: (10, 7, 7), 32: (12, 10, 10)}
+ANYTIME_REPEATS = {16: 9, 24: 7, 32: 5}
 
 
 class SeedDatabase:
@@ -149,7 +166,11 @@ def run(quick=False):
         if quick and size == 16:
             continue
         requests = make_requests(counts)
-        optimized = ProactiveAllocator(database, alpha=ALPHA, strict_qos=False)
+        # The exact-vs-seed identity claim needs the exact enumerator;
+        # batch 16 would otherwise auto-select the anytime mode.
+        optimized = ProactiveAllocator(
+            database, alpha=ALPHA, strict_qos=False, anytime=False
+        )
         seed = ProactiveAllocator(seed_db, alpha=ALPHA, strict_qos=False)
 
         opt_samples, opt_plan = time_calls(
@@ -188,11 +209,87 @@ def run(quick=False):
             f"retained {provenance.frontier_peak}/{provenance.candidates_feasible}"
         )
 
+    report["anytime"] = bench_anytime(database, servers, quick=quick)
     report["observability"] = bench_observability(database, servers, quick=quick)
 
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
     return report
+
+
+def bench_anytime(database, servers, quick=False):
+    """Automatic anytime selection on exact-unaffordable batches.
+
+    Times ``allocate`` with default (automatic) mode selection on the
+    :data:`ANYTIME_BATCHES` mixes -- each past the partition-count
+    threshold, so the beam + local-search path must engage -- and, at
+    batch 16, prices the quality of the anytime plan against the exact
+    optimum with :func:`plan_objective` (one exact call; ~10 s).
+    """
+    section = {"batches": {}, "quality": None}
+    for size, counts in ANYTIME_BATCHES.items():
+        requests = make_requests(counts)
+        allocator = ProactiveAllocator(database, alpha=ALPHA, strict_qos=False)
+        repeats = 3 if quick else ANYTIME_REPEATS[size]
+        samples, plan = time_calls(
+            lambda: allocator.allocate(requests, servers), repeats
+        )
+        provenance = plan.search_provenance
+        assert provenance.mode == "anytime", (
+            f"anytime batch {size}: expected automatic anytime selection, "
+            f"got {provenance.mode}"
+        )
+        p50 = percentile(samples, 50)
+        section["batches"][str(size)] = {
+            "counts": list(counts),
+            "p50_s": p50,
+            "p95_s": percentile(samples, 95),
+            "samples_s": samples,
+            "beam_width": provenance.anytime_beam_width,
+            "rounds": provenance.anytime_rounds,
+            "evaluated": provenance.anytime_evaluated,
+        }
+        print(
+            f"anytime batch {size:>2d} {counts}: p50 {p50:8.3f}s  "
+            f"evaluated {provenance.anytime_evaluated} partitions in "
+            f"{provenance.anytime_rounds} rounds"
+        )
+
+    if not quick:
+        counts = ANYTIME_BATCHES[16]
+        requests = make_requests(counts)
+        anytime_plan = ProactiveAllocator(
+            database, alpha=ALPHA, strict_qos=False
+        ).allocate(requests, servers)
+        exact_samples, exact_plan = time_calls(
+            lambda: ProactiveAllocator(
+                database, alpha=ALPHA, strict_qos=False, anytime=False
+            ).allocate(requests, servers),
+            1,
+        )
+        anytime_objective = plan_objective(anytime_plan, servers, database)
+        exact_objective = plan_objective(exact_plan, servers, database)
+        ratio = (
+            anytime_objective / exact_objective
+            if exact_objective > 0
+            else 1.0
+        )
+        anytime_p50 = section["batches"]["16"]["p50_s"]
+        section["quality"] = {
+            "batch": 16,
+            "anytime_objective": anytime_objective,
+            "exact_objective": exact_objective,
+            "ratio": ratio,
+            "exact_p50_s": exact_samples[0],
+            "speedup_vs_exact_p50": exact_samples[0] / anytime_p50,
+        }
+        print(
+            f"anytime quality @16: ratio {ratio:.4f} "
+            f"(anytime {anytime_objective:.6f} vs exact {exact_objective:.6f})  "
+            f"exact {exact_samples[0]:.3f}s -> anytime "
+            f"{anytime_p50:.3f}s ({exact_samples[0] / anytime_p50:.0f}x)"
+        )
+    return section
 
 
 def bench_observability(database, servers, quick=False):
@@ -243,6 +340,13 @@ def main(argv):
             print(
                 f"WARNING: batch-16 speedup {batch16['speedup_p50']:.1f}x "
                 f"below the 3x acceptance bar"
+            )
+            return 1
+        quality = report["anytime"]["quality"]
+        if quality["ratio"] > 1.05:
+            print(
+                f"WARNING: anytime quality ratio {quality['ratio']:.3f} "
+                f"exceeds the 1.05 acceptance bound"
             )
             return 1
     return 0

@@ -9,6 +9,12 @@ undercutting the materialized candidate pool, or when enabling
 observability (metrics + tracing) costs more than the allowed overhead
 over the no-op path (default 5%).
 
+The ``anytime`` section (when present) is held to *absolute* p50
+ceilings -- the point of the anytime mode is bounded latency on
+batches the exact enumerator cannot afford, so a relative baseline
+would defeat the contract -- and its batch-16 quality ratio against
+the exact optimum must stay under ``--quality-bound`` (default 1.05).
+
 Additionally gates ``benchmarks/BENCH_parallel.json`` (produced by
 ``benchmarks/bench_perf_parallel.py``) when present: the jobs=4
 evaluation fan-out must reach the required speedup over serial
@@ -38,6 +44,10 @@ CURRENT = BENCH_DIR / "BENCH_allocator.json"
 BASELINE = BENCH_DIR / "BENCH_allocator_baseline.json"
 PARALLEL = BENCH_DIR / "BENCH_parallel.json"
 
+#: absolute p50 ceilings (seconds) for the anytime-mode batches; the
+#: exact enumerator needs ~13 s (batch 16) to minutes (batch 32) here.
+ANYTIME_CEILINGS = {"16": 0.65, "32": 1.5}
+
 
 def load(path: Path) -> dict:
     if not path.exists():
@@ -62,6 +72,13 @@ def main(argv=None) -> int:
         default=0.05,
         help="allowed enabled-observability overhead fraction over the "
         "no-op path (default 0.05)",
+    )
+    parser.add_argument(
+        "--quality-bound",
+        type=float,
+        default=1.05,
+        help="allowed anytime/exact objective ratio at batch 16 "
+        "(default 1.05, i.e. within 5%% of the exact optimum)",
     )
     parser.add_argument(
         "--parallel-speedup",
@@ -111,6 +128,50 @@ def main(argv=None) -> int:
             failures.append(
                 f"batch {size}: frontier peak {peak} no longer undercuts "
                 f"the {pool}-candidate pool"
+            )
+
+    anytime = current.get("anytime")
+    if anytime is None:
+        print(
+            "anytime: no section in current run (skipped; rerun "
+            "benchmarks/bench_perf_allocator.py to gate the anytime mode)"
+        )
+    else:
+        for size, ceiling in sorted(ANYTIME_CEILINGS.items(), key=lambda kv: int(kv[0])):
+            entry = anytime["batches"].get(size)
+            if entry is None:
+                print(f"anytime batch {size}: not present in current run (skipped)")
+                continue
+            p50 = entry["p50_s"]
+            verdict = "OK"
+            if p50 > ceiling:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"anytime batch {size}: p50 {p50:.3f}s exceeds the "
+                    f"{ceiling:.2f}s ceiling"
+                )
+            print(
+                f"anytime batch {size:>2s}: p50 {p50:8.3f}s  ceiling "
+                f"{ceiling:8.3f}s  {verdict}"
+            )
+        quality = anytime.get("quality")
+        if quality is None:
+            print("anytime quality: no entry (quick run; skipped)")
+        else:
+            ratio = quality["ratio"]
+            verdict = "OK"
+            if ratio > args.quality_bound:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"anytime quality: ratio {ratio:.4f} exceeds the "
+                    f"{args.quality_bound:.2f} bound (anytime "
+                    f"{quality['anytime_objective']:.6f} vs exact "
+                    f"{quality['exact_objective']:.6f} at batch "
+                    f"{quality['batch']})"
+                )
+            print(
+                f"anytime quality: ratio {ratio:8.4f}  bound "
+                f"{args.quality_bound:8.2f}  {verdict}"
             )
 
     observability = current.get("observability")

@@ -20,7 +20,7 @@ Model building
 Allocation
     :class:`ProactiveAllocator`, :class:`VMRequest`,
     :class:`ServerState`, :class:`AllocationPlan`,
-    :class:`WorkloadClass`.
+    :class:`AnytimeConfig`, :class:`WorkloadClass`.
 Simulation & evaluation
     :class:`AllocationStrategy`, :func:`paper_strategies`,
     :func:`run_evaluation`.
@@ -41,6 +41,7 @@ Observability
 from repro import build_model
 from repro.campaign.platformrunner import CampaignResult, run_campaign
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.core.anytime import AnytimeConfig
 from repro.core.model import ModelDatabase
 from repro.core.plan import AllocationPlan, AllocationProvenance
 from repro.exec import pmap
@@ -72,6 +73,7 @@ __all__ = [
     "ServerState",  # one server's current (Ncpu, Nmem, Nio) occupancy
     "AllocationPlan",  # allocator output: per-server assignments + estimates
     "AllocationProvenance",  # per-call search counters (partitions, cache hits, pruning)
+    "AnytimeConfig",  # anytime-search knobs (beam width, rounds, time budget, thresholds)
     "WorkloadClass",  # CPU / MEM / IO intensity classes (Sect. III-A)
     # simulation & evaluation
     "AllocationStrategy",  # strategy interface the simulator drives (Sect. IV-D)

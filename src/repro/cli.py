@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Sequence
 
@@ -95,6 +96,21 @@ def _parse_format(text: str) -> str:
     return value
 
 
+def _parse_time_budget(text: str) -> float:
+    """--time-budget, a positive finite wall-clock seconds value."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"time-budget must be a positive number of seconds, got {text!r}"
+        ) from None
+    if math.isnan(value) or math.isinf(value) or value <= 0:
+        raise ValueError(
+            f"time-budget must be a positive finite number of seconds, got {text!r}"
+        )
+    return value
+
+
 def _parse_faults(text: str) -> FaultSpec:
     """--faults, a JSON fault-injection spec loaded and validated here.
 
@@ -110,6 +126,18 @@ _alpha_arg = _flag_arg(_parse_alpha)
 _jobs_arg = _flag_arg(_parse_jobs)
 _format_arg = _flag_arg(_parse_format)
 _faults_arg = _flag_arg(_parse_faults)
+_time_budget_arg = _flag_arg(_parse_time_budget)
+
+
+def _add_time_budget_argument(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--time-budget",
+        type=_time_budget_arg,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per proactive allocation; forces the "
+        "anytime search mode (see README 'Anytime allocation')",
+    )
 
 
 def _add_obs_arguments(command: argparse.ArgumentParser, formats: bool = True) -> None:
@@ -162,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="4cpu,2mem,2io",
         help="batch spec, e.g. '4cpu,2mem,1io'",
     )
+    _add_time_budget_argument(allocate)
     _add_obs_arguments(allocate)
 
     evaluate = sub.add_parser("evaluate", help="run the Figs. 5-7 evaluation")
@@ -184,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
         "README 'Fault injection'",
     )
     evaluate.add_argument("--quiet", action="store_true")
+    _add_time_budget_argument(evaluate)
     _add_obs_arguments(evaluate)
 
     fig2 = sub.add_parser("fig2", help="print the FFTW base-test curve")
@@ -301,13 +331,17 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     aux_path = os.path.join(args.model, "auxiliary.csv")
     database = ModelDatabase.from_files(db_path, aux_path)
     servers = [ServerState(f"s{i}") for i in range(args.servers)]
-    plan = ProactiveAllocator(database, alpha=args.alpha).allocate(requests, servers)
+    allocator = ProactiveAllocator(
+        database, alpha=args.alpha, time_budget_s=args.time_budget
+    )
+    plan = allocator.allocate(requests, servers)
     if args.format == "json":
         provenance = plan.search_provenance
         _print_json(
             {
                 "command": "allocate",
                 "alpha": args.alpha,
+                "time_budget_s": args.time_budget,
                 "n_servers": args.servers,
                 "n_vms": len(requests),
                 "assignments": [
@@ -359,7 +393,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     configs = [SMALLER.scaled(args.vm_budget), LARGER.scaled(args.vm_budget)]
     try:
         result = run_evaluation(
-            configs=configs, progress=progress, jobs=args.jobs, faults=args.faults
+            configs=configs,
+            progress=progress,
+            jobs=args.jobs,
+            faults=args.faults,
+            time_budget_s=args.time_budget,
         )
     except FaultSpecError as error:
         # Parse-time validation cannot know the cloud sizes; a server
@@ -371,6 +409,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             {
                 "command": "evaluate",
                 "vm_budget": args.vm_budget,
+                "time_budget_s": args.time_budget,
                 "faults": args.faults.to_dict() if args.faults is not None else None,
                 "n_jobs": result.n_jobs,
                 "n_vms": result.n_vms,

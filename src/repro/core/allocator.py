@@ -57,7 +57,7 @@ bit-identical output.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.campaign.records import MixKey, key_for_classes, total_vms
@@ -67,9 +67,10 @@ from repro.common.errors import (
     ModelLookupError,
     QoSViolationError,
 )
+from repro.core.anytime import AnytimeConfig, AnytimeResult, run_anytime_search
 from repro.core.estimatecache import CacheStats, EstimateGrid, grid_for
 from repro.core.model import EstimatedOutcome, ModelDatabase
-from repro.core.partitions import type_partitions
+from repro.core.partitions import count_type_partitions_capped, type_partitions
 from repro.core.plan import AllocationPlan, AllocationProvenance, BlockAssignment
 from repro.core.scoring import ScoreWeights, score_candidates
 # Deliberate exception to the core->obs.runtime ban: allocate() honours the
@@ -322,6 +323,22 @@ class ProactiveAllocator:
         emits one ``allocator.allocate`` span and folds its search
         counters into ``allocator.*`` registry counters; when disabled
         (the default) the only cost is one predicate check per call.
+    anytime:
+        Anytime-search policy.  ``None`` (default) enables automatic
+        mode selection with default :class:`AnytimeConfig` knobs:
+        batches whose type-partition family reaches
+        ``exact_partition_limit`` run the bounded beam + local search
+        of :mod:`repro.core.anytime`, smaller ones keep the exact
+        enumerator and bit-identical plans.  ``True`` forces the
+        anytime path for every batch; ``False`` disables it (the exact
+        enumerator always runs); an :class:`AnytimeConfig` customizes
+        the knobs.
+    time_budget_s:
+        Optional wall-clock deadline for the anytime search.  Setting
+        it forces the anytime path and arms a monotonic deadline --
+        this is the one opt-in departure from determinism (see
+        :class:`repro.core.anytime.Deadline`).  Rejected when
+        ``anytime=False``.
     """
 
     def __init__(
@@ -332,6 +349,8 @@ class ProactiveAllocator:
         max_candidates: int = 2_000_000,
         bnb_min_vms: int = 9,
         obs: Observability | None = None,
+        anytime: "AnytimeConfig | bool | None" = None,
+        time_budget_s: float | None = None,
     ):
         self._db = database
         self._weights = ScoreWeights(alpha)
@@ -344,6 +363,31 @@ class ProactiveAllocator:
         self._bnb_min_vms = int(bnb_min_vms)
         self._obs = obs
         self._grid: EstimateGrid = grid_for(database)
+        if anytime is False:
+            if time_budget_s is not None:
+                raise ConfigurationError(
+                    "time_budget_s requires the anytime mode, got anytime=False"
+                )
+            self._anytime_config: AnytimeConfig | None = None
+            self._anytime_forced = False
+        elif anytime is None or anytime is True:
+            self._anytime_config = AnytimeConfig(time_budget_s=time_budget_s)
+            self._anytime_forced = anytime is True or time_budget_s is not None
+        elif isinstance(anytime, AnytimeConfig):
+            config = anytime
+            if time_budget_s is not None:
+                config = replace(config, time_budget_s=time_budget_s)
+            self._anytime_config = config
+            self._anytime_forced = config.time_budget_s is not None
+        else:
+            raise ConfigurationError(
+                f"anytime must be an AnytimeConfig, bool, or None, got {anytime!r}"
+            )
+        # Mode-selection memo: counts -> bool (bounds are fixed per
+        # allocator), plus the shared saturating-DP state memo behind
+        # it -- the decision is O(1) after the first check per mix.
+        self._mode_memo: dict[MixKey, bool] = {}
+        self._count_memo: dict = {}
 
     @property
     def database(self) -> ModelDatabase:
@@ -437,7 +481,27 @@ class ProactiveAllocator:
                 f"no feasible partition of mix {counts} across {len(servers)} servers"
             )
 
-        self._stream_candidates(counts, state)
+        anytime_result: AnytimeResult | None = None
+        if self._select_anytime(counts, obs):
+            anytime_result = self._stream_anytime(counts, state)
+            if (state.compliant.count == 0 and state.fallback.count == 0) or (
+                self._strict_qos and state.compliant.count == 0
+            ):
+                # The heuristic found nothing usable (or nothing
+                # compliant in strict mode): rerun the exact enumerator
+                # on a fresh state so infeasibility and strict-QoS
+                # errors keep their certified exact-mode semantics.
+                prior = state.stats
+                state = self._prepare_state(counts, servers, deadlines)
+                state.stats.anytime = True
+                state.stats.anytime_exact_fallback = True
+                state.stats.anytime_beam_width = prior.anytime_beam_width
+                state.stats.anytime_rounds = prior.anytime_rounds
+                state.stats.anytime_evaluated = prior.anytime_evaluated
+                state.stats.anytime_budget_exhausted = prior.anytime_budget_exhausted
+                self._stream_candidates(counts, state)
+        else:
+            self._stream_candidates(counts, state)
 
         stats = state.stats
         compliant = state.compliant
@@ -477,10 +541,108 @@ class ProactiveAllocator:
         if obs is not None:
             obs.registry.counter("allocator.calls").inc()
             obs.registry.merge_counts(counts, prefix="allocator.")
-        provenance = AllocationProvenance.from_counts(counts)
+        # Wall-clock budget figures bypass the (numeric-only) counter
+        # registry and live on the provenance record alone.
+        extra: dict = {}
+        if anytime_result is not None and self._anytime_config.time_budget_s is not None:
+            extra["time_budget_s"] = self._anytime_config.time_budget_s
+            extra["budget_consumed_s"] = anytime_result.budget_consumed_s
+        provenance = AllocationProvenance.from_counts(counts, **extra)
         return self._materialize(
             chosen, requests, scores[best_index], qos_satisfied, provenance
         )
+
+    def _select_anytime(self, counts: MixKey, obs: Observability | None) -> bool:
+        """Whether this batch takes the anytime path.
+
+        Forced configurations (explicit ``anytime=True`` or a live
+        ``time_budget_s``) always do.  Auto mode first applies the
+        free ``mode_check_min_vms`` floor (the paper's steady-state
+        bursts never reach it), then asks the saturating partition
+        count whether the family reaches ``exact_partition_limit`` --
+        memoized per mix, so repeated batches decide in one dict hit.
+        """
+        config = self._anytime_config
+        if config is None:
+            return False
+        if self._anytime_forced:
+            return True
+        if total_vms(counts) < config.mode_check_min_vms:
+            return False
+        cached = self._mode_memo.get(counts)
+        if cached is None:
+            reached = count_type_partitions_capped(
+                counts,
+                self._db.grid_bounds,
+                cap=config.exact_partition_limit,
+                memo=self._count_memo,
+            )
+            cached = reached >= config.exact_partition_limit
+            self._mode_memo[counts] = cached
+            outcome = "computed"
+        else:
+            outcome = "memo"
+        if obs is not None:
+            obs.registry.counter("allocator.mode_checks", outcome=outcome).inc()
+        return cached
+
+    def _stream_anytime(self, counts: MixKey, state: _SearchState) -> AnytimeResult:
+        """Run the bounded beam + local search, streaming every
+        evaluated candidate into the same Pareto frontiers the exact
+        path uses (so final scoring and tie-breaking are shared)."""
+        config = self._anytime_config
+        stats = state.stats
+        stats.anytime = True
+        stats.anytime_beam_width = config.beam_width
+        if state.tables is None:
+            # Guidance needs the min-containing tables even when the
+            # batch is below the branch-and-bound arming size.
+            state.tables = self._grid.bound_tables()
+        bounds = self._db.grid_bounds
+        norm_time = state.norm_time
+        norm_energy = state.norm_energy
+        energy_weight = self._weights.energy_weight
+        time_weight = self._weights.time_weight
+
+        def objective(time_s: float, energy_j: float) -> float:
+            score = 0.0
+            if norm_energy > 0.0:
+                score += energy_weight * (energy_j / norm_energy)
+            if norm_time > 0.0:
+                score += time_weight * (time_s / norm_time)
+            return score
+
+        def evaluate(partition):
+            stats.partitions_enumerated += 1
+            candidate = self._assign_streamed(partition, state, abortable=True)
+            if candidate is None:
+                return None
+            self._offer(candidate, state)
+            return objective(candidate.rank_time_s, candidate.energy_j)
+
+        def guidance(prefix, remaining):
+            # Ranking heuristic, not an admissible bound: makespan is
+            # the max of the blocks' placement time bounds, but energy
+            # *sums* the bounds -- overcounting when blocks share a
+            # server, yet far better at penalizing over-fine prefixes
+            # than the max the exact pruner must use.
+            lb_t = 0.0
+            lb_e = 0.0
+            for block in prefix:
+                info = self._block_info(block, state)
+                if info is None:
+                    return None
+                block_lb_t, block_lb_e = info
+                if block_lb_t > lb_t:
+                    lb_t = block_lb_t
+                lb_e += block_lb_e
+            return objective(lb_t, lb_e)
+
+        result = run_anytime_search(counts, bounds, config, evaluate, guidance)
+        stats.anytime_rounds = result.rounds
+        stats.anytime_evaluated = result.evaluated
+        stats.anytime_budget_exhausted = result.budget_exhausted
+        return result
 
     # -- optimized search --------------------------------------------
 
@@ -814,20 +976,25 @@ class ProactiveAllocator:
             candidate = self._assign_streamed(partition, state, abortable=True)
             if candidate is None:
                 continue
-            if candidate.qos_ok:
-                compliant = state.compliant
-                if compliant.count == 0:
-                    # The compliant pool exists from here on; the
-                    # fallback frontier can never be the scored pool.
-                    state.fallback.drop_retention()
-                compliant.offer(candidate)
+            self._offer(candidate, state)
+        stats.partitions_enumerated += produced
+
+    def _offer(self, candidate: "_Candidate", state: _SearchState) -> None:
+        """Stream one feasible candidate into the QoS-split frontiers
+        (shared by the exact enumerator and the anytime search)."""
+        if candidate.qos_ok:
+            compliant = state.compliant
+            if compliant.count == 0:
+                # The compliant pool exists from here on; the
+                # fallback frontier can never be the scored pool.
+                state.fallback.drop_retention()
+            compliant.offer(candidate)
+        else:
+            fallback = state.fallback
+            if state.compliant.count == 0:
+                fallback.offer(candidate)
             else:
-                fallback = state.fallback
-                if state.compliant.count == 0:
-                    fallback.offer(candidate)
-                else:
-                    fallback.count += 1
-        stats.partitions_enumerated = produced
+                fallback.count += 1
 
     def _assign_streamed(
         self,
@@ -1261,3 +1428,50 @@ def _block_meets_deadline(
         if deadline is not None and estimate.time_s > deadline:
             return False
     return True
+
+
+def plan_objective(
+    plan: AllocationPlan,
+    servers: Sequence[ServerState],
+    database,
+) -> float:
+    """Alpha objective of a plan, recomputed from its assignments.
+
+    Puts plans from different search modes on one comparable scale
+    (the benches' anytime-vs-exact quality ratio): makespan over each
+    touched server's *final* combined-mix estimate (the last
+    assignment per server wins, since its mix only grows), summed
+    marginal energy versus each server's pre-plan base (zero for
+    empty, off-grid, or unestimable residuals -- the allocator's own
+    fallback), normalized by the database ranges exactly as the
+    allocator scores candidates.
+    """
+    if not plan.assignments:
+        return 0.0
+    grid = grid_for(database)
+    base: dict[str, float] = {}
+    for server in servers:
+        mix = server.allocated
+        energy = 0.0
+        if grid.covers(mix) and total_vms(mix) > 0:
+            cell = grid.get(mix)
+            if cell is not None:
+                energy = cell.energy_j
+        base[server.server_id] = energy
+    final: dict[str, EstimatedOutcome] = {}
+    for assignment in plan.assignments:
+        final[assignment.server_id] = assignment.estimate
+    makespan = max(estimate.time_s for estimate in final.values())
+    energy = sum(
+        max(0.0, estimate.energy_j - base.get(server_id, 0.0))
+        for server_id, estimate in final.items()
+    )
+    weights = ScoreWeights(plan.alpha)
+    max_time = database.time_range_s[1]
+    max_energy = database.energy_range_j[1]
+    score = 0.0
+    if max_energy > 0.0:
+        score += weights.energy_weight * (energy / max_energy)
+    if max_time > 0.0:
+        score += weights.time_weight * (makespan / max_time)
+    return score

@@ -50,6 +50,11 @@ class CacheStats:
     the formerly *silent* ``_existing_energy`` lookup failures.  The
     prune counters record branch-and-bound activity; the frontier
     counters record the Pareto-streaming candidate retention.
+
+    The ``anytime_*`` counters describe the heuristic search pass when
+    the anytime mode ran; in exact mode they stay at their zero
+    defaults and :meth:`as_dict` omits them entirely, so exact-mode
+    registry snapshots are byte-identical to the pre-anytime layout.
     """
 
     grid_hits: int = 0
@@ -64,9 +69,15 @@ class CacheStats:
     pruned_dominated_subtrees: int = 0
     aborted_assignments: int = 0
     bnb_active: bool = False
+    anytime: bool = False
+    anytime_beam_width: int = 0
+    anytime_rounds: int = 0
+    anytime_evaluated: int = 0
+    anytime_budget_exhausted: bool = False
+    anytime_exact_fallback: bool = False
 
     def as_dict(self) -> dict:
-        return {
+        counts = {
             "grid_hits": self.grid_hits,
             "grid_misses": self.grid_misses,
             "energy_fallbacks": self.energy_fallbacks,
@@ -80,6 +91,14 @@ class CacheStats:
             "aborted_assignments": self.aborted_assignments,
             "bnb_active": self.bnb_active,
         }
+        if self.anytime:
+            counts["anytime"] = self.anytime
+            counts["anytime_beam_width"] = self.anytime_beam_width
+            counts["anytime_rounds"] = self.anytime_rounds
+            counts["anytime_evaluated"] = self.anytime_evaluated
+            counts["anytime_budget_exhausted"] = self.anytime_budget_exhausted
+            counts["anytime_exact_fallback"] = self.anytime_exact_fallback
+        return counts
 
 
 @dataclass(frozen=True)

@@ -96,13 +96,20 @@ def count_set_partitions(n: int) -> int:
     return bell_number(n)
 
 
-def _candidate_blocks(
+def candidate_blocks(
     remaining: MixKey,
     ceiling: MixKey,
     bounds: tuple[int, int, int] | None,
 ) -> Iterator[MixKey]:
     """Non-empty blocks <= remaining (component-wise), <= bounds,
-    and lexicographically <= ceiling, in descending lex order."""
+    and lexicographically <= ceiling, in descending lex order.
+
+    This is the canonical-order expansion step shared by the exhaustive
+    generator, the counting DPs, and the anytime beam search
+    (:mod:`repro.core.anytime`): a partition in canonical form is a
+    first block ``b`` followed by a canonical partition of the
+    remainder with ceiling ``b``.
+    """
     max_c = min(remaining[0], ceiling[0], bounds[0] if bounds else remaining[0])
     for c in range(max_c, -1, -1):
         m_hi = min(
@@ -179,7 +186,7 @@ def type_partitions(
         if remaining == (0, 0, 0):
             yield tuple(prefix)
             return
-        for block in _candidate_blocks(remaining, ceiling, bounds):
+        for block in candidate_blocks(remaining, ceiling, bounds):
             rest = (
                 remaining[0] - block[0],
                 remaining[1] - block[1],
@@ -223,13 +230,74 @@ def count_type_partitions(counts: MixKey, bounds: tuple[int, int, int] | None = 
         if cached is not None:
             return cached
         total = 0
-        for block in _candidate_blocks(remaining, ceiling, bounds):
+        for block in candidate_blocks(remaining, ceiling, bounds):
             rest = (
                 remaining[0] - block[0],
                 remaining[1] - block[1],
                 remaining[2] - block[2],
             )
             total += count(rest, block)
+        memo[state] = total
+        return total
+
+    return count(top, top)
+
+
+def count_type_partitions_capped(
+    counts: MixKey,
+    bounds: tuple[int, int, int] | None = None,
+    *,
+    cap: int,
+    memo: dict[tuple[MixKey, MixKey], int] | None = None,
+) -> int:
+    """``min(count_type_partitions(counts, bounds), cap)`` without
+    paying for the full count.
+
+    The allocator's mode-selection check only needs to know whether the
+    partition family is below an exact-affordable threshold; the true
+    count at large batches (hundreds of millions) is irrelevant.  This
+    DP saturates every subproblem at ``cap``: once a partial sum reaches
+    the cap the remaining first blocks are skipped, so work is bounded
+    by the threshold rather than the family size.
+
+    Saturation is sound because clamping is superadditive over the
+    recurrence: ``sum_i min(c_i, cap) >= min(sum_i c_i, cap)``, so a
+    memoized clamped value can only cause the total to saturate, never
+    to undercount below the cap.  Whenever the true count is < ``cap``
+    no clamping occurs anywhere and the result is exact.
+
+    ``memo`` may be shared across calls with the *same bounds and cap*
+    (the allocator keys its shared memo per (bounds, cap) pair) --
+    states are keyed (remaining, ceiling) only.
+    """
+    if cap < 1:
+        raise ValueError(f"cap must be >= 1, got {cap}")
+    if min(counts) < 0:
+        raise ValueError(f"counts must be non-negative, got {counts}")
+    if bounds is not None and min(bounds) < 0:
+        raise ValueError(f"bounds must be non-negative, got {bounds}")
+    top = tuple(counts)
+    if memo is None:
+        memo = {}
+
+    def count(remaining: MixKey, ceiling: MixKey) -> int:
+        if remaining == (0, 0, 0):
+            return 1
+        state = (remaining, ceiling)
+        cached = memo.get(state)
+        if cached is not None:
+            return cached
+        total = 0
+        for block in candidate_blocks(remaining, ceiling, bounds):
+            rest = (
+                remaining[0] - block[0],
+                remaining[1] - block[1],
+                remaining[2] - block[2],
+            )
+            total += count(rest, block)
+            if total >= cap:
+                total = cap
+                break
         memo[state] = total
         return total
 

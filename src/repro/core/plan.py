@@ -71,16 +71,43 @@ class AllocationProvenance:
     pruned_dominated_subtrees: int = 0
     aborted_assignments: int = 0
     bnb_active: bool = False
+    anytime: bool = False
+    anytime_beam_width: int = 0
+    anytime_rounds: int = 0
+    anytime_evaluated: int = 0
+    anytime_budget_exhausted: bool = False
+    anytime_exact_fallback: bool = False
+    time_budget_s: float | None = None
+    budget_consumed_s: float = 0.0
+
+    @property
+    def mode(self) -> str:
+        """Which search produced the plan: ``"anytime"`` or ``"exact"``."""
+        return "anytime" if self.anytime else "exact"
 
     @property
     def subtrees_pruned(self) -> int:
         return self.pruned_infeasible_subtrees + self.pruned_dominated_subtrees
 
     @classmethod
-    def from_counts(cls, counts: Mapping[str, int | bool]) -> "AllocationProvenance":
+    def from_counts(
+        cls, counts: Mapping[str, int | bool], **extra
+    ) -> "AllocationProvenance":
         """Build from a plain counter mapping (a registry view or a
-        :class:`~repro.core.estimatecache.CacheStats` dict)."""
-        return cls(**{name: counts.get(name, 0) for name in _PROVENANCE_FIELDS})
+        :class:`~repro.core.estimatecache.CacheStats` dict).
+
+        ``extra`` overrides individual fields -- used by the allocator
+        for values that must never flow through a numeric counter
+        registry (the wall-clock budget figures).  Fields absent from
+        both ``counts`` and ``extra`` keep their dataclass defaults.
+        """
+        values = {}
+        for name in _PROVENANCE_FIELDS:
+            if name in extra:
+                values[name] = extra[name]
+            elif name in counts:
+                values[name] = counts[name]
+        return cls(**values)
 
     def as_dict(self) -> dict:
         """The counters as a flat mapping (registry/JSON friendly)."""
@@ -100,6 +127,14 @@ _PROVENANCE_FIELDS = (
     "pruned_dominated_subtrees",
     "aborted_assignments",
     "bnb_active",
+    "anytime",
+    "anytime_beam_width",
+    "anytime_rounds",
+    "anytime_evaluated",
+    "anytime_budget_exhausted",
+    "anytime_exact_fallback",
+    "time_budget_s",
+    "budget_consumed_s",
 )
 
 

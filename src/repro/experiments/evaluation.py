@@ -13,6 +13,7 @@ serial run (see DESIGN.md, "Parallel execution").
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
@@ -217,6 +218,7 @@ def run_evaluation(
     obs: Observability | None = None,
     jobs: int = 1,
     faults: FaultSpec | None = None,
+    time_budget_s: float | None = None,
 ) -> EvaluationResult:
     """Run the full Figs. 5-7 evaluation.
 
@@ -261,7 +263,16 @@ def run_evaluation(
         plan injected into the cell fan-out itself (exercising the
         bounded-retry path).  ``None`` or an empty spec is byte-for-byte
         the fault-free evaluation.
+    time_budget_s:
+        Optional wall-clock deadline per proactive allocation (forces
+        the allocator's anytime search mode; see
+        :mod:`repro.core.anytime`).  Only honored when ``strategies``
+        accepts the keyword (the default :func:`paper_strategies`
+        does); supplying both a budget and a factory that does not is
+        a :class:`TypeError` at lineup-construction time.
     """
+    if time_budget_s is not None:
+        strategies = functools.partial(strategies, time_budget_s=time_budget_s)
     server = server or default_server()
     obs = obs if obs is not None else get_observability()
     tracer = obs.tracer

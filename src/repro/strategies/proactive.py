@@ -64,6 +64,14 @@ class ProactiveStrategy(AllocationStrategy):
         when it is enabled, and in a private registry otherwise (so
         :attr:`metrics` always works and instances never share
         counters through the null bundle).
+    time_budget_s:
+        Optional wall-clock deadline per allocation, forwarded to both
+        underlying allocators; setting it forces their anytime search
+        mode (see :mod:`repro.core.anytime`).
+    anytime:
+        Anytime-search policy forwarded verbatim to the allocators
+        (``None`` = automatic mode selection, ``False`` = exact only,
+        ``True`` = always anytime, or an ``AnytimeConfig``).
     """
 
     def __init__(
@@ -72,13 +80,25 @@ class ProactiveStrategy(AllocationStrategy):
         alpha: float = 0.5,
         use_qos: bool = True,
         obs: Observability | None = None,
+        time_budget_s: float | None = None,
+        anytime=None,
     ):
         resolved = obs if obs is not None else get_observability()
         self._strict = ProactiveAllocator(
-            database, alpha=alpha, strict_qos=True, obs=obs
+            database,
+            alpha=alpha,
+            strict_qos=True,
+            obs=obs,
+            anytime=anytime,
+            time_budget_s=time_budget_s,
         )
         self._relaxed = ProactiveAllocator(
-            database, alpha=alpha, strict_qos=False, obs=obs
+            database,
+            alpha=alpha,
+            strict_qos=False,
+            obs=obs,
+            anytime=anytime,
+            time_budget_s=time_budget_s,
         )
         self._use_qos = bool(use_qos)
         self.name = f"PA-{alpha:g}"

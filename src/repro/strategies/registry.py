@@ -64,13 +64,22 @@ def make_strategy(
     raise ConfigurationError(f"unknown strategy {name!r}; known: {known}")
 
 
-def paper_strategies(database: ModelDatabase) -> list[AllocationStrategy]:
-    """The six strategies of Figs. 5-7, in the paper's presentation order."""
+def paper_strategies(
+    database: ModelDatabase,
+    time_budget_s: float | None = None,
+) -> list[AllocationStrategy]:
+    """The six strategies of Figs. 5-7, in the paper's presentation order.
+
+    ``time_budget_s`` caps each proactive allocation's wall-clock cost
+    (forcing the anytime search mode); ``None`` keeps automatic mode
+    selection, where the paper-regime batches stay exact.
+    """
     return [
         FirstFitStrategy(1),
         FirstFitStrategy(2),
         FirstFitStrategy(3),
-        ProactiveStrategy(database, alpha=1.0),  # PA-1: minimize energy
-        ProactiveStrategy(database, alpha=0.0),  # PA-0: minimize time
-        ProactiveStrategy(database, alpha=0.5),  # PA-0.5: balanced
+        # PA-1 minimizes energy, PA-0 time, PA-0.5 balances the two.
+        ProactiveStrategy(database, alpha=1.0, time_budget_s=time_budget_s),
+        ProactiveStrategy(database, alpha=0.0, time_budget_s=time_budget_s),
+        ProactiveStrategy(database, alpha=0.5, time_budget_s=time_budget_s),
     ]

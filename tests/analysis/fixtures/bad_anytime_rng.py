@@ -1,0 +1,21 @@
+# repro-fixture-module: repro.core.badanytime
+"""Golden fixture: an anytime-style search module with unmanaged
+randomness and an unsuppressed wall-clock deadline read.
+
+The real :mod:`repro.core.anytime` derives every random draw from
+``SeedSequenceFactory`` children and carries an explicit suppression on
+its opt-in deadline reads; this twin proves the determinism rules keep
+covering the ``repro.core`` layer the module lives in.
+"""
+
+import random  # expect determinism-rng
+import time
+
+
+def shuffle_neighbors(neighbors):
+    random.shuffle(neighbors)  # stdlib global RNG, not a seeded child
+    return neighbors
+
+
+def deadline_expired(started: float, budget_s: float) -> bool:
+    return time.monotonic() - started > budget_s  # expect determinism-wallclock

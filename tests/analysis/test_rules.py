@@ -34,6 +34,20 @@ class TestDeterminismRules:
         assert len(result.violations) == 3  # import random, np.random.seed, np.random.default_rng
         assert {v.rule for v in result.violations} == {"determinism-rng"}
 
+    def test_anytime_layer_covered_by_both_determinism_rules(self):
+        # repro.core.anytime introduced seeded beam/local search; this
+        # twin module proves its layer stays under both rules, so the
+        # real module's SeedSequenceFactory children and suppressed
+        # deadline reads are load-bearing, not accidental.
+        result = lint_fixture(
+            "bad_anytime_rng.py", "determinism-rng", "determinism-wallclock"
+        )
+        assert len(result.violations) == 2  # import random, time.monotonic()
+        assert {v.rule for v in result.violations} == {
+            "determinism-rng",
+            "determinism-wallclock",
+        }
+
     def test_wallclock_rule_skips_unchecked_layers(self, tmp_path):
         # The identical call is fine outside core/sim/strategies/campaign/obs.
         clock = tmp_path / "clock.py"

@@ -86,6 +86,25 @@ class TestArgValidation:
         assert build_parser().parse_args([command, "--jobs", "4"]).jobs == 4
         assert build_parser().parse_args([command]).jobs == 1
 
+    @pytest.mark.parametrize("budget", ["0", "-1.5", "nan", "inf", "soon"])
+    @pytest.mark.parametrize("command", ["allocate", "evaluate"])
+    def test_bad_time_budget_rejected_with_exit_code_2(
+        self, command, budget, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--time-budget", budget])
+        assert excinfo.value.code == 2
+        assert "time-budget" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["allocate", "evaluate"])
+    def test_time_budget_accepted_and_defaults_to_none(self, command):
+        base = ["--model", "/tmp/x"] if command == "allocate" else []
+        args = build_parser().parse_args(
+            [command, *base, "--time-budget", "2.5"]
+        )
+        assert args.time_budget == 2.5
+        assert build_parser().parse_args([command, *base]).time_budget is None
+
 
 class TestCommands:
     def test_profile_command(self, capsys):
@@ -146,6 +165,22 @@ class TestObservabilityFlags:
             assert {"event", "span_id", "name", "t_wall", "t_sim"} <= event.keys()
         snapshot = json.loads(metrics.read_text())
         assert snapshot["counters"]["allocator.calls"] == 1
+
+    def test_allocate_json_echoes_time_budget(self, model_dir, capsys):
+        assert main(
+            ["allocate", "--model", str(model_dir), "--vms", "2cpu",
+             "--time-budget", "30", "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["time_budget_s"] == 30.0
+        assert document["search_provenance"]["anytime"] is True
+        assert main(
+            ["allocate", "--model", str(model_dir), "--vms", "2cpu",
+             "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["time_budget_s"] is None
+        assert document["search_provenance"]["anytime"] is False
 
     def test_text_format_unchanged_by_default(self, model_dir, capsys):
         assert main(["allocate", "--model", str(model_dir), "--vms", "2cpu"]) == 0
