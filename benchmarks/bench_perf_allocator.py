@@ -44,6 +44,7 @@ from repro.core.allocator import (
 )
 from repro.core.model import ModelDatabase
 from repro.obs.runtime import observed
+from repro.service.schema import SCHEMA_VERSION
 from repro.testbed.benchmarks import WorkloadClass
 
 OUTPUT = Path(__file__).resolve().parent / "BENCH_allocator.json"
@@ -151,6 +152,7 @@ def run(quick=False):
     servers = make_servers(N_SERVERS)
 
     report = {
+        "schema_version": SCHEMA_VERSION,
         "benchmark": "proactive allocator: streamed+pruned vs seed",
         "config": {
             "alpha": ALPHA,

@@ -33,6 +33,7 @@ from repro.campaign.platformrunner import run_campaign
 from repro.experiments.config import LARGER, SMALLER
 from repro.experiments.evaluation import run_evaluation
 from repro.obs.runtime import observed
+from repro.service.schema import SCHEMA_VERSION
 
 OUTPUT = Path(__file__).resolve().parent / "BENCH_parallel.json"
 
@@ -103,6 +104,7 @@ def main(argv=None) -> int:
     trace_identical = ser_trace == par_trace
 
     document = {
+        "schema_version": SCHEMA_VERSION,
         "scale": scale,
         "n_cells": len(outcomes),
         "cpu_count": os.cpu_count() or 1,

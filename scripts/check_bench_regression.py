@@ -26,9 +26,19 @@ clause only applies when the recorded host had at least
 serial on a single-CPU box, so the gate prints an explicit skip there
 instead of failing on physics.  Identity is enforced unconditionally.
 
+Additionally gates ``benchmarks/BENCH_service.json`` (produced by
+``benchmarks/bench_service.py``) when present: the coalescing stream
+must sustain the required admitted-requests throughput (default
+200/s), every admitted VM must end up planned, the p50 HTTP
+request->plan latency must stay under an absolute ceiling (default
+50ms -- it measures a coalesce=1 round trip on loopback), and the
+identity checks -- same admitted sequence, chunked three ways, equal
+to the in-process session byte-for-byte -- must hold.
+
 Run:
     PYTHONPATH=src python benchmarks/bench_perf_allocator.py
     PYTHONPATH=src python benchmarks/bench_perf_parallel.py
+    PYTHONPATH=src python benchmarks/bench_service.py
     python scripts/check_bench_regression.py [--tolerance 0.2]
 """
 
@@ -43,6 +53,7 @@ BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 CURRENT = BENCH_DIR / "BENCH_allocator.json"
 BASELINE = BENCH_DIR / "BENCH_allocator_baseline.json"
 PARALLEL = BENCH_DIR / "BENCH_parallel.json"
+SERVICE = BENCH_DIR / "BENCH_service.json"
 
 #: absolute p50 ceilings (seconds) for the anytime-mode batches; the
 #: exact enumerator needs ~13 s (batch 16) to minutes (batch 32) here.
@@ -93,9 +104,24 @@ def main(argv=None) -> int:
         help="enforce the speedup clause only when the benchmark host had "
         "at least this many CPUs (default 4); identity is always enforced",
     )
+    parser.add_argument(
+        "--service-throughput",
+        type=float,
+        default=200.0,
+        help="required admitted VM requests per second through the "
+        "service's coalescing stream (default 200)",
+    )
+    parser.add_argument(
+        "--service-latency-bound",
+        type=float,
+        default=0.050,
+        help="absolute p50 ceiling (seconds) for the HTTP request->plan "
+        "round trip at coalesce=1 (default 0.050)",
+    )
     parser.add_argument("--current", type=Path, default=CURRENT)
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--parallel", type=Path, default=PARALLEL)
+    parser.add_argument("--service", type=Path, default=SERVICE)
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -238,6 +264,58 @@ def main(argv=None) -> int:
         print(
             f"parallel: identity outcomes={identity.get('outcomes')} "
             f"snapshot={identity.get('snapshot')} trace={identity.get('trace')}"
+        )
+
+    if not args.service.exists():
+        print(
+            f"service: no {args.service.name} (skipped; run "
+            f"benchmarks/bench_service.py to gate the allocation service)"
+        )
+    else:
+        service = json.loads(args.service.read_text())
+        throughput = service["throughput"]
+        rate = throughput["requests_per_s"]
+        verdict = "OK"
+        if rate < args.service_throughput:
+            verdict = "REGRESSION"
+            failures.append(
+                f"service: {rate:.0f} req/s below the required "
+                f"{args.service_throughput:.0f} req/s "
+                f"({throughput['requests']} requests in "
+                f"{throughput['wall_s']:.2f}s)"
+            )
+        print(
+            f"service: throughput {rate:8.0f} req/s  required "
+            f"{args.service_throughput:8.0f}  {verdict}"
+        )
+        if not throughput.get("all_planned", False):
+            failures.append(
+                "service: not every admitted VM ended up planned -- the "
+                "batching loop dropped or failed windows"
+            )
+        latency = service["latency"]
+        p50 = latency["p50_s"]
+        verdict = "OK"
+        if p50 > args.service_latency_bound:
+            verdict = "REGRESSION"
+            failures.append(
+                f"service: p50 request->plan latency {p50 * 1e3:.1f}ms exceeds "
+                f"the {args.service_latency_bound * 1e3:.0f}ms ceiling"
+            )
+        print(
+            f"service: latency p50 {p50 * 1e3:8.2f}ms  ceiling "
+            f"{args.service_latency_bound * 1e3:8.0f}ms  {verdict}"
+        )
+        identity = service.get("identity", {})
+        for check in ("chunks_identical", "library_identical"):
+            if not identity.get(check, False):
+                failures.append(
+                    f"service: {check} failed -- coalesced batches are no "
+                    f"longer bit-identical across arrival chunkings"
+                )
+        print(
+            f"service: identity chunks={identity.get('chunks_identical')} "
+            f"library={identity.get('library_identical')}"
         )
 
     if failures:

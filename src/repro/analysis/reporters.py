@@ -42,6 +42,11 @@ def to_text(result) -> str:
 def to_json(result) -> str:
     """Machine-readable report with sorted keys and stable ordering."""
     document = {
+        # Literal mirror of repro.service.schema.SCHEMA_VERSION: the
+        # analysis layer sits below service and must not import up, but
+        # every JSON document the repo emits carries the wire version
+        # (pinned equal in tests/analysis/test_reporters.py).
+        "schema_version": "1",
         "version": JSON_SCHEMA_VERSION,
         "tool": "repro.analysis",
         "checked_files": result.checked_files,

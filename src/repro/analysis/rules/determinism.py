@@ -15,7 +15,7 @@ bit-identical plans, traces and metrics.  Two leaks can break that:
   whole experiment.
 
 Scope: the ``core``, ``sim``, ``strategies``, ``campaign``, ``obs``,
-``exec`` and ``faults`` layers.  ``repro.obs.tracer`` is allowlisted for the wall-clock rule --
+``exec``, ``faults`` and ``service`` layers.  ``repro.obs.tracer`` is allowlisted for the wall-clock rule --
 its whole point is stamping ``t_wall`` -- but not for the RNG rule.
 """
 
@@ -27,9 +27,12 @@ from typing import Iterator
 from repro.analysis.astutils import alias_maps, dotted_call_name, iter_imports, top_segment
 from repro.analysis.registry import rule
 
-#: Layers whose code runs under simulated time / seeded streams.
+#: Layers whose code runs under simulated time / seeded streams.  The
+#: service layer is included: sessions are deterministic state
+#: machines, so its only sanctioned wall-clock reads (latency metrics
+#: in the HTTP server) carry explicit suppressions.
 CHECKED_LAYERS = frozenset(
-    {"core", "sim", "strategies", "campaign", "obs", "exec", "faults"}
+    {"core", "sim", "strategies", "campaign", "obs", "exec", "faults", "service"}
 )
 
 #: Modules exempt from the wall-clock rule (and only that rule).

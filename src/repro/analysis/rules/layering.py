@@ -16,6 +16,7 @@ may import only from the layers below it:
     sim                      -> strategies, workloads, campaign, faults, ...
     exec                     -> sim + everything sim may use, core, faults
     experiments, ext         -> any of the above
+    service                  -> any of the above (the HTTP front end)
     api, cli, __main__, root -> unconstrained (the wiring crust)
 
 The fault-injection vocabulary (``faults``) is deliberately low in the
@@ -95,6 +96,22 @@ ALLOWED_IMPORTS = {
         }
     ),
     "ext": frozenset(
+        {
+            "common",
+            "testbed",
+            "campaign",
+            "workloads",
+            "core",
+            "obs",
+            "strategies",
+            "sim",
+            "profiling",
+            "exec",
+            "experiments",
+            "faults",
+        }
+    ),
+    "service": frozenset(
         {
             "common",
             "testbed",

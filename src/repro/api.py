@@ -13,7 +13,7 @@ classes, the ``repro.ext`` future-work extensions -- is internal and
 may change between minor releases (see DESIGN.md, "Public API and
 stability").
 
-The facade groups into four layers:
+The facade groups by layer, bottom to top:
 
 Model building
     :class:`ModelDatabase`, :func:`build_model`, :func:`run_campaign`.
@@ -36,6 +36,13 @@ Observability
     :class:`Observability`, :func:`observed`,
     :func:`set_observability`, :func:`get_observability`,
     :func:`snapshot`.
+Wire schema & service
+    :data:`SCHEMA_VERSION` and the ``*_document``/``decode_*``
+    converter pairs -- the versioned JSON wire format shared by the
+    CLI, the library and the HTTP front end -- plus :func:`serve`,
+    :class:`Service`, :class:`BackgroundService`,
+    :class:`ServiceConfig`, :class:`Session`, :class:`SessionConfig`
+    behind ``repro serve``.
 """
 
 from repro import build_model
@@ -57,6 +64,23 @@ from repro.obs.runtime import (
     snapshot,
 )
 from repro.obs.tracer import Tracer
+from repro.service import (
+    SCHEMA_VERSION,
+    BackgroundService,
+    Service,
+    ServiceConfig,
+    Session,
+    SessionConfig,
+    decode_evaluation,
+    decode_fault_spec,
+    decode_plan,
+    decode_vm_request,
+    evaluation_document,
+    fault_spec_document,
+    plan_document,
+    serve,
+    vm_request_document,
+)
 from repro.strategies import paper_strategies
 from repro.strategies.base import AllocationStrategy
 from repro.testbed.benchmarks import WorkloadClass
@@ -97,4 +121,21 @@ __all__ = [
     "set_observability",  # install/replace the process-local default bundle
     "get_observability",  # read the current default bundle
     "snapshot",  # deterministic snapshot of the current default registry
+    # wire schema
+    "SCHEMA_VERSION",  # the wire-format version every JSON document is stamped with
+    "vm_request_document",  # VMRequest -> versioned JSON document
+    "decode_vm_request",  # versioned JSON document -> VMRequest
+    "plan_document",  # AllocationPlan -> versioned JSON document
+    "decode_plan",  # versioned JSON document -> AllocationPlan (totals recomputed)
+    "evaluation_document",  # EvaluationResult -> versioned JSON document
+    "decode_evaluation",  # versioned JSON document -> decoded evaluation cells
+    "fault_spec_document",  # FaultSpec -> versioned JSON document
+    "decode_fault_spec",  # versioned JSON document -> FaultSpec
+    # service
+    "serve",  # run the asyncio HTTP front end until cancelled (repro serve)
+    "Service",  # the HTTP server object: routes, sessions, batching loops
+    "BackgroundService",  # context manager running a Service on a daemon thread
+    "ServiceConfig",  # host/port/model-dir/max-sessions knobs for repro serve
+    "Session",  # one tenant's deterministic allocation session (in-process use)
+    "SessionConfig",  # per-session knobs: servers, alpha, coalesce window, queue bound
 ]

@@ -9,6 +9,8 @@
 * ``evaluate``  -- the Figs. 5-7 evaluation at a chosen VM budget,
   optionally under a deterministic fault schedule (``--faults``),
 * ``fig2``      -- print the FFTW base curve as an ASCII chart,
+* ``serve``     -- run the long-lived allocation service (HTTP, see
+  :mod:`repro.service` and README "Allocation as a service"),
 * ``lint``      -- run the repo invariant linter (see
   :mod:`repro.analysis` and DESIGN.md "Enforced invariants").
 
@@ -17,18 +19,34 @@ PATH`` captures a JSONL span trace, ``--metrics PATH`` writes the
 deterministic metrics snapshot, and ``--format json`` prints the
 command's result (including the snapshot) as one JSON document -- see
 README "Observability".
+
+Every ``--format json`` document is built on the versioned wire schema
+(:mod:`repro.service.schema`, ``schema_version: "1"``): the plan the
+CLI prints is byte-identical to the one the service returns for the
+same inputs, modulo the surrounding envelope.  Typed-flag validation
+routes through :mod:`repro.common.validation`, the same parsers the
+service applies to request bodies -- one bad value, one message, on
+both surfaces.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 from typing import Sequence
 
 from repro.analysis.cli import main as _analysis_main
 from repro.campaign.platformrunner import run_campaign
+from repro.common.errors import FaultSpecError
+from repro.common.validation import (
+    parse_alpha,
+    parse_format,
+    parse_jobs,
+    parse_port,
+    parse_time_budget,
+    typed_flag,
+)
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.model import ModelDatabase
 from repro.experiments.ascii import bar_chart, line_curve
@@ -36,79 +54,13 @@ from repro.experiments.config import LARGER, SMALLER
 from repro.experiments.evaluation import run_evaluation
 from repro.experiments.fig2_basecurve import fig2_basecurve
 from repro.experiments.report import headline_claims
-from repro.common.errors import FaultSpecError
 from repro.faults import FaultSpec
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runtime import Observability, get_observability, set_observability
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.profiling.profiler import ApplicationProfiler
+from repro.service import schema
 from repro.testbed.benchmarks import BENCHMARKS, WorkloadClass, get_benchmark
-
-
-def _flag_arg(parse):
-    """One validation path for every typed flag (--alpha/--jobs/--format).
-
-    ``parse`` raises :class:`ValueError` carrying the user-facing
-    message; argparse turns the re-raised ``ArgumentTypeError`` into a
-    usage error, so every flag built through here rejects bad values
-    identically: same exit code (2), message on stderr.
-    """
-
-    def typed(text: str):
-        try:
-            return parse(text)
-        except ValueError as error:
-            raise argparse.ArgumentTypeError(str(error)) from None
-
-    return typed
-
-
-def _parse_alpha(text: str) -> float:
-    """--alpha, constrained to the paper's [0, 1] goal range."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise ValueError(f"alpha must be a number, got {text!r}") from None
-    if not 0.0 <= value <= 1.0:
-        raise ValueError(
-            f"alpha must be within [0, 1] (1 = minimize energy, 0 = minimize "
-            f"time), got {value:g}"
-        )
-    return value
-
-
-def _parse_jobs(text: str) -> int:
-    """--jobs, a worker-process count (1 = serial in-process)."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise ValueError(f"jobs must be an integer >= 1, got {text!r}") from None
-    if value < 1:
-        raise ValueError(f"jobs must be an integer >= 1, got {value}")
-    return value
-
-
-def _parse_format(text: str) -> str:
-    """--format, the output style shared by every reporting subcommand."""
-    value = text.strip().lower()
-    if value not in ("text", "json"):
-        raise ValueError(f"format must be one of 'text', 'json', got {text!r}")
-    return value
-
-
-def _parse_time_budget(text: str) -> float:
-    """--time-budget, a positive finite wall-clock seconds value."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise ValueError(
-            f"time-budget must be a positive number of seconds, got {text!r}"
-        ) from None
-    if math.isnan(value) or math.isinf(value) or value <= 0:
-        raise ValueError(
-            f"time-budget must be a positive finite number of seconds, got {text!r}"
-        )
-    return value
 
 
 def _parse_faults(text: str) -> FaultSpec:
@@ -122,11 +74,12 @@ def _parse_faults(text: str) -> FaultSpec:
     return FaultSpec.from_path(text)
 
 
-_alpha_arg = _flag_arg(_parse_alpha)
-_jobs_arg = _flag_arg(_parse_jobs)
-_format_arg = _flag_arg(_parse_format)
-_faults_arg = _flag_arg(_parse_faults)
-_time_budget_arg = _flag_arg(_parse_time_budget)
+_alpha_arg = typed_flag(parse_alpha)
+_jobs_arg = typed_flag(parse_jobs)
+_format_arg = typed_flag(parse_format)
+_faults_arg = typed_flag(_parse_faults)
+_time_budget_arg = typed_flag(parse_time_budget)
+_port_arg = typed_flag(parse_port)
 
 
 def _add_time_budget_argument(command: argparse.ArgumentParser) -> None:
@@ -217,6 +170,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(evaluate)
 
     fig2 = sub.add_parser("fig2", help="print the FFTW base-test curve")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the allocation service (long-lived HTTP front end)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=_port_arg,
+        default=8765,
+        help="TCP port (0 binds an ephemeral port; default: 8765)",
+    )
+    serve.add_argument(
+        "--model",
+        default=None,
+        help="directory holding model_database.csv + auxiliary.csv (as "
+        "written by 'repro campaign'); omitted: run the campaign once "
+        "at startup",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent session ceiling (default: 64)",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the invariant linter (determinism, layering, API surface)"
@@ -336,37 +315,20 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     )
     plan = allocator.allocate(requests, servers)
     if args.format == "json":
-        provenance = plan.search_provenance
+        # The embedded plan is the canonical schema document -- the same
+        # bytes a service session returns for these requests.
         _print_json(
-            {
-                "command": "allocate",
-                "alpha": args.alpha,
-                "time_budget_s": args.time_budget,
-                "n_servers": args.servers,
-                "n_vms": len(requests),
-                "assignments": [
-                    {
-                        "server_id": assignment.server_id,
-                        "block": {
-                            "ncpu": assignment.block[0],
-                            "nmem": assignment.block[1],
-                            "nio": assignment.block[2],
-                        },
-                        "combined_key": assignment.combined_key,
-                        "estimated_time_s": assignment.estimate.time_s,
-                        "estimated_energy_j": assignment.estimate.energy_j,
-                    }
-                    for assignment in plan.assignments
-                ],
-                "estimated_makespan_s": plan.estimated_makespan_s,
-                "estimated_energy_j": plan.estimated_energy_j,
-                "qos_satisfied": plan.qos_satisfied,
-                "score": plan.score,
-                "search_provenance": (
-                    provenance.as_dict() if provenance is not None else None
-                ),
-                "metrics": _metrics_snapshot(),
-            }
+            schema.stamp(
+                {
+                    "command": "allocate",
+                    "alpha": args.alpha,
+                    "time_budget_s": args.time_budget,
+                    "n_servers": args.servers,
+                    "n_vms": len(requests),
+                    "plan": schema.plan_document(plan),
+                    "metrics": _metrics_snapshot(),
+                }
+            )
         )
         return 0
     for assignment in plan.assignments:
@@ -405,36 +367,32 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"repro evaluate: error: {error}", file=sys.stderr)
         return 2
     if json_output:
+        result_document = schema.evaluation_document(result)
         _print_json(
-            {
-                "command": "evaluate",
-                "vm_budget": args.vm_budget,
-                "time_budget_s": args.time_budget,
-                "faults": args.faults.to_dict() if args.faults is not None else None,
-                "n_jobs": result.n_jobs,
-                "n_vms": result.n_vms,
-                "outcomes": [
-                    {
-                        "cloud": outcome.cloud,
-                        "strategy": outcome.strategy,
-                        "makespan_s": outcome.makespan_s,
-                        "energy_j": outcome.energy_j,
-                        "sla_violation_pct": outcome.sla_violation_pct,
-                        "mean_response_s": outcome.mean_response_s,
-                        "max_queue_length": outcome.max_queue_length,
-                    }
-                    for outcome in result.outcomes
-                ],
-                "headline": [
-                    {
-                        "cloud": claims.cloud,
-                        "max_makespan_improvement_pct": claims.max_makespan_improvement_pct,
-                        "avg_energy_saving_pct": claims.avg_energy_saving_pct,
-                    }
-                    for claims in headline_claims(result)
-                ],
-                "metrics": _metrics_snapshot(),
-            }
+            schema.stamp(
+                {
+                    "command": "evaluate",
+                    "vm_budget": args.vm_budget,
+                    "time_budget_s": args.time_budget,
+                    "faults": (
+                        schema.fault_spec_document(args.faults)
+                        if args.faults is not None
+                        else None
+                    ),
+                    "n_jobs": result_document["n_jobs"],
+                    "n_vms": result_document["n_vms"],
+                    "outcomes": result_document["outcomes"],
+                    "headline": [
+                        {
+                            "cloud": claims.cloud,
+                            "max_makespan_improvement_pct": claims.max_makespan_improvement_pct,
+                            "avg_energy_saving_pct": claims.avg_energy_saving_pct,
+                        }
+                        for claims in headline_claims(result)
+                    ],
+                    "metrics": _metrics_snapshot(),
+                }
+            )
         )
         return 0
     print()
@@ -473,6 +431,32 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        model_dir=args.model,
+        max_sessions=args.max_sessions,
+    )
+    if args.model is None:
+        print(
+            "repro serve: no --model given; running the benchmarking "
+            "campaign once at startup (~seconds)",
+            file=sys.stderr,
+        )
+    serve(
+        config,
+        ready=lambda service: print(
+            f"repro serve: listening on http://{config.host}:{service.port} "
+            f"(schema v{schema.SCHEMA_VERSION}); try GET /v1/healthz",
+            file=sys.stderr,
+        ),
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Delegate to the linter's own CLI so `repro lint` and `python -m
     # repro.analysis` cannot drift apart (exit codes: 0 clean, 1
@@ -504,6 +488,7 @@ _COMMANDS = {
     "allocate": _cmd_allocate,
     "evaluate": _cmd_evaluate,
     "fig2": _cmd_fig2,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
     "reproduce": _cmd_reproduce,
 }
@@ -533,7 +518,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         tracer.close()
         if metrics_path:
             with open(metrics_path, "w", encoding="utf-8") as handle:
-                json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+                json.dump(
+                    schema.stamp(registry.snapshot()), handle, indent=2, sort_keys=True
+                )
                 handle.write("\n")
     return code
 

@@ -80,6 +80,30 @@ class FaultSpecError(ReproError, ValueError):
     """
 
 
+class SchemaError(ReproError, ValueError):
+    """A wire document (see :mod:`repro.service.schema`) is invalid.
+
+    Examples: a missing or unsupported ``schema_version``, an unknown
+    workload class in a VM-request document, or a field of the wrong
+    JSON type.  Derives from :class:`ValueError` so the CLI's
+    typed-flag helper and the service's request validation share one
+    failure path: the same message exits 2 on the command line and
+    becomes the ``invalid_request`` error envelope over HTTP.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for allocation-service failures (see :mod:`repro.service`)."""
+
+
+class BackpressureError(ServiceError):
+    """A session's admission queue is full.
+
+    The HTTP front end maps this to ``429 Too Many Requests``; callers
+    should retry after the batching loop drains the queue.
+    """
+
+
 class TransientTaskError(ReproError):
     """A retryable task failure inside the execution engine.
 

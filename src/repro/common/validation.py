@@ -3,11 +3,21 @@
 Small, explicit checkers that raise ``ValueError``/``TypeError`` with
 messages that name the offending parameter.  Library-internal hot paths
 skip these; they guard the public constructors and functions.
+
+The ``parse_*`` family is the single validation path for every typed
+user input, wherever it arrives from: the CLI wraps them through
+:func:`typed_flag` (bad values become argparse usage errors, exit 2)
+and the allocation service calls them directly on decoded JSON bodies
+(bad values become ``invalid_request`` error envelopes, HTTP 400).
+Both surfaces therefore reject the same input with the same message --
+tested in ``tests/common/test_validation.py`` and
+``tests/service/test_server.py``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import math
+from typing import Callable, Iterable, Sequence
 
 
 def check_positive(name: str, value: float) -> float:
@@ -61,6 +71,103 @@ def check_nonempty(name: str, seq: Sequence) -> Sequence:
     if len(seq) == 0:
         raise ValueError(f"{name} must not be empty")
     return seq
+
+
+# -- shared user-input parsers (CLI flags and service request bodies) --
+
+
+def typed_flag(parse: Callable[[str], object]):
+    """Adapt a ``parse_*`` helper for use as an argparse ``type=``.
+
+    ``parse`` raises :class:`ValueError` carrying the user-facing
+    message; argparse turns the re-raised ``ArgumentTypeError`` into a
+    usage error, so every flag built through here rejects bad values
+    identically: same exit code (2), message on stderr.  The service
+    uses the same ``parse`` functions directly, so an HTTP 400 error
+    envelope carries the exact message ``repro`` would print.
+    """
+    import argparse
+
+    def typed(text: str):
+        try:
+            return parse(text)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+
+    return typed
+
+
+def parse_alpha(value) -> float:
+    """``--alpha`` / ``"alpha"``, constrained to the paper's [0, 1] range."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"alpha must be a number, got {value!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(
+            f"alpha must be within [0, 1] (1 = minimize energy, 0 = minimize "
+            f"time), got {value:g}"
+        )
+    return value
+
+
+def parse_jobs(value) -> int:
+    """``--jobs``, a worker-process count (1 = serial in-process)."""
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"jobs must be an integer >= 1, got {value!r}") from None
+    if value < 1:
+        raise ValueError(f"jobs must be an integer >= 1, got {value}")
+    return value
+
+
+def parse_format(value) -> str:
+    """``--format``, the output style shared by every reporting subcommand."""
+    text = str(value).strip().lower()
+    if text not in ("text", "json"):
+        raise ValueError(f"format must be one of 'text', 'json', got {value!r}")
+    return text
+
+
+def parse_time_budget(value) -> float:
+    """``--time-budget`` / ``"time_budget_s"``: positive finite seconds."""
+    try:
+        parsed = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"time-budget must be a positive number of seconds, got {value!r}"
+        ) from None
+    if math.isnan(parsed) or math.isinf(parsed) or parsed <= 0:
+        raise ValueError(
+            f"time-budget must be a positive finite number of seconds, got {value!r}"
+        )
+    return parsed
+
+
+def parse_port(value) -> int:
+    """``--port``: a TCP port; 0 binds an ephemeral port."""
+    try:
+        parsed = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"port must be an integer in [0, 65535], got {value!r}") from None
+    if not 0 <= parsed <= 65535:
+        raise ValueError(f"port must be an integer in [0, 65535], got {parsed}")
+    return parsed
+
+
+def parse_count(name: str, value, minimum: int = 1) -> int:
+    """A strictly integral count >= ``minimum`` (rejects floats and bools).
+
+    The service-body counterpart of :func:`check_positive_int`:
+    accepts JSON numbers but refuses silent truncation, so a body with
+    ``"n_servers": 2.5`` fails the same way ``--servers 2.5`` does.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer >= {minimum}, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be an integer >= {minimum}, got {value}")
+    return value
 
 
 def check_sorted(name: str, values: Iterable[float]) -> None:

@@ -48,7 +48,9 @@ class StrategyOutcome:
 
     ``wall_time_s`` is excluded from equality: two equal-seed runs
     produce the same simulated metrics but never the same wall clock,
-    and outcome tuples must compare equal across worker counts.
+    and outcome tuples must compare equal across worker counts.  It
+    also defaults to 0.0 so outcomes decoded from wire documents
+    (which deliberately omit wall time) can be reconstructed.
     """
 
     cloud: str
@@ -58,7 +60,7 @@ class StrategyOutcome:
     sla_violation_pct: float
     mean_response_s: float
     max_queue_length: int
-    wall_time_s: float = field(compare=False)
+    wall_time_s: float = field(default=0.0, compare=False)
 
     @classmethod
     def from_result(

@@ -1,0 +1,14 @@
+# repro-fixture-module: repro.service.badup
+"""Golden fixture: the service layer reaching into the wiring crust.
+
+``repro.service`` sits just below the crust: it may consume any
+library layer (core, sim, faults, experiments, ...) but must not
+import the CLI or the package root -- the crust wires the service in,
+never the other way around.  A service module importing ``repro.cli``
+would also recreate the import cycle the package had to break.
+"""
+
+from repro.cli import main  # expect layering-import
+from repro import build_model  # expect layering-import
+
+__all__ = ["main", "build_model"]

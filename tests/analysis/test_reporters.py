@@ -16,6 +16,7 @@ class TestJsonReporter:
         result = run_lint([FIXTURES / "bad_float_eq.py"], rules={"float-equality"})
         document = json.loads(to_json(result))
         assert set(document) == {
+            "schema_version",
             "version",
             "tool",
             "checked_files",
@@ -24,6 +25,11 @@ class TestJsonReporter:
         }
         assert document["version"] == JSON_SCHEMA_VERSION
         assert document["tool"] == "repro.analysis"
+        # The reporter cannot import upward; its literal wire version
+        # must track repro.service.schema.SCHEMA_VERSION.
+        from repro.service.schema import SCHEMA_VERSION
+
+        assert document["schema_version"] == SCHEMA_VERSION
         assert document["checked_files"] == 1
         assert document["n_violations"] == len(document["violations"]) > 0
         for entry in document["violations"]:

@@ -108,6 +108,40 @@ class TestLayeringRules:
         assert "repro.sim" in messages
         assert "repro.strategies" in messages
 
+    def test_service_layer_may_not_import_the_crust(self):
+        # The HTTP front end consumes library layers; the CLI and the
+        # package root wire *it* in, never the reverse.
+        result = lint_fixture("bad_service_layering.py", "layering-import")
+        assert len(result.violations) == 2
+        messages = " ".join(v.message for v in result.violations)
+        assert "repro.cli" in messages
+        assert "the package root" in messages
+
+    def test_service_layer_may_import_core_and_faults(self, tmp_path):
+        ok = tmp_path / "ok_service.py"
+        ok.write_text(
+            "# repro-fixture-module: repro.service.okdown\n"
+            "from repro.core.allocator import ProactiveAllocator\n"
+            "from repro.faults.spec import FaultSpec\n"
+            "from repro.experiments.evaluation import StrategyOutcome\n",
+            encoding="utf-8",
+        )
+        result = run_lint([ok], rules={"layering-import"})
+        assert result.ok
+
+    def test_service_layer_under_wallclock_rule(self, tmp_path):
+        bad = tmp_path / "bad_service_clock.py"
+        bad.write_text(
+            "# repro-fixture-module: repro.service.badclock\n"
+            "import time\n"
+            "def coalesce_deadline():\n"
+            "    return time.monotonic()\n",
+            encoding="utf-8",
+        )
+        result = run_lint([bad], rules={"determinism-wallclock"})
+        assert len(result.violations) == 1
+        assert result.violations[0].rule == "determinism-wallclock"
+
     def test_faults_layer_may_import_common_and_obs(self, tmp_path):
         ok = tmp_path / "ok_faults.py"
         ok.write_text(

@@ -145,10 +145,13 @@ class TestObservabilityFlags:
              "--format", "json"]
         ) == 0
         document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == "1"
         assert document["command"] == "allocate"
-        assert document["qos_satisfied"] in (True, False)
-        assert len(document["assignments"]) >= 1
-        assert document["search_provenance"]["partitions_enumerated"] > 0
+        plan = document["plan"]
+        assert plan["schema_version"] == "1"
+        assert plan["qos_satisfied"] in (True, False)
+        assert len(plan["assignments"]) >= 1
+        assert plan["search_provenance"]["partitions_enumerated"] > 0
         assert document["metrics"]["counters"]["allocator.calls"] == 1
 
     def test_allocate_trace_and_metrics_files(self, model_dir, tmp_path, capsys):
@@ -164,6 +167,7 @@ class TestObservabilityFlags:
         for event in events:
             assert {"event", "span_id", "name", "t_wall", "t_sim"} <= event.keys()
         snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema_version"] == "1"
         assert snapshot["counters"]["allocator.calls"] == 1
 
     def test_allocate_json_echoes_time_budget(self, model_dir, capsys):
@@ -173,14 +177,14 @@ class TestObservabilityFlags:
         ) == 0
         document = json.loads(capsys.readouterr().out)
         assert document["time_budget_s"] == 30.0
-        assert document["search_provenance"]["anytime"] is True
+        assert document["plan"]["search_provenance"]["anytime"] is True
         assert main(
             ["allocate", "--model", str(model_dir), "--vms", "2cpu",
              "--format", "json"]
         ) == 0
         document = json.loads(capsys.readouterr().out)
         assert document["time_budget_s"] is None
-        assert document["search_provenance"]["anytime"] is False
+        assert document["plan"]["search_provenance"]["anytime"] is False
 
     def test_text_format_unchanged_by_default(self, model_dir, capsys):
         assert main(["allocate", "--model", str(model_dir), "--vms", "2cpu"]) == 0

@@ -108,9 +108,13 @@ class TestEvaluateWithFaults:
              "--faults", spec_path]
         ) == 0
         document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == "1"
         assert document["command"] == "evaluate"
-        # The JSON document echoes the normalized spec for provenance.
-        assert document["faults"] == FaultSpec.from_dict(BENIGN).to_dict()
+        # The JSON document echoes the normalized spec for provenance,
+        # stamped with the wire-schema version like every document.
+        faults = document["faults"]
+        assert faults.pop("schema_version") == "1"
+        assert faults == FaultSpec.from_dict(BENIGN).to_dict()
         assert len(document["outcomes"]) > 0
 
     def test_no_faults_reported_as_null(self, capsys):

@@ -1,0 +1,1 @@
+"""Tests for the allocation service (repro.service)."""

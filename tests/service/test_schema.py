@@ -1,0 +1,193 @@
+"""Wire-schema v1: round-trips, version gating, determinism.
+
+Satellite contract for the schema module: every document type
+round-trips losslessly (encode -> decode -> encode is the identity on
+the document), every document is stamped ``schema_version: "1"`` with
+the stamp as the first key, and decoders reject missing or future
+versions with messages naming both sides.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
+from repro.experiments.evaluation import StrategyOutcome
+from repro.faults.spec import FaultRecord, FaultSpec
+from repro.service import schema
+
+
+@pytest.fixture(scope="module")
+def plan(database):
+    allocator = ProactiveAllocator(database, alpha=0.5)
+    return allocator.allocate(
+        [
+            VMRequest("vm0", "cpu"),
+            VMRequest("vm1", "mem", 4000.0),
+            VMRequest("vm2", "io"),
+        ],
+        [ServerState("s0"), ServerState("s1")],
+    )
+
+
+class TestStamp:
+    def test_stamp_is_first_key(self):
+        document = schema.stamp({"alpha": 0.5})
+        assert list(document) == ["schema_version", "alpha"]
+        assert document["schema_version"] == schema.SCHEMA_VERSION == "1"
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(SchemaError, match="missing 'schema_version'"):
+            schema.check_version({"vm_id": "vm0"}, "vm_request")
+
+    def test_future_version_rejected_naming_both(self):
+        with pytest.raises(SchemaError) as excinfo:
+            schema.check_version({"schema_version": "99"}, "plan")
+        message = str(excinfo.value)
+        assert "'99'" in message and "'1'" in message
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SchemaError, match="must be a JSON object"):
+            schema.check_version([1, 2], "plan")
+
+
+class TestVMRequestRoundTrip:
+    @pytest.mark.parametrize("deadline", [None, 1200.0])
+    def test_round_trip(self, deadline):
+        request = VMRequest("vm-7", "mem", deadline)
+        document = schema.vm_request_document(request)
+        assert document["schema_version"] == "1"
+        assert schema.decode_vm_request(document) == request
+        assert schema.vm_request_document(schema.decode_vm_request(document)) == document
+
+    def test_unknown_class_rejected(self):
+        document = schema.vm_request_document(VMRequest("vm0", "cpu"))
+        document["workload_class"] = "gpu"
+        with pytest.raises(SchemaError, match="unknown workload_class 'gpu'"):
+            schema.decode_vm_request(document)
+
+    def test_non_positive_deadline_rejected(self):
+        document = schema.vm_request_document(VMRequest("vm0", "cpu"))
+        document["max_exec_time_s"] = 0
+        with pytest.raises(SchemaError, match="must be positive or null"):
+            schema.decode_vm_request(document)
+
+
+class TestPlanRoundTrip:
+    def test_round_trip_is_document_identity(self, plan):
+        document = schema.plan_document(plan)
+        decoded = schema.decode_plan(document)
+        assert schema.plan_document(decoded) == document
+
+    def test_decoded_plan_matches_original(self, plan):
+        decoded = schema.decode_plan(schema.plan_document(plan))
+        assert decoded.assignments == plan.assignments
+        assert decoded.alpha == plan.alpha
+        assert decoded.score == plan.score
+        assert decoded.qos_satisfied == plan.qos_satisfied
+        # Derived totals are recomputed, not read back.
+        assert decoded.estimated_makespan_s == plan.estimated_makespan_s
+        assert decoded.estimated_energy_j == plan.estimated_energy_j
+        assert decoded.n_vms == plan.n_vms
+
+    def test_document_is_byte_deterministic(self, plan):
+        first = json.dumps(schema.plan_document(plan), indent=2, sort_keys=True)
+        second = json.dumps(schema.plan_document(plan), indent=2, sort_keys=True)
+        assert first == second
+
+    def test_missing_field_names_it(self, plan):
+        document = schema.plan_document(plan)
+        del document["alpha"]
+        with pytest.raises(SchemaError, match="missing 'alpha'"):
+            schema.decode_plan(document)
+
+
+class _FakeResult:
+    def __init__(self, outcomes, n_jobs, n_vms):
+        self.outcomes = outcomes
+        self.n_jobs = n_jobs
+        self.n_vms = n_vms
+
+
+class TestEvaluationRoundTrip:
+    OUTCOMES = (
+        StrategyOutcome("smaller", "PA-0.5", 900.0, 5.0e6, 2.5, 40.0, 7, 1.25),
+        StrategyOutcome("larger", "FF", 1400.0, 9.0e6, 8.0, 80.0, 12, 3.5),
+    )
+
+    def test_round_trip_is_document_identity(self):
+        result = _FakeResult(self.OUTCOMES, n_jobs=2, n_vms=120)
+        document = schema.evaluation_document(result)
+        decoded = schema.decode_evaluation(document)
+        assert schema.evaluation_document(decoded) == document
+
+    def test_decoded_outcomes_compare_equal(self):
+        # wall_time_s is compare=False and not on the wire; decoded
+        # outcomes still compare equal to the originals.
+        document = schema.evaluation_document(
+            _FakeResult(self.OUTCOMES, n_jobs=1, n_vms=60)
+        )
+        decoded = schema.decode_evaluation(document)
+        assert decoded.outcomes == self.OUTCOMES
+        assert decoded.outcomes[0].wall_time_s == 0.0
+        assert decoded.n_jobs == 1
+        assert decoded.n_vms == 60
+
+
+class TestFaultSpecRoundTrip:
+    SPEC = FaultSpec.from_dict(
+        {
+            "events": [
+                {"kind": "server_crash", "server": 0, "time_s": 10.0},
+                {"kind": "server_recover", "server": 0, "time_s": 50.0},
+            ],
+            "random": {
+                "crash_rate_per_1000s": 1.0,
+                "window_t0_s": 0.0,
+                "window_t1_s": 100.0,
+            },
+            "seed": 7,
+        }
+    )
+
+    def test_round_trip_is_document_identity(self):
+        document = schema.fault_spec_document(self.SPEC)
+        decoded = schema.decode_fault_spec(document)
+        assert schema.fault_spec_document(decoded) == document
+
+    def test_decoded_spec_equals_original(self):
+        decoded = schema.decode_fault_spec(schema.fault_spec_document(self.SPEC))
+        assert decoded == self.SPEC
+
+
+class TestFaultRecordDocument:
+    def test_document_shape(self):
+        record = FaultRecord(
+            time_s=10.0,
+            kind="server_crash",
+            target="s0",
+            vm_ids=("vm0", "vm1"),
+            detail="2 VMs re-queued",
+        )
+        document = schema.fault_record_document(record)
+        assert document["schema_version"] == "1"
+        assert document["kind"] == "server_crash"
+        assert document["vm_ids"] == ["vm0", "vm1"]
+        assert document["applied"] is True
+
+
+class TestErrorEnvelope:
+    def test_shape_and_stamp(self):
+        document = schema.error_envelope("invalid_request", "alpha must be ...")
+        assert document["schema_version"] == "1"
+        assert document["error"] == {
+            "code": "invalid_request",
+            "message": "alpha must be ...",
+        }
+
+    def test_detail_keys_sorted(self):
+        document = schema.error_envelope("backpressure", "full", zebra=1, apple=2)
+        assert list(document["error"]["detail"]) == ["apple", "zebra"]
