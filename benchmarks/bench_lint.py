@@ -1,0 +1,92 @@
+"""Lint benchmark: whole-repo full-catalog wall time.
+
+The project-scoped rules (taint, schema drift, dead code) build a
+symbol table and call graph over every file in the repository; this
+benchmark keeps that affordable.  Records:
+
+* **cold** -- full-catalog run over ``src/repro`` plus every consumer
+  directory with the parsed-file cache cleared first: what a fresh CI
+  process pays;
+* **warm** -- the same run again in-process, ASTs served from the
+  engine cache: what the second gate in one pytest session pays.
+
+Writes ``BENCH_lint.json`` next to this file;
+``scripts/check_bench_regression.py`` holds the cold p50 under an
+absolute ceiling (default 10 s -- a lint gate that takes longer than
+the test suite stops being run).
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_lint.py [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.analysis import engine, run_lint
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_lint.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Same scope as tests/analysis/test_codebase_clean.py's whole-repo gate.
+LINT_PATHS = ("src/repro", "tests", "examples", "scripts", "benchmarks")
+FIXTURE_EXCLUDE = ("tests/analysis/fixtures",)
+
+
+def run_once(clear_cache: bool) -> tuple:
+    if clear_cache:
+        engine._CONTEXT_CACHE.clear()
+    paths = [REPO_ROOT / name for name in LINT_PATHS]
+    t0 = time.perf_counter()
+    result = run_lint(paths, exclude=FIXTURE_EXCLUDE)
+    return time.perf_counter() - t0, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per mode (default 3)"
+    )
+    args = parser.parse_args(argv)
+
+    cold, warm = [], []
+    checked_files = n_findings = 0
+    for _ in range(args.repeats):
+        elapsed, result = run_once(clear_cache=True)
+        cold.append(elapsed)
+        checked_files = result.checked_files
+        n_findings = len(result.violations)
+        elapsed, _ = run_once(clear_cache=False)
+        warm.append(elapsed)
+
+    document = {
+        "schema_version": "1",
+        "tool": "bench_lint",
+        "checked_files": checked_files,
+        "n_findings_raw": n_findings,  # pre-baseline: the committed debt
+        "cold": {
+            "p50_s": statistics.median(cold),
+            "max_s": max(cold),
+            "samples_s": cold,
+        },
+        "warm": {
+            "p50_s": statistics.median(warm),
+            "max_s": max(warm),
+            "samples_s": warm,
+        },
+    }
+    OUTPUT.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(
+        f"lint: {checked_files} files, {n_findings} raw findings; "
+        f"cold p50 {statistics.median(cold):.2f}s, "
+        f"warm p50 {statistics.median(warm):.2f}s -> {OUTPUT.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,7 @@ CURRENT = BENCH_DIR / "BENCH_allocator.json"
 BASELINE = BENCH_DIR / "BENCH_allocator_baseline.json"
 PARALLEL = BENCH_DIR / "BENCH_parallel.json"
 SERVICE = BENCH_DIR / "BENCH_service.json"
+LINT = BENCH_DIR / "BENCH_lint.json"
 
 #: absolute p50 ceilings (seconds) for the anytime-mode batches; the
 #: exact enumerator needs ~13 s (batch 16) to minutes (batch 32) here.
@@ -118,10 +119,18 @@ def main(argv=None) -> int:
         help="absolute p50 ceiling (seconds) for the HTTP request->plan "
         "round trip at coalesce=1 (default 0.050)",
     )
+    parser.add_argument(
+        "--lint-bound",
+        type=float,
+        default=10.0,
+        help="absolute ceiling (seconds) for the cold whole-repo "
+        "full-catalog lint pass (default 10.0)",
+    )
     parser.add_argument("--current", type=Path, default=CURRENT)
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--parallel", type=Path, default=PARALLEL)
     parser.add_argument("--service", type=Path, default=SERVICE)
+    parser.add_argument("--lint", type=Path, default=LINT)
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -316,6 +325,29 @@ def main(argv=None) -> int:
         print(
             f"service: identity chunks={identity.get('chunks_identical')} "
             f"library={identity.get('library_identical')}"
+        )
+
+    if not args.lint.exists():
+        print(
+            f"lint: no {args.lint.name} (skipped; run "
+            f"benchmarks/bench_lint.py to gate the invariant linter)"
+        )
+    else:
+        lint = json.loads(args.lint.read_text())
+        cold_p50 = lint["cold"]["p50_s"]
+        verdict = "OK"
+        if cold_p50 > args.lint_bound:
+            verdict = "REGRESSION"
+            failures.append(
+                f"lint: cold whole-repo pass p50 {cold_p50:.2f}s exceeds the "
+                f"{args.lint_bound:.0f}s ceiling over "
+                f"{lint['checked_files']} files -- a gate slower than the "
+                f"suite stops being run"
+            )
+        print(
+            f"lint: cold p50 {cold_p50:8.2f}s  warm p50 "
+            f"{lint['warm']['p50_s']:8.2f}s  ceiling {args.lint_bound:8.0f}s  "
+            f"({lint['checked_files']} files)  {verdict}"
         )
 
     if failures:

@@ -4,7 +4,14 @@
 Equivalent to ``PYTHONPATH=src python -m repro.analysis src/repro``
 from the repo root, but works from anywhere:
 
-    python scripts/lint.py [paths...] [--format json] [--list-rules]
+    python scripts/lint.py [paths...] [--format {text,json,sarif}]
+
+and -- unlike the raw module -- automatically applies the repo's
+committed findings baseline (``scripts/LINT_baseline.json``) when the
+command line carries no ``--baseline``/``--update-baseline`` of its
+own, so a clean checkout exits 0.  Refresh the baseline with::
+
+    python scripts/lint.py src/repro --update-baseline scripts/LINT_baseline.json
 
 Exit status: 0 clean, 1 findings, 2 usage error.  See DESIGN.md
 "Enforced invariants" for the rule catalog and suppression policy.
@@ -17,6 +24,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "scripts" / "LINT_baseline.json"
 
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
@@ -24,7 +32,19 @@ if str(SRC) not in sys.path:
 from repro.analysis.cli import main  # noqa: E402
 
 
+def _argv() -> list[str]:
+    argv = sys.argv[1:]
+    explicit = any(
+        arg in ("--baseline", "--update-baseline")
+        or arg.startswith(("--baseline=", "--update-baseline="))
+        for arg in argv
+    )
+    if not explicit and "--list-rules" not in argv and BASELINE.exists():
+        argv = [*argv, "--baseline", str(BASELINE)]
+    return argv
+
+
 if __name__ == "__main__":
     # With no paths the linter defaults to the package it was imported
     # from, which the sys.path insert above pins to this repo's src/.
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main(_argv()))

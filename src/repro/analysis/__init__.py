@@ -9,7 +9,7 @@ package makes those invariants machine-checked.
 
 It is a small stdlib-``ast`` framework (zero dependencies -- the
 environment is offline) plus a catalog of rules encoding this repo's
-architecture:
+architecture.  File-scoped rules judge one file at a time:
 
 ========================  ==============================================
 rule id                   guards
@@ -27,37 +27,80 @@ except-swallow            no silently swallowed ``except Exception:``
 suppression-unknown-rule  suppression comments name real rules
 ========================  ==============================================
 
+Project-scoped rules run once over the whole file list, on top of a
+shared symbol table (:mod:`repro.analysis.project`) and call graph
+(:mod:`repro.analysis.callgraph`):
+
+========================  ==============================================
+rule id                   guards
+========================  ==============================================
+determinism-taint         nondeterminism sources (wall clock, unseeded
+                          RNG, ``os.environ``, set iteration) must not
+                          reach protected layers through any call path
+wire-schema-drift         wire-serialized dataclass fields stay in sync
+                          with the encoders/decoders in service/schema
+api-dead-export           ``repro.api.__all__`` entries are referenced
+                          by at least one test or example
+dead-internal-function    no internal function with zero call-graph
+                          in-edges and no other reference
+api-shim-expired          deprecation shims past their pledged removal
+                          version are actually removed
+suppression-stale         (engine-driven) directives shield a rule that
+                          still fires there
+baseline-stale            (engine-driven) baseline entries match a live
+                          finding
+========================  ==============================================
+
 Violations are suppressed in place with justification comments::
 
     risky_line()  # repro: allow <rule-id> -- why this one is fine
 
-(or ``# repro: allow-file <rule-id>`` once per file).  See
-:mod:`repro.analysis.suppress` for the exact grammar and DESIGN.md
-"Enforced invariants" for the policy.
+(or ``# repro: allow-file <rule-id>`` once per file); aggregated
+project-scope findings that are accepted debt live in the committed
+baseline ``scripts/LINT_baseline.json`` instead (see
+:mod:`repro.analysis.baseline`).  See :mod:`repro.analysis.suppress`
+for the exact grammar and DESIGN.md "Enforced invariants" for the
+policy.
 
 Run it as ``python -m repro.analysis src/repro`` or ``repro lint``;
 exit status 1 means findings, 2 means usage error.
 
-This package imports nothing else from ``repro`` (the linter must be
-able to judge a broken tree) -- a constraint it enforces on itself,
-since the full pass runs over ``src/repro`` including this directory.
+Apart from the CLI flag helpers in :mod:`repro.common.validation`,
+this package imports nothing else from ``repro`` (the linter must be
+able to judge a broken tree) -- a constraint the layering matrix
+enforces, since the full pass runs over ``src/repro`` including this
+directory.
 """
 
-from repro.analysis.engine import FileContext, LintResult, Violation, load_context, run_lint
+from repro.analysis.baseline import Baseline, BaselineError, load_baseline, write_baseline
+from repro.analysis.engine import (
+    FileContext,
+    LintResult,
+    Violation,
+    collect_py_files,
+    load_context,
+    run_lint,
+)
 from repro.analysis.registry import Rule, get_rule, iter_rules, rule_ids
-from repro.analysis.reporters import to_json, to_text
+from repro.analysis.reporters import to_json, to_sarif, to_text
 from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
 
 __all__ = [
+    "Baseline",
+    "BaselineError",
     "FileContext",
     "LintResult",
     "Rule",
     "Violation",
+    "collect_py_files",
     "get_rule",
     "iter_rules",
+    "load_baseline",
     "load_context",
     "rule_ids",
     "run_lint",
     "to_json",
+    "to_sarif",
     "to_text",
+    "write_baseline",
 ]

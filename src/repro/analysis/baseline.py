@@ -1,0 +1,141 @@
+"""The committed findings baseline.
+
+A baseline is reviewed, committed debt: findings that are understood,
+justified and deliberately not suppressed inline (inline suppressions
+silence a *site*; the baseline records a *finding* -- e.g. one
+aggregated determinism-taint group spanning several lines).  The repo's
+baseline lives at ``scripts/LINT_baseline.json`` and currently carries
+exactly the two long-standing measurement points (the anytime
+``Deadline``'s monotonic reads, the simulator's placement-latency
+histogram).
+
+Matching is on ``(rule, file, message)`` and deliberately ignores line
+numbers, so unrelated edits above a baselined finding do not invalidate
+it; any change to the finding's *content* (message text) does.  File
+paths inside the document are stored relative to the baseline file's
+own directory, making the file position-independent: the same baseline
+works from any working directory and any checkout location.
+
+Two failure directions are both loud:
+
+* a finding not in the baseline fails the run (new debt needs review);
+* a baseline entry matching nothing becomes a ``baseline-stale``
+  finding (paid-off debt must be deleted, or it would silently absorb
+  the next regression that happens to produce the same message).
+
+``repro lint --update-baseline PATH`` rewrites the file from the
+current findings; the diff is the review artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Version stamp of the baseline document itself (kept in lockstep with
+#: the wire schema: every JSON artifact in the repo carries one).
+BASELINE_SCHEMA_VERSION = "1"
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be used (missing, malformed)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: rule + file + exact message."""
+
+    rule: str
+    path: str  # POSIX-relative to the baseline file's directory
+    message: str
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline: entries plus the anchor directory for paths."""
+
+    source: Path  # the baseline file itself
+    entries: tuple
+
+    @property
+    def directory(self) -> Path:
+        return self.source.resolve().parent
+
+    def resolved_keys(self) -> dict:
+        """{(rule, absolute path, message): entry} for run-time matching."""
+        keys: dict = {}
+        for entry in self.entries:
+            absolute = (self.directory / entry.path).resolve()
+            keys[(entry.rule, str(absolute), entry.message)] = entry
+        return keys
+
+
+def load_baseline(path) -> Baseline:
+    """Read and validate a baseline document."""
+    source = Path(path)
+    try:
+        raw = source.read_text(encoding="utf-8")
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {str(source)!r}: {error}") from None
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise BaselineError(
+            f"baseline {str(source)!r} is not valid JSON: {error}"
+        ) from None
+    if not isinstance(document, dict) or not isinstance(document.get("findings"), list):
+        raise BaselineError(
+            f"baseline {str(source)!r} must be an object with a 'findings' array"
+        )
+    entries = []
+    for i, item in enumerate(document["findings"]):
+        if not isinstance(item, dict):
+            raise BaselineError(f"baseline {str(source)!r}: findings[{i}] must be an object")
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(item["rule"]), path=str(item["path"]), message=str(item["message"])
+                )
+            )
+        except KeyError as error:
+            raise BaselineError(
+                f"baseline {str(source)!r}: findings[{i}] is missing {error.args[0]!r}"
+            ) from None
+    return Baseline(source=source, entries=tuple(entries))
+
+
+def write_baseline(path, violations) -> Baseline:
+    """Serialize ``violations`` as the new baseline at ``path``.
+
+    Entries are sorted and de-duplicated; the emitted JSON is
+    byte-stable (``indent=2, sort_keys=True``) so the diff against the
+    committed file is the review artifact.
+    """
+    source = Path(path)
+    directory = source.resolve().parent
+    entries = sorted(
+        {
+            BaselineEntry(
+                rule=violation.rule,
+                path=Path(
+                    os.path.relpath(Path(violation.path).resolve(), directory)
+                ).as_posix(),
+                message=violation.message,
+            )
+            for violation in violations
+        },
+        key=lambda entry: (entry.path, entry.rule, entry.message),
+    )
+    document = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "findings": [
+            {"rule": entry.rule, "path": entry.path, "message": entry.message}
+            for entry in entries
+        ],
+    }
+    source.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return Baseline(source=source, entries=tuple(entries))

@@ -1,14 +1,20 @@
 """The linter's command line.
 
-Reachable two ways (both share this module):
+Reachable three ways (all share this module):
 
 * ``python -m repro.analysis [paths...]``
 * ``repro lint [paths...]`` (the package CLI delegates here)
+* ``python scripts/lint.py [paths...]`` (adds the repo baseline)
 
 With no paths the installed ``repro`` package tree itself is linted --
 the acceptance gate ``python -m repro.analysis src/repro`` simply
-names it explicitly.  Exit status: 0 clean, 1 findings, 2 usage error
-(argparse), matching the other ``repro`` subcommands.
+names it explicitly.  ``--baseline`` accepts the findings recorded in
+a committed baseline document; ``--update-baseline`` rewrites that
+document from the current findings (the diff is the review artifact).
+Exit status: 0 clean, 1 findings, 2 usage error (argparse), matching
+the other ``repro`` subcommands; flag values are validated by the
+``repro.common.validation`` ``parse_*`` family, so junk flags exit 2
+with the same message style everywhere.
 """
 
 from __future__ import annotations
@@ -18,21 +24,20 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.baseline import BaselineError, load_baseline, write_baseline
 from repro.analysis.engine import run_lint
 from repro.analysis.registry import iter_rules
-from repro.analysis.reporters import to_json, to_text
+from repro.analysis.reporters import to_json, to_sarif, to_text
 from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
+from repro.common.validation import parse_lint_format, typed_flag
 
-FORMATS = ("text", "json")
+FORMATS = ("text", "json", "sarif")
 
+#: Argparse ``type=`` for ``--format``; ``repro lint`` reuses it so the
+#: two entry points cannot drift apart.
+format_arg = typed_flag(parse_lint_format)
 
-def format_arg(text: str) -> str:
-    """Validate ``--format`` (shared with the ``repro`` CLI): exit 2 on junk."""
-    value = text.strip().lower()
-    if value not in FORMATS:
-        choices = ", ".join(repr(choice) for choice in FORMATS)
-        raise argparse.ArgumentTypeError(f"format must be one of {choices}, got {text!r}")
-    return value
+_RENDERERS = {"text": to_text, "json": to_json, "sarif": to_sarif}
 
 
 def default_target() -> Path:
@@ -55,14 +60,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         type=format_arg,
         default="text",
-        metavar="{text,json}",
-        help="report style: human text (default) or one JSON document",
+        metavar="{text,json,sarif}",
+        help="report style: human text (default), one JSON document, "
+        "or a SARIF 2.1.0 log for code-scanning UIs",
     )
     parser.add_argument(
         "--rules",
         default=None,
         metavar="ID[,ID...]",
         help="restrict the run to a comma-separated subset of rule ids",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="accept the findings recorded in this baseline document "
+        "(unused entries become baseline-stale findings)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="rewrite PATH from the current findings and exit 0; "
+        "review the diff, then commit it",
     )
     parser.add_argument(
         "--list-rules",
@@ -79,17 +101,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in iter_rules():
             print(f"{rule.id}: {rule.summary}")
         return 0
+    if args.baseline is not None and args.update_baseline is not None:
+        parser.error("--baseline and --update-baseline are mutually exclusive")
     rules = None
     if args.rules is not None:
         rules = [part.strip() for part in args.rules.split(",") if part.strip()]
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            parser.error(str(exc))
     paths = args.paths or [default_target()]
     try:
-        result = run_lint(paths, rules=rules)
+        result = run_lint(paths, rules=rules, baseline=baseline)
     except KeyError as exc:
         parser.error(f"unknown rule id {exc.args[0]!r} (see --list-rules)")
     except FileNotFoundError as exc:
         parser.error(str(exc))
-    print(to_json(result) if args.format == "json" else to_text(result))
+    if args.update_baseline is not None:
+        written = write_baseline(args.update_baseline, result.violations)
+        noun = "entry" if len(written.entries) == 1 else "entries"
+        print(
+            f"wrote {len(written.entries)} baseline {noun} to "
+            f"{args.update_baseline} -- review the diff, then commit it"
+        )
+        return 0
+    print(_RENDERERS[args.format](result))
     return 0 if result.ok else 1
 
 

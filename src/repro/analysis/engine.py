@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.baseline import Baseline
 from repro.analysis.registry import get_rule, iter_rules, rule_ids
 from repro.analysis.suppress import Suppressions, scan
 
@@ -40,6 +41,27 @@ _FIXTURE_MODULE_RE = re.compile(r"^#\s*repro-fixture-module:\s*([\w.]+)\s*$", re
 #: Pseudo rule id for unparseable files; not a registry rule (it cannot
 #: be usefully suppressed) but part of the reporter vocabulary.
 PARSE_ERROR = "parse-error"
+
+#: Parsed-file cache keyed by (path, mtime_ns, size): repeated runs in
+#: one process (the CLI after the gate, per-rule fixture tests, the
+#: bench harness) re-parse nothing that has not changed on disk.
+#: Contexts are treated as immutable by every rule, so sharing is safe.
+_CONTEXT_CACHE: dict = {}
+_CONTEXT_CACHE_LIMIT = 8192
+
+
+class ContextList(list):
+    """The context list handed to project-scoped rules.
+
+    A plain ``list`` plus two attachment points: the whole-program
+    indexes (:func:`repro.analysis.project.get_project`,
+    :func:`repro.analysis.callgraph.get_call_graph`) cache themselves
+    here, so every project rule in one run shares one symbol table and
+    one call graph.
+    """
+
+    _project = None
+    _call_graph = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +107,9 @@ class LintResult:
 
     violations: list
     checked_files: int
+    #: Findings accepted by the applied baseline (absent from
+    #: ``violations``); zero when no baseline was applied.
+    baselined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -122,6 +147,16 @@ def load_context(path: Path, module: str | None = None) -> FileContext | Violati
     inside the file (used by the golden fixtures).
     """
     path = Path(path)
+    cache_key = None
+    try:
+        stat = path.stat()
+        cache_key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size, module)
+    except OSError:
+        pass  # unreadable/virtual path: fall through, let read_text raise
+    if cache_key is not None:
+        cached = _CONTEXT_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
     display = _display_path(path)
     source = path.read_text(encoding="utf-8")
     if module is None:
@@ -130,25 +165,36 @@ def load_context(path: Path, module: str | None = None) -> FileContext | Violati
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return Violation(
+        loaded: FileContext | Violation = Violation(
             rule=PARSE_ERROR,
             path=display,
             line=exc.lineno or 1,
             col=(exc.offset or 1) - 1,
             message=f"file does not parse: {exc.msg}",
         )
-    return FileContext(
-        path=path,
-        display_path=display,
-        module=module,
-        source=source,
-        tree=tree,
-        suppressions=scan(source),
-    )
+    else:
+        loaded = FileContext(
+            path=path,
+            display_path=display,
+            module=module,
+            source=source,
+            tree=tree,
+            suppressions=scan(source),
+        )
+    if cache_key is not None:
+        if len(_CONTEXT_CACHE) >= _CONTEXT_CACHE_LIMIT:
+            _CONTEXT_CACHE.clear()
+        _CONTEXT_CACHE[cache_key] = loaded
+    return loaded
 
 
-def collect_py_files(paths: Sequence[Path]) -> list[Path]:
-    """Expand files/directories into a sorted, de-duplicated file list."""
+def collect_py_files(paths: Sequence[Path], exclude: Sequence[str] = ()) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    ``exclude`` drops files whose resolved POSIX path contains any of
+    the given substrings (``"tests/analysis/fixtures"`` keeps the
+    module-impersonating golden fixtures out of whole-repo passes).
+    """
     seen: set[Path] = set()
     ordered: list[Path] = []
     for path in paths:
@@ -161,21 +207,98 @@ def collect_py_files(paths: Sequence[Path]) -> list[Path]:
             raise FileNotFoundError(f"not a Python file or directory: {path}")
         for candidate in candidates:
             resolved = candidate.resolve()
-            if resolved not in seen:
-                seen.add(resolved)
-                ordered.append(candidate)
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            if exclude and any(pattern in resolved.as_posix() for pattern in exclude):
+                continue
+            ordered.append(candidate)
     return ordered
+
+
+def _stale_suppression_findings(contexts, fired, fired_rules_by_path):
+    """Directives shielding a rule that did not fire there (pre-filter)."""
+    known = rule_ids()
+    engine_driven = frozenset(r.id for r in iter_rules() if r.engine_driven)
+    for context in contexts:
+        path_rules = fired_rules_by_path.get(context.display_path, frozenset())
+        for directive in context.suppressions.directives:
+            shielded = (
+                (directive.line, directive.line + 1)
+                if directive.standalone
+                else (directive.line,)
+            )
+            for rule_id in directive.rule_ids:
+                if rule_id not in known or rule_id in engine_driven:
+                    continue  # unknown ids are suppression-unknown-rule's case
+                if directive.kind == "allow-file":
+                    used = rule_id in path_rules
+                    scope_text = "anywhere in this file"
+                else:
+                    used = any(
+                        (context.display_path, line, rule_id) in fired
+                        for line in shielded
+                    )
+                    scope_text = "on the shielded line"
+                if not used:
+                    yield context.violation(
+                        "suppression-stale",
+                        directive.line,
+                        f"suppression for {rule_id!r} is stale: the rule no "
+                        f"longer fires {scope_text} -- remove the directive "
+                        f"(or re-justify what it now hides)",
+                    )
+
+
+def _apply_baseline(violations, baseline: Baseline):
+    """Split violations into (kept, n_accepted) and flag unused entries."""
+    accepted = baseline.resolved_keys()
+    used: set = set()
+    kept: list[Violation] = []
+    n_accepted = 0
+    for violation in violations:
+        key = (violation.rule, str(Path(violation.path).resolve()), violation.message)
+        if key in accepted:
+            used.add(key)
+            n_accepted += 1
+        else:
+            kept.append(violation)
+    baseline_display = _display_path(baseline.source)
+    for key, entry in sorted(accepted.items()):
+        if key in used:
+            continue
+        kept.append(
+            Violation(
+                rule="baseline-stale",
+                path=baseline_display,
+                line=1,
+                col=0,
+                message=(
+                    f"baseline entry matched no finding this run "
+                    f"({entry.rule} at {entry.path}: {entry.message!r}); "
+                    f"the debt is paid -- refresh with --update-baseline"
+                ),
+            )
+        )
+    return kept, n_accepted
 
 
 def run_lint(
     paths: Sequence[Path],
     rules: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+    exclude: Sequence[str] = (),
 ) -> LintResult:
     """Lint every ``.py`` file under ``paths``.
 
     ``rules`` optionally restricts the run to a subset of rule ids
     (used by the per-rule fixture tests); unknown ids raise
     ``KeyError`` immediately rather than silently checking nothing.
+    Full-catalog runs (``rules=None``) additionally audit the
+    suppression comments themselves: a directive whose rule did not
+    fire on its line becomes ``suppression-stale``.  ``baseline``
+    accepts the committed findings it lists (and reports its own stale
+    entries); ``exclude`` drops files by path substring.
     """
     # Deferred on purpose: pulling the catalog in at module scope would
     # put the engine on an import cycle through the package root -- the
@@ -189,9 +312,9 @@ def run_lint(
     else:
         selected = rule_ids()
 
-    contexts: list[FileContext] = []
+    contexts = ContextList()
     violations: list[Violation] = []
-    files = collect_py_files(paths)
+    files = collect_py_files(paths, exclude=exclude)
     for path in files:
         loaded = load_context(path)
         if isinstance(loaded, Violation):
@@ -200,14 +323,15 @@ def run_lint(
             contexts.append(loaded)
 
     by_path = {context.display_path: context for context in contexts}
-    for rule in iter_rules():
-        if rule.id not in selected:
-            continue
-        if rule.scope == "file":
-            found = [v for context in contexts for v in rule.check(context)]
-        else:
-            found = list(rule.check(contexts))
+    #: (path, line, rule) of every pre-suppression finding, plus the
+    #: per-file rule sets -- the stale-suppression audit's evidence.
+    fired: set = set()
+    fired_rules_by_path: dict = {}
+
+    def admit(found) -> None:
         for violation in found:
+            fired.add((violation.path, violation.line, violation.rule))
+            fired_rules_by_path.setdefault(violation.path, set()).add(violation.rule)
             context = by_path.get(violation.path)
             if context is not None and context.suppressions.is_suppressed(
                 violation.rule, violation.line
@@ -215,5 +339,24 @@ def run_lint(
                 continue
             violations.append(violation)
 
+    for rule in iter_rules():
+        if rule.id not in selected or rule.engine_driven:
+            continue
+        if rule.scope == "file":
+            admit(v for context in contexts for v in rule.check(context))
+        else:
+            admit(rule.check(contexts))
+
+    if rules is None:
+        # Only a full-catalog run can judge staleness: under a subset,
+        # every directive for an unselected rule would look unused.
+        admit(_stale_suppression_findings(contexts, fired, fired_rules_by_path))
+
+    baselined = 0
+    if baseline is not None:
+        violations, baselined = _apply_baseline(violations, baseline)
+
     violations.sort(key=Violation.sort_key)
-    return LintResult(violations=violations, checked_files=len(files))
+    return LintResult(
+        violations=violations, checked_files=len(files), baselined=baselined
+    )

@@ -33,6 +33,10 @@ class Rule:
     summary: str
     scope: str
     check: Callable[..., Iterable]
+    #: True for rules the engine itself emits (stale suppressions,
+    #: stale baseline entries): registered so the id is part of the
+    #: suppression/reporting vocabulary, but ``check`` is never called.
+    engine_driven: bool = False
 
     def __post_init__(self) -> None:
         if self.scope not in SCOPES:
@@ -42,13 +46,15 @@ class Rule:
 _RULES: dict[str, Rule] = {}
 
 
-def rule(rule_id: str, summary: str, scope: str = "file"):
+def rule(rule_id: str, summary: str, scope: str = "file", engine_driven: bool = False):
     """Class/function decorator registering ``fn`` as a rule checker."""
 
     def decorate(fn: Callable[..., Iterable]) -> Callable[..., Iterable]:
         if rule_id in _RULES:
             raise ValueError(f"duplicate rule id {rule_id!r}")
-        _RULES[rule_id] = Rule(id=rule_id, summary=summary, scope=scope, check=fn)
+        _RULES[rule_id] = Rule(
+            id=rule_id, summary=summary, scope=scope, check=fn, engine_driven=engine_driven
+        )
         return fn
 
     return decorate

@@ -8,9 +8,12 @@ side effect.  One module per invariant family keeps each rule's policy
 
 from repro.analysis.rules import (  # noqa: F401
     api_surface,
+    deadcode,
     determinism,
     errors,
     floats,
     layering,
+    schema_drift,
     suppression,
+    taint,
 )

@@ -5,8 +5,8 @@ may import only from the layers below it:
 
 .. code-block:: text
 
-    common, analysis         (leaf: import nothing internal)
-    testbed, obs             -> common
+    common                   (leaf: import nothing internal)
+    analysis, testbed, obs   -> common
     faults                   -> common, obs
     profiling                -> common, testbed
     campaign                 -> common, testbed, obs
@@ -55,7 +55,9 @@ FREE = None
 #: layer -> internal top-segments it may import (itself always allowed).
 ALLOWED_IMPORTS = {
     "common": frozenset(),
-    "analysis": frozenset(),
+    # The linter shares the CLI flag-validation family (typed_flag +
+    # parse_lint_format) with the package CLI; nothing else.
+    "analysis": frozenset({"common"}),
     "testbed": frozenset({"common"}),
     "obs": frozenset({"common"}),
     "faults": frozenset({"common", "obs"}),

@@ -1,0 +1,198 @@
+"""Wire-schema drift: dataclasses and their encoders move in lockstep.
+
+The wire format (:mod:`repro.service.schema`, ``schema_version: "1"``)
+promises that within a version fields are only *added*, and that every
+added field actually crosses the wire.  The failure mode this rule
+exists for: someone grows ``AllocationPlan`` (or ``FaultRecord``, or
+``StrategyOutcome``) by a field, the dataclass round-trips fine
+in-process, and the encoder silently drops it -- clients never see the
+field and snapshot/restore loses state.
+
+The check is static and deliberately simple: for every wire-serialized
+dataclass in the contract table below, each field's wire name must
+appear as a string literal in the body of its encoder *and* decoder
+function.  Renames are declared explicitly (``BlockAssignment.combined_key``
+travels as ``"combined"``); fields that intentionally stay off the
+wire are listed as exemptions (``StrategyOutcome.wall_time_s`` is
+host-volatile, ``EvaluationResult.campaign`` is reproducible from the
+seed and large).  Adding a field without touching
+``service/schema.py`` therefore fails ``repro lint`` until the encoder
+learns it or the contract table exempts it -- either way the choice is
+reviewed.
+
+``AllocationProvenance`` is special-cased: its wire form is driven by
+the ``_PROVENANCE_FIELDS`` tuple in ``repro.core.plan``, so the rule
+requires the dataclass's fields and that literal tuple to match as
+sets, in both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.project import ClassSymbol, FunctionSymbol, get_project
+from repro.analysis.registry import rule
+
+
+@dataclass(frozen=True)
+class WireContract:
+    """One dataclass <-> encoder/decoder binding."""
+
+    dataclass_name: str  # absolute qualname of the dataclass
+    encoder: str  # absolute qualname of the encoding function/method
+    decoder: str | None = None  # absolute qualname of the decoder, if any
+    exempt: frozenset = frozenset()  # fields that never cross the wire
+    renames: dict = field(default_factory=dict)  # field name -> wire name
+
+
+#: Every dataclass that crosses the v1 wire, with its converter pair.
+WIRE_CONTRACTS = (
+    WireContract(
+        "repro.core.allocator.VMRequest",
+        encoder="repro.service.schema.vm_request_document",
+        decoder="repro.service.schema.decode_vm_request",
+    ),
+    WireContract(
+        "repro.core.plan.BlockAssignment",
+        encoder="repro.service.schema._assignment_document",
+        decoder="repro.service.schema._decode_assignment",
+        renames={"combined_key": "combined"},
+    ),
+    WireContract(
+        "repro.core.plan.AllocationPlan",
+        encoder="repro.service.schema.plan_document",
+        decoder="repro.service.schema.decode_plan",
+    ),
+    WireContract(
+        "repro.core.model.EstimatedOutcome",
+        encoder="repro.service.schema._assignment_document",
+        decoder="repro.service.schema._decode_assignment",
+    ),
+    WireContract(
+        "repro.experiments.evaluation.StrategyOutcome",
+        encoder="repro.service.schema._outcome_document",
+        decoder="repro.service.schema._decode_outcome",
+        exempt=frozenset({"wall_time_s"}),  # host-volatile; defaults on decode
+    ),
+    WireContract(
+        "repro.experiments.evaluation.EvaluationResult",
+        encoder="repro.service.schema.evaluation_document",
+        decoder="repro.service.schema.decode_evaluation",
+        exempt=frozenset({"campaign"}),  # reproducible from the seed; large
+    ),
+    WireContract(
+        "repro.faults.spec.FaultRecord",
+        encoder="repro.service.schema.fault_record_document",
+        decoder=None,  # fault logs are emit-only in v1
+    ),
+    WireContract(
+        "repro.faults.spec.FaultSpec",
+        encoder="repro.faults.spec.FaultSpec.to_dict",
+        decoder="repro.faults.spec.FaultSpec.from_dict",
+    ),
+    WireContract(
+        "repro.faults.spec.FaultEvent",
+        encoder="repro.faults.spec.FaultEvent.to_dict",
+        decoder="repro.faults.spec.FaultSpec.from_dict",
+    ),
+    WireContract(
+        "repro.faults.spec.RandomFaults",
+        encoder="repro.faults.spec.RandomFaults.to_dict",
+        decoder="repro.faults.spec.FaultSpec.from_dict",
+    ),
+)
+
+#: (dataclass qualname, constant qualname): the dataclass's fields must
+#: equal the string-tuple constant as a set.
+FIELD_TUPLE_CONTRACTS = (
+    ("repro.core.plan.AllocationProvenance", "repro.core.plan._PROVENANCE_FIELDS"),
+)
+
+
+def _string_literals(node: ast.AST) -> frozenset:
+    return frozenset(
+        inner.value
+        for inner in ast.walk(node)
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, str)
+    )
+
+
+def _resolve_function(project, qualname: str) -> FunctionSymbol | None:
+    resolved = project.resolve(qualname)
+    return resolved if isinstance(resolved, FunctionSymbol) else None
+
+
+def _field_anchor(cls: ClassSymbol, field_name: str):
+    node = cls.field_node(field_name)
+    return node if node is not None else cls.node
+
+
+@rule(
+    "wire-schema-drift",
+    "wire-serialized dataclass fields must appear in their schema "
+    "encoder/decoder (or be explicitly exempted)",
+    scope="project",
+)
+def check_drift(contexts) -> Iterator:
+    project = get_project(contexts)
+    for contract in WIRE_CONTRACTS:
+        cls = project.resolve(contract.dataclass_name)
+        if not isinstance(cls, ClassSymbol):
+            continue  # dataclass outside this run's scope
+        context = project.modules[cls.module].context
+        converters = [("encoder", contract.encoder)]
+        if contract.decoder is not None:
+            converters.append(("decoder", contract.decoder))
+        for role, qualname in converters:
+            symbol = _resolve_function(project, qualname)
+            if symbol is None:
+                continue  # converter outside this run's scope
+            mentioned = _string_literals(symbol.node)
+            for field_name in cls.fields:
+                if field_name in contract.exempt:
+                    continue
+                wire_name = contract.renames.get(field_name, field_name)
+                if wire_name not in mentioned:
+                    yield context.violation(
+                        "wire-schema-drift",
+                        _field_anchor(cls, field_name),
+                        f"field {field_name!r} of {cls.qualname} never appears "
+                        f"(as wire name {wire_name!r}) in its {role} "
+                        f"{qualname}: schema v1 documents would silently drop "
+                        f"it -- teach the {role} the field, or exempt it in "
+                        f"the wire-contract table "
+                        f"(repro.analysis.rules.schema_drift)",
+                    )
+
+    for dataclass_name, constant_name in FIELD_TUPLE_CONTRACTS:
+        cls = project.resolve(dataclass_name)
+        constant = project.resolve(constant_name)
+        if not isinstance(cls, ClassSymbol) or not (
+            isinstance(constant, tuple) and constant[0] == "constant"
+        ):
+            continue
+        _tag, constant_module, name, value_node = constant
+        listed = _string_literals(value_node)
+        context = project.modules[cls.module].context
+        constant_context = project.modules[constant_module].context
+        for field_name in cls.fields:
+            if field_name not in listed:
+                yield context.violation(
+                    "wire-schema-drift",
+                    _field_anchor(cls, field_name),
+                    f"field {field_name!r} of {cls.qualname} is missing from "
+                    f"{constant_name}, which drives its wire encoding "
+                    f"(as_dict) -- add it there or the field never "
+                    f"serializes",
+                )
+        declared = frozenset(cls.fields)
+        for listed_name in sorted(listed - declared):
+            yield constant_context.violation(
+                "wire-schema-drift",
+                value_node,
+                f"{constant_name} lists {listed_name!r}, which is not a "
+                f"field of {cls.qualname}: as_dict would raise "
+                f"AttributeError at encode time",
+            )

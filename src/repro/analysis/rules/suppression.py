@@ -5,6 +5,18 @@ silently keeps reporting (or worse: the author believes the finding is
 handled).  This rule closes the loop by validating every directive
 against the live registry, and flags ``# repro:`` comments that do not
 parse as directives at all.
+
+Two further hygiene rules are registered here but *driven by the
+engine* (their ``check`` never runs): the engine alone knows which
+violations fired before suppression/baseline filtering.
+
+* ``suppression-stale`` -- a directive names a rule that no longer
+  fires on the line(s) it shields.  Dead suppressions read as "this is
+  a known measurement point" when nothing of the sort remains.
+* ``baseline-stale`` -- a ``scripts/LINT_baseline.json`` entry matched
+  no finding this run: the debt it recorded is paid, so the entry must
+  be removed (``repro lint --update-baseline``) before it masks a
+  future regression with the same message.
 """
 
 from __future__ import annotations
@@ -37,3 +49,23 @@ def check_suppressions(ctx) -> Iterator:
             "'# repro: allow <rule-id>[, <rule-id>...] [-- justification]' "
             "or 'allow-file'",
         )
+
+
+@rule(
+    "suppression-stale",
+    "suppression directives must shield a rule that actually fires there "
+    "(engine-driven; only checked on full-catalog runs)",
+    engine_driven=True,
+)
+def _stale_suppressions_are_engine_driven(ctx) -> Iterator:
+    return iter(())
+
+
+@rule(
+    "baseline-stale",
+    "every findings-baseline entry must match a live finding "
+    "(engine-driven; update the baseline when debt is paid)",
+    engine_driven=True,
+)
+def _stale_baseline_entries_are_engine_driven(ctx) -> Iterator:
+    return iter(())

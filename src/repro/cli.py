@@ -43,6 +43,7 @@ from repro.common.validation import (
     parse_alpha,
     parse_format,
     parse_jobs,
+    parse_lint_format,
     parse_port,
     parse_time_budget,
     typed_flag,
@@ -77,6 +78,7 @@ def _parse_faults(text: str) -> FaultSpec:
 _alpha_arg = typed_flag(parse_alpha)
 _jobs_arg = typed_flag(parse_jobs)
 _format_arg = typed_flag(parse_format)
+_lint_format_arg = typed_flag(parse_lint_format)
 _faults_arg = typed_flag(_parse_faults)
 _time_budget_arg = typed_flag(parse_time_budget)
 _port_arg = typed_flag(parse_port)
@@ -207,16 +209,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        type=_format_arg,
+        type=_lint_format_arg,
         default="text",
-        metavar="{text,json}",
-        help="report style: human text (default) or one JSON document",
+        metavar="{text,json,sarif}",
+        help="report style: human text (default), one JSON document, "
+        "or a SARIF 2.1.0 log",
     )
     lint.add_argument(
         "--rules",
         default=None,
         metavar="ID[,ID...]",
         help="restrict the run to a comma-separated subset of rule ids",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="accept the findings recorded in this baseline document",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        default=None,
+        metavar="PATH",
+        help="rewrite PATH from the current findings and exit 0",
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -465,6 +480,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.rules is not None:
         argv += ["--rules", args.rules]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline is not None:
+        argv += ["--update-baseline", args.update_baseline]
     if args.list_rules:
         argv.append("--list-rules")
     return _analysis_main(argv)

@@ -130,6 +130,18 @@ def parse_format(value) -> str:
     return text
 
 
+def parse_lint_format(value) -> str:
+    """``repro lint --format``: the reporting formats plus ``sarif``.
+
+    The linter alone also emits SARIF 2.1.0 for code-scanning UIs;
+    every other reporting subcommand stays on :func:`parse_format`.
+    """
+    text = str(value).strip().lower()
+    if text not in ("text", "json", "sarif"):
+        raise ValueError(f"format must be one of 'text', 'json', 'sarif', got {value!r}")
+    return text
+
+
 def parse_time_budget(value) -> float:
     """``--time-budget`` / ``"time_budget_s"``: positive finite seconds."""
     try:

@@ -1,0 +1,23 @@
+# repro-fixture-module: repro.badshim
+"""Golden fixture: a deprecation shim past its pledged removal version.
+
+The pledge ("removed in 1.0") is behind the package's current
+``__version__``, so linting this together with ``src/repro/__init__.py``
+must produce an ``api-shim-expired`` finding.  Without the package
+root in scope the rule stays quiet (no version to compare against),
+which keeps the full-catalog fixture-directory run stable.
+"""
+
+import warnings
+
+
+def legacy_entry():
+    warnings.warn(
+        "legacy_entry() is deprecated and will be removed in 1.0; use entry()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+
+def entry():
+    return 0

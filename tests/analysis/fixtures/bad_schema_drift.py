@@ -1,0 +1,19 @@
+# repro-fixture-module: repro.core.allocator
+"""Golden fixture: a wire dataclass grown without touching the schema.
+
+Impersonates ``repro.core.allocator`` and re-declares ``VMRequest``
+with one extra field (``priority_boost``) that the real
+``repro.service.schema`` encoder/decoder never mention.  Linted
+*together with* the real ``src/repro/service/schema.py``, the
+wire-schema-drift rule must flag the field in both directions.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VMRequest:
+    vm_id: str
+    workload_class: str
+    max_exec_time_s: float | None = None
+    priority_boost: float = 0.0

@@ -1,0 +1,23 @@
+# repro-fixture-module: repro.sim.badflow
+"""Golden fixture: a protected module reaching nondeterminism via calls.
+
+The wall clock and environment reads live two files away in
+``bad_taint_helper.py`` (module ``repro.common.badhelper``), where the
+per-file determinism rules cannot see them; only the interprocedural
+taint rule connects this simulator code to those sources.  The set
+iteration is a direct in-module source.
+"""
+
+from repro.common.badhelper import leak_env, leak_now
+
+
+def schedule(started: float) -> float:
+    return leak_now() - started
+
+
+def configured_budget() -> str | None:
+    return leak_env("REPRO_BUDGET")
+
+
+def first_server(servers) -> list:
+    return [s for s in {1, 2, 3}]

@@ -1,0 +1,18 @@
+# repro-fixture-module: repro.common.badhelper
+"""Golden fixture: nondeterministic helpers in an *unchecked* layer.
+
+Neither function violates the per-file determinism rules (``common``
+is outside their layer scope); they only become findings when a
+protected module calls them -- see ``bad_taint_flow.py``.
+"""
+
+import os
+import time
+
+
+def leak_now() -> float:
+    return time.time()
+
+
+def leak_env(name: str) -> str | None:
+    return os.getenv(name)

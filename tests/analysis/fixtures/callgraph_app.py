@@ -1,0 +1,19 @@
+# repro-fixture-module: repro.experiments.cgapp
+"""Golden fixture: the consumer side of the call-graph resolver tests.
+
+Exercises aliased imports, local-variable type inference
+(``w = W()`` then ``w.ping()``), method resolution through a base
+class, and ``functools.partial`` edge-through.
+"""
+
+import functools
+
+from repro.experiments.cglib import Widget as W
+from repro.experiments.cglib import helper as aliased_helper
+
+
+def run() -> int:
+    w = W()
+    total = w.ping()
+    bound = functools.partial(aliased_helper, total)
+    return bound()

@@ -1,0 +1,20 @@
+# repro-fixture-module: repro.experiments.cglib
+"""Golden fixture: the library side of the call-graph resolver tests.
+
+Deliberately clean under every rule; ``callgraph_app.py`` imports from
+here under aliases and the tests assert the resolved edges.
+"""
+
+
+class Base:
+    def shared(self) -> int:
+        return 1
+
+
+class Widget(Base):
+    def ping(self) -> int:
+        return self.shared()
+
+
+def helper(x: int) -> int:
+    return x + 1

@@ -12,13 +12,13 @@ import time
 
 
 def trailing(started: float) -> float:
-    return time.time() - started  # repro: allow determinism-wallclock -- demo
+    return time.time() - started  # repro: allow determinism-wallclock, determinism-taint -- demo
 
 
 def preceding() -> float:
-    # repro: allow determinism-wallclock -- demo
+    # repro: allow determinism-wallclock, determinism-taint -- demo
     return time.perf_counter()
 
 
 def jitter() -> float:
-    return random.random()
+    return random.random()  # repro: allow determinism-taint -- demo

@@ -1,0 +1,99 @@
+"""Contracts of the shared AST helpers under the rule catalog."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import (
+    alias_maps,
+    dotted_call_name,
+    iter_imports,
+    top_segment,
+)
+
+
+def imports_of(source: str, importer: str = "repro.core.example"):
+    return list(iter_imports(ast.parse(source), importer=importer))
+
+
+class TestIterImports:
+    def test_plain_and_from_imports(self):
+        found = imports_of(
+            "import time\n"
+            "from repro.core.plan import AllocationPlan, BlockAssignment\n"
+        )
+        assert [(i.target, i.names) for i in found] == [
+            ("time", ()),
+            ("repro.core.plan", ("AllocationPlan", "BlockAssignment")),
+        ]
+        assert not any(i.type_checking or i.deferred for i in found)
+
+    def test_type_checking_imports_are_tagged(self):
+        found = imports_of(
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.sim.engine import Event\n"
+        )
+        tagged = {i.target: i.type_checking for i in found}
+        assert tagged["repro.sim.engine"] is True
+        assert tagged["typing"] is False
+
+    def test_function_local_imports_are_deferred(self):
+        found = imports_of(
+            "def lazy():\n"
+            "    import json\n"
+            "    return json\n"
+        )
+        assert [(i.target, i.deferred) for i in found] == [("json", True)]
+
+    def test_relative_imports_resolve_against_the_importer(self):
+        found = imports_of(
+            "from . import plan\nfrom ..common import rng\n",
+            importer="repro.core.allocator",
+        )
+        assert [i.target for i in found] == ["repro.core", "repro.common"]
+
+    def test_over_deep_relative_import_is_dropped(self):
+        found = imports_of("from .... import x\n", importer="repro.core.allocator")
+        assert found == []
+
+    def test_imports_inside_try_and_loops_are_found(self):
+        found = imports_of(
+            "try:\n"
+            "    import numpy\n"
+            "except ImportError:\n"
+            "    numpy = None\n"
+            "for _ in range(1):\n"
+            "    import math\n"
+        )
+        assert {i.target for i in found} == {"numpy", "math"}
+
+
+class TestAliasResolution:
+    def test_module_alias_resolves_attribute_chain(self):
+        tree = ast.parse("import numpy as np\nnp.random.seed(0)\n")
+        aliases = alias_maps(tree)
+        call = tree.body[1].value
+        assert dotted_call_name(call.func, aliases) == "numpy.random.seed"
+
+    def test_member_alias_resolves_to_its_origin(self):
+        tree = ast.parse("from time import perf_counter as pc\npc()\n")
+        aliases = alias_maps(tree)
+        call = tree.body[1].value
+        assert dotted_call_name(call.func, aliases) == "time.perf_counter"
+
+    def test_unresolvable_callables_return_none(self):
+        tree = ast.parse("import numpy as np\nobj.method()\nitems[0]()\n")
+        aliases = alias_maps(tree)
+        assert dotted_call_name(tree.body[1].value.func, aliases) is None
+        assert dotted_call_name(tree.body[2].value.func, aliases) is None
+
+
+class TestTopSegment:
+    def test_layer_of_internal_modules(self):
+        assert top_segment("repro.core.allocator") == "core"
+        assert top_segment("repro.api") == "api"
+
+    def test_package_root_and_externals_have_no_layer(self):
+        assert top_segment("repro") is None
+        assert top_segment("numpy.random") is None

@@ -2,9 +2,21 @@
 
 This is the test that turns the linter from advice into enforcement --
 ``pytest -x -q`` fails the moment anyone adds a wall-clock read to the
-simulator, an upward import, a facade leak, or a float ``==`` to a
-scoring path, unless they suppress it with a justification that then
-shows up in review.
+simulator, an upward import, a facade leak, a float ``==`` to a
+scoring path, a nondeterministic helper on a protected call path, or a
+wire-dataclass field the schema never learns -- unless they suppress
+it with a justification (or record it in the committed baseline) that
+then shows up in review.
+
+Two scopes run here:
+
+* the package tree alone (``src/repro``), judged against the committed
+  baseline ``scripts/LINT_baseline.json``;
+* the whole repository including its consumers (tests, examples,
+  scripts, benchmarks), which activates the reference-dependent audits
+  (``api-dead-export``, ``dead-internal-function``).  The
+  module-impersonating golden fixtures are excluded -- they exist to
+  be bad.
 """
 
 from __future__ import annotations
@@ -12,18 +24,61 @@ from __future__ import annotations
 from pathlib import Path
 
 import repro
-from repro.analysis import run_lint
+from repro.analysis import load_baseline, run_lint
 
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "scripts" / "LINT_baseline.json"
+
+#: Repo directories that consume the package (enables the dead-code
+#: audits) and must themselves stay invariant-clean.
+CONSUMER_DIRS = ("tests", "examples", "scripts", "benchmarks")
+
+#: The golden fixtures impersonate real modules and violate rules on
+#: purpose; every whole-repo pass excludes them.
+FIXTURE_EXCLUDE = ("tests/analysis/fixtures",)
 
 
 def test_package_tree_is_invariant_clean():
-    result = run_lint([PACKAGE_DIR])
+    result = run_lint([PACKAGE_DIR], baseline=load_baseline(BASELINE_PATH))
     assert result.checked_files > 90  # the whole package, not a subset
     assert result.ok, "\n".join(
         ["the repro package violates its own invariants:"]
         + [violation.render() for violation in result.violations]
     )
+
+
+def test_whole_repo_with_consumers_is_invariant_clean():
+    paths = [PACKAGE_DIR] + [REPO_ROOT / name for name in CONSUMER_DIRS]
+    result = run_lint(
+        paths, baseline=load_baseline(BASELINE_PATH), exclude=FIXTURE_EXCLUDE
+    )
+    assert result.checked_files > 150
+    assert result.ok, "\n".join(
+        ["the repository violates its own invariants:"]
+        + [violation.render() for violation in result.violations]
+    )
+
+
+def test_taint_debt_is_exactly_the_committed_baseline():
+    # The baseline is reviewed debt, not a dumping ground: it must
+    # carry precisely the two long-standing measurement points (the
+    # anytime Deadline's monotonic read, the simulator's
+    # placement-latency histogram) and the raw tree must produce
+    # exactly those findings, nothing more.
+    raw = run_lint([PACKAGE_DIR], rules={"determinism-taint"})
+    assert len(raw.violations) == 2
+    by_path = {Path(v.path).name: v for v in raw.violations}
+    assert set(by_path) == {"anytime.py", "datacenter.py"}
+    assert "time.monotonic()" in by_path["anytime.py"].message
+    assert "time.perf_counter()" in by_path["datacenter.py"].message
+
+    baseline = load_baseline(BASELINE_PATH)
+    assert len(baseline.entries) == 2
+    assert {entry.rule for entry in baseline.entries} == {"determinism-taint"}
+    assert {v.message for v in raw.violations} == {
+        entry.message for entry in baseline.entries
+    }
 
 
 def test_linter_lints_itself():
