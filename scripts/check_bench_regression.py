@@ -35,10 +35,22 @@ request->plan latency must stay under an absolute ceiling (default
 identity checks -- same admitted sequence, chunked three ways, equal
 to the in-process session byte-for-byte -- must hold.
 
+Additionally gates ``benchmarks/BENCH_sim.json`` (produced by
+``benchmarks/bench_sim_scale.py``) when present: the sharded indexed
+simulation core must beat the retained naive core by the required
+factor at the 100k-VM scale (default 5x, chronicle-free legs on both
+sides -- the gain is algorithmic, so it holds on one CPU), peak RSS of
+the 100k campaign must stay within the allowed multiple of the 10k
+campaign (default 1.2x -- the streaming chronicle and job spooling
+keep the core's memory flat), and the merge-identity checks -- results
+bit-identical across worker counts, with and without fault injection
+-- must hold unconditionally.
+
 Run:
     PYTHONPATH=src python benchmarks/bench_perf_allocator.py
     PYTHONPATH=src python benchmarks/bench_perf_parallel.py
     PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_sim_scale.py
     python scripts/check_bench_regression.py [--tolerance 0.2]
 """
 
@@ -55,6 +67,7 @@ BASELINE = BENCH_DIR / "BENCH_allocator_baseline.json"
 PARALLEL = BENCH_DIR / "BENCH_parallel.json"
 SERVICE = BENCH_DIR / "BENCH_service.json"
 LINT = BENCH_DIR / "BENCH_lint.json"
+SIM = BENCH_DIR / "BENCH_sim.json"
 
 #: absolute p50 ceilings (seconds) for the anytime-mode batches; the
 #: exact enumerator needs ~13 s (batch 16) to minutes (batch 32) here.
@@ -126,11 +139,26 @@ def main(argv=None) -> int:
         help="absolute ceiling (seconds) for the cold whole-repo "
         "full-catalog lint pass (default 10.0)",
     )
+    parser.add_argument(
+        "--sim-speedup",
+        type=float,
+        default=5.0,
+        help="required sharded-indexed over naive wall-time factor at the "
+        "gate scale (default 5.0)",
+    )
+    parser.add_argument(
+        "--sim-rss-ratio",
+        type=float,
+        default=1.2,
+        help="allowed gate-scale over base-scale peak-RSS multiple for the "
+        "chronicled sharded campaign (default 1.2)",
+    )
     parser.add_argument("--current", type=Path, default=CURRENT)
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--parallel", type=Path, default=PARALLEL)
     parser.add_argument("--service", type=Path, default=SERVICE)
     parser.add_argument("--lint", type=Path, default=LINT)
+    parser.add_argument("--sim", type=Path, default=SIM)
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -348,6 +376,59 @@ def main(argv=None) -> int:
             f"lint: cold p50 {cold_p50:8.2f}s  warm p50 "
             f"{lint['warm']['p50_s']:8.2f}s  ceiling {args.lint_bound:8.0f}s  "
             f"({lint['checked_files']} files)  {verdict}"
+        )
+
+    if not args.sim.exists():
+        print(
+            f"sim: no {args.sim.name} (skipped; run "
+            f"benchmarks/bench_sim_scale.py to gate the simulation core)"
+        )
+    else:
+        sim = json.loads(args.sim.read_text())
+        gate_scale, base_scale = str(sim["gate_scale"]), str(sim["base_scale"])
+        speedup = sim["speedup_vs_naive"]
+        verdict = "OK"
+        if speedup < args.sim_speedup:
+            verdict = "REGRESSION"
+            gate_row = sim["scales"][gate_scale]
+            failures.append(
+                f"sim: {speedup:.2f}x over the naive core at the "
+                f"{gate_scale}-VM scale, below the required "
+                f"{args.sim_speedup:.1f}x (naive "
+                f"{sim['naive']['wall_s']:.2f}s, sharded "
+                f"{gate_row['nochron_wall_s']:.2f}s)"
+            )
+        print(
+            f"sim: speedup {speedup:8.2f}x  required "
+            f"{args.sim_speedup:8.1f}x  ({gate_scale} VMs, "
+            f"naive {sim['naive']['wall_s']:.2f}s)  {verdict}"
+        )
+        rss_ratio = sim["rss_ratio"]
+        verdict = "OK"
+        if rss_ratio > args.sim_rss_ratio:
+            verdict = "REGRESSION"
+            failures.append(
+                f"sim: peak RSS grew {rss_ratio:.2f}x from the "
+                f"{base_scale}-VM to the {gate_scale}-VM campaign, over the "
+                f"{args.sim_rss_ratio:.1f}x flatness bound -- the streaming "
+                f"chronicle or job spool stopped bounding memory"
+            )
+        print(
+            f"sim: rss ratio {rss_ratio:8.2f}  bound "
+            f"{args.sim_rss_ratio:8.1f}  "
+            f"({sim['scales'][base_scale]['peak_rss_mb']:.0f}MB -> "
+            f"{sim['scales'][gate_scale]['peak_rss_mb']:.0f}MB)  {verdict}"
+        )
+        identity = sim.get("identity", {})
+        for check in ("workers", "workers_faulted"):
+            if not identity.get(check, False):
+                failures.append(
+                    f"sim: {check} identity check failed -- merged sharded "
+                    f"results are no longer bit-identical across worker counts"
+                )
+        print(
+            f"sim: identity workers={identity.get('workers')} "
+            f"faulted={identity.get('workers_faulted')}"
         )
 
     if failures:

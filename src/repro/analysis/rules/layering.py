@@ -25,7 +25,14 @@ itself must never reach up into strategies or experiments.
 
 The execution engine (``exec``) sits above the simulator: layers below
 it (e.g. the campaign runner) parallelize through an *injected*
-``mapper(fn, items, payload)`` rather than importing the engine.
+``mapper(fn, items, payload)`` rather than importing the engine.  The
+sharded-campaign split follows the same rule: ``repro.sim.shard`` is
+pure partition/merge bookkeeping (importable from ``sim``), while the
+fan-out over the pool lives in ``repro.exec.sharded`` -- a shard
+helper importing ``repro.exec`` from inside ``sim`` inverts the order
+and is flagged (``tests/analysis/fixtures/bad_shard_layering.py``).
+Strategies likewise reach the free-capacity index through the
+duck-typed ``free_candidates`` hook, never by importing ``sim``.
 
 On top of the matrix one submodule edge is singled out: ``core`` must
 not import ``repro.obs.runtime`` (the process-global observability

@@ -38,21 +38,24 @@ from typing import Sequence
 
 from repro.analysis.cli import main as _analysis_main
 from repro.campaign.platformrunner import run_campaign
-from repro.common.errors import FaultSpecError
+from repro.common.errors import ConfigurationError, FaultSpecError
+from repro.common.rng import SeedSequenceFactory
 from repro.common.validation import (
     parse_alpha,
     parse_format,
     parse_jobs,
     parse_lint_format,
     parse_port,
+    parse_shards,
     parse_time_budget,
     typed_flag,
 )
 from repro.core.allocator import ProactiveAllocator, ServerState, VMRequest
 from repro.core.model import ModelDatabase
+from repro.exec.sharded import run_sharded
 from repro.experiments.ascii import bar_chart, line_curve
-from repro.experiments.config import LARGER, SMALLER
-from repro.experiments.evaluation import run_evaluation
+from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
+from repro.experiments.evaluation import prepare_workload, run_evaluation
 from repro.experiments.fig2_basecurve import fig2_basecurve
 from repro.experiments.report import headline_claims
 from repro.faults import FaultSpec
@@ -61,7 +64,17 @@ from repro.obs.runtime import Observability, get_observability, set_observabilit
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.profiling.profiler import ApplicationProfiler
 from repro.service import schema
+from repro.sim.datacenter import DatacenterConfig
+from repro.strategies.registry import make_strategy
 from repro.testbed.benchmarks import BENCHMARKS, WorkloadClass, get_benchmark
+from repro.workloads.assignment import (
+    assign_profiles_and_vms,
+    total_vms_requested,
+    truncate_to_vm_budget,
+)
+from repro.workloads.cleaning import clean_trace
+from repro.workloads.qos import QoSPolicy
+from repro.workloads.swf import read_swf
 
 
 def _parse_faults(text: str) -> FaultSpec:
@@ -80,6 +93,7 @@ _jobs_arg = typed_flag(parse_jobs)
 _format_arg = typed_flag(parse_format)
 _lint_format_arg = typed_flag(parse_lint_format)
 _faults_arg = typed_flag(_parse_faults)
+_shards_arg = typed_flag(parse_shards)
 _time_budget_arg = typed_flag(parse_time_budget)
 _port_arg = typed_flag(parse_port)
 
@@ -170,6 +184,107 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--quiet", action="store_true")
     _add_time_budget_argument(evaluate)
     _add_obs_arguments(evaluate)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run one large-scale campaign (synthetic or SWF trace), "
+        "optionally sharded across server groups",
+    )
+    simulate.add_argument(
+        "--swf",
+        default=None,
+        metavar="TRACE.swf",
+        help="simulate this Standard Workload Format trace (cleaned and "
+        "completed with deterministic profiles); omitted: generate the "
+        "synthetic EGEE-like trace",
+    )
+    simulate.add_argument(
+        "--vm-budget",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="truncate the trace at this many VMs (default: 10000)",
+    )
+    simulate.add_argument(
+        "--servers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cluster size; default scales the paper's SMALLER cloud "
+        "density (65 servers per 10k VMs) to the trace",
+    )
+    simulate.add_argument(
+        "--strategy",
+        default="FF-2",
+        metavar="NAME",
+        help="allocation strategy (FF[-k], BF[-k], WF[-k], RAND[-k], "
+        "PA-<alpha>; default: FF-2)",
+    )
+    simulate.add_argument(
+        "--shards",
+        type=_shards_arg,
+        default=1,
+        metavar="N",
+        help="partition the cluster into N server groups simulated "
+        "independently and merged deterministically (default: 1)",
+    )
+    simulate.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="worker processes for the shards; results are bit-identical "
+        "to serial at any value (default: 1)",
+    )
+    simulate.add_argument(
+        "--seed",
+        type=int,
+        default=20110516,
+        metavar="N",
+        help="root seed for trace generation and profile assignment",
+    )
+    simulate.add_argument(
+        "--qos-factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="derive per-class deadlines from the campaign optima times "
+        "this factor (> 1); omitted: no deadlines",
+    )
+    simulate.add_argument(
+        "--chronicle-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record per-server chronicles bounded to N resident "
+        "intervals each (the streaming ring; omitted: no chronicles)",
+    )
+    simulate.add_argument(
+        "--chronicle-spill",
+        default=None,
+        metavar="PATH",
+        help="JSONL spill file for intervals evicted from the chronicle "
+        "rings (requires --chronicle-capacity; sharded runs write "
+        "PATH.shardNNN per shard)",
+    )
+    simulate.add_argument(
+        "--spool-dir",
+        default=None,
+        metavar="DIR",
+        help="spool the partitioned per-shard job lists to this existing "
+        "directory so only the shard currently simulating holds its jobs "
+        "in RAM; results are bit-identical with and without (files are "
+        "left in place)",
+    )
+    simulate.add_argument(
+        "--faults",
+        type=_faults_arg,
+        default=None,
+        metavar="SPEC.json",
+        help="inject a deterministic fault schedule from a JSON spec; "
+        "see README 'Fault injection'",
+    )
+    _add_obs_arguments(simulate)
 
     fig2 = sub.add_parser("fig2", help="print the FFTW base-test curve")
 
@@ -431,6 +546,117 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    json_output = args.format == "json"
+    say = (
+        (lambda message: print(message, file=sys.stderr)) if json_output else print
+    )
+    seeds = SeedSequenceFactory(args.seed)
+    try:
+        if args.swf is not None:
+            _comments, records = read_swf(args.swf)
+            cleaned, _report = clean_trace(records)
+            jobs = truncate_to_vm_budget(
+                assign_profiles_and_vms(cleaned, rng=seeds.child("profiles")),
+                args.vm_budget,
+            )
+            n_vms = total_vms_requested(jobs)
+            # Same server density as the paper's SMALLER cloud unless
+            # the user pins the cluster size.
+            n_servers = args.servers or max(
+                1, round(SMALLER.n_servers * n_vms / SMALLER.vm_budget)
+            )
+        else:
+            scenario = EvaluationConfig(
+                label="SIM", n_servers=SMALLER.n_servers, seed=args.seed
+            ).scaled(args.vm_budget)
+            jobs, n_vms = prepare_workload(scenario)
+            n_servers = args.servers or scenario.n_servers
+
+        say(f"trace: {len(jobs)} jobs, {n_vms} VMs on {n_servers} servers")
+
+        qos = QoSPolicy.unlimited()
+        database = None
+        if args.strategy.startswith("PA-") or args.qos_factor is not None:
+            # Both the proactive strategy and QoS deadlines need the
+            # campaign's profiled model; run it once (~seconds).
+            say("running the benchmarking campaign for the model database")
+            campaign = run_campaign()
+            database = ModelDatabase.from_campaign(campaign)
+            if args.qos_factor is not None:
+                qos = QoSPolicy.from_optima(campaign.optima, factor=args.qos_factor)
+        strategy = make_strategy(
+            args.strategy, database=database, rng=seeds.child("strategy")
+        )
+
+        config = DatacenterConfig(
+            n_servers=n_servers,
+            record_chronicles=args.chronicle_capacity is not None,
+            chronicle_capacity=args.chronicle_capacity,
+            chronicle_spill_path=args.chronicle_spill,
+        )
+        result = run_sharded(
+            jobs,
+            strategy,
+            qos,
+            config,
+            shards=args.shards,
+            workers=args.jobs,
+            faults=args.faults,
+            spool_dir=args.spool_dir,
+        )
+    except (ConfigurationError, FaultSpecError, OSError) as error:
+        print(f"repro simulate: error: {error}", file=sys.stderr)
+        return 2
+    applied = sum(1 for record in result.fault_log if record.applied)
+    if json_output:
+        m = result.metrics
+        _print_json(
+            schema.stamp(
+                {
+                    "command": "simulate",
+                    "swf": args.swf,
+                    "seed": args.seed,
+                    "strategy": result.strategy_name,
+                    "n_jobs": len(jobs),
+                    "n_vms": n_vms,
+                    "n_servers": n_servers,
+                    "shards": args.shards,
+                    "qos_factor": args.qos_factor,
+                    "faults": (
+                        schema.fault_spec_document(args.faults)
+                        if args.faults is not None
+                        else None
+                    ),
+                    "result": {
+                        "makespan_s": m.makespan_s,
+                        "energy_j": m.energy_j,
+                        "busy_energy_j": m.busy_energy_j,
+                        "idle_energy_j": m.idle_energy_j,
+                        "sla_violations": m.sla_violations,
+                        "sla_violation_pct": m.sla_violation_pct,
+                        "mean_response_s": m.mean_response_s,
+                        "p95_response_s": m.p95_response_s,
+                        "max_queue_length": m.max_queue_length,
+                        "faults_applied": applied,
+                        "faults_logged": len(result.fault_log),
+                    },
+                    "metrics": _metrics_snapshot(),
+                }
+            )
+        )
+        return 0
+    print(f"{result.strategy_name}: {result.metrics.summary()}")
+    print(
+        f"max queue {result.metrics.max_queue_length}, "
+        f"mean response {result.metrics.mean_response_s:.0f}s, "
+        f"p95 {result.metrics.p95_response_s:.0f}s"
+    )
+    if result.fault_log:
+        print(f"faults: {applied}/{len(result.fault_log)} applied")
+    return 0
+
+
 def _cmd_fig2(args: argparse.Namespace) -> int:
     result = fig2_basecurve()
     print(
@@ -506,6 +732,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "allocate": _cmd_allocate,
     "evaluate": _cmd_evaluate,
+    "simulate": _cmd_simulate,
     "fig2": _cmd_fig2,
     "serve": _cmd_serve,
     "lint": _cmd_lint,

@@ -122,6 +122,17 @@ def parse_jobs(value) -> int:
     return value
 
 
+def parse_shards(value) -> int:
+    """``--shards``, the server-group count for sharded campaigns."""
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"shards must be an integer >= 1, got {value!r}") from None
+    if value < 1:
+        raise ValueError(f"shards must be an integer >= 1, got {value}")
+    return value
+
+
 def parse_format(value) -> str:
     """``--format``, the output style shared by every reporting subcommand."""
     text = str(value).strip().lower()

@@ -7,12 +7,36 @@ weighted average of the values associated to each interval of time"
 server so that the weighted-interval arithmetic can be *recomputed
 after the fact* and checked against the simulated outcomes -- which is
 exactly what ``tests/integration/test_chronicle_consistency.py`` does.
+
+Scale additions (DESIGN.md "Simulation at scale"):
+
+* **Incremental accounting.**  Energy totals and per-VM residency are
+  accumulated as each interval closes, in chronological order -- the
+  exact operand sequence a post-hoc ``sum()`` over the interval list
+  would use, so the running aggregates are bit-identical to the naive
+  recomputation (which the property suite re-derives and compares).
+* **Bounded memory.**  ``capacity`` turns the interval log into a ring
+  buffer: once full, the oldest interval is evicted per append, so
+  chronicle memory is flat regardless of run length.  Energy
+  aggregates are unaffected (they were folded in at record time); the
+  per-VM residency map -- which would grow with every VM the server
+  ever hosted -- is not kept at all on bounded chronicles, and
+  residency queries replay spill + residents instead.
+* **JSONL spill.**  An optional :class:`ChronicleSpill` sink receives
+  evicted intervals as JSON lines (the spill file is shared by all
+  servers of a run; each line is tagged with its server id).  The
+  consistency audit replays spilled + resident intervals in original
+  order via :meth:`Chronicle.iter_all`.  Evicting *without* a spill is
+  allowed -- aggregates stay exact -- but interval-level audits then
+  raise rather than silently reporting on a truncated log.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import IO, Iterator, Sequence
 
 from repro.campaign.records import MixKey
 from repro.common.errors import SimulationError
@@ -52,13 +76,121 @@ class Interval:
         return len(self.vm_ids)
 
 
-class Chronicle:
-    """Append-only interval log for one server."""
+class ChronicleSpill:
+    """Shared append-only JSONL sink for evicted intervals.
 
-    def __init__(self, server_id: str):
+    One spill file serves every chronicle of a run; lines carry their
+    server id, so replay filters per server.  The driver owns the
+    lifecycle: create before the run, :meth:`close` after (readers
+    require a closed/flushed file).
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._handle: IO[str] | None = open(self.path, "w", encoding="utf-8")
+        self.n_written = 0
+
+    def write(self, server_id: str, interval: Interval) -> None:
+        if self._handle is None:
+            raise SimulationError(f"chronicle spill {self.path} is closed")
+        self._handle.write(
+            json.dumps(
+                {
+                    "server": server_id,
+                    "t0": interval.t0_s,
+                    "t1": interval.t1_s,
+                    "mix": list(interval.mix),
+                    "power": interval.power_w,
+                    "vms": list(interval.vm_ids),
+                },
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ChronicleSpill":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def iter_spilled(path: str, server_id: str | None = None) -> Iterator[tuple[str, Interval]]:
+    """Replay ``(server_id, interval)`` pairs from a spill file, in
+    write order, optionally filtered to one server."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            if server_id is not None and raw["server"] != server_id:
+                continue
+            yield raw["server"], Interval(
+                t0_s=raw["t0"],
+                t1_s=raw["t1"],
+                mix=tuple(raw["mix"]),
+                power_w=raw["power"],
+                vm_ids=tuple(raw["vms"]),
+            )
+
+
+class Chronicle:
+    """Interval log for one server, with running aggregates.
+
+    ``capacity=None`` retains every interval (the historical
+    behavior); an integer capacity keeps only the newest ``capacity``
+    intervals resident, evicting the oldest to ``spill`` (when given).
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        capacity: int | None = None,
+        spill: ChronicleSpill | None = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"chronicle capacity must be >= 1, got {capacity}")
         self.server_id = server_id
-        self._intervals: list[Interval] = []
+        self.capacity = capacity
+        self._spill = spill
+        self._spill_path = spill.path if spill is not None else None
+        self._intervals: deque[Interval] = deque()
         self._notes: list[ChronicleNote] = []
+        self._end_s = float("-inf")
+        self.n_recorded = 0
+        self.n_evicted = 0
+        # Running aggregates, folded in at record time in chronological
+        # order -- the same operand order as a naive sum() over the full
+        # log, hence bit-identical to the recomputation.
+        self._total_energy_j = 0.0
+        self._busy_energy_j = 0.0
+        self._idle_energy_j = 0.0
+        # Per-VM residency is O(every VM that ever landed here), which
+        # grows with campaign length -- the one thing a bounded ring
+        # exists to avoid.  Unbounded logs keep the running map (O(1)
+        # queries); bounded ones answer residency queries by replaying
+        # spill + residents instead (same operand order, same floats).
+        self._vm_seconds: dict[str, float] | None = {} if capacity is None else None
+
+    def __getstate__(self) -> dict:
+        # Results (and their chronicles) cross process boundaries via
+        # exec.pmap; the open spill handle stays behind -- replay goes
+        # through the recorded spill_path instead.
+        state = self.__dict__.copy()
+        state["_spill"] = None
+        return state
+
+    @property
+    def spill_path(self) -> str | None:
+        """Where this chronicle's evicted intervals went (None = no spill)."""
+        return self._spill_path
 
     def record(
         self,
@@ -72,13 +204,32 @@ class Chronicle:
             raise SimulationError(f"interval ends before it starts: ({t0_s}, {t1_s})")
         if t1_s == t0_s:
             return  # zero-length syncs carry no information
-        if self._intervals and t0_s < self._intervals[-1].t1_s - 1e-9:
+        if self._intervals and t0_s < self._end_s - 1e-9:
             raise SimulationError(
-                f"interval at {t0_s} overlaps previous ending {self._intervals[-1].t1_s}"
+                f"interval at {t0_s} overlaps previous ending {self._end_s}"
             )
-        self._intervals.append(
-            Interval(t0_s=t0_s, t1_s=t1_s, mix=mix, power_w=power_w, vm_ids=tuple(vm_ids))
+        interval = Interval(
+            t0_s=t0_s, t1_s=t1_s, mix=mix, power_w=power_w, vm_ids=tuple(vm_ids)
         )
+        if self.capacity is not None and len(self._intervals) >= self.capacity:
+            oldest = self._intervals.popleft()
+            if self._spill is not None:
+                self._spill.write(self.server_id, oldest)
+            self.n_evicted += 1
+        self._intervals.append(interval)
+        self._end_s = t1_s
+        self.n_recorded += 1
+        energy = interval.energy_j
+        self._total_energy_j += energy
+        if interval.vm_ids:
+            self._busy_energy_j += energy
+            seconds = self._vm_seconds
+            if seconds is not None:
+                duration = interval.duration_s
+                for vm_id in interval.vm_ids:
+                    seconds[vm_id] = seconds.get(vm_id, 0.0) + duration
+        else:
+            self._idle_energy_j += energy
 
     def note(self, t_s: float, kind: str, detail: str = "") -> None:
         """Annotate the timeline (faults may land mid-interval, so notes
@@ -90,6 +241,8 @@ class Chronicle:
         return tuple(self._notes)
 
     def __len__(self) -> int:
+        """Resident interval count (equals ``n_recorded`` unless the
+        ring evicted)."""
         return len(self._intervals)
 
     def __iter__(self) -> Iterator[Interval]:
@@ -97,24 +250,48 @@ class Chronicle:
 
     @property
     def intervals(self) -> tuple[Interval, ...]:
+        """The *resident* intervals (the newest ``capacity`` when
+        bounded); use :meth:`iter_all` for the full log."""
         return tuple(self._intervals)
 
-    # -- the paper's weighted-interval arithmetic, recomputed ----------
+    def iter_all(self) -> Iterator[Interval]:
+        """Every recorded interval in original order: spilled first
+        (replayed from disk), then resident.
+
+        Requires the spill to have been closed/flushed.  Raises when
+        intervals were evicted with no spill attached -- a truncated
+        audit would otherwise silently pass over the missing spans.
+        """
+        if self.n_evicted:
+            if self._spill_path is None:
+                raise SimulationError(
+                    f"chronicle {self.server_id}: {self.n_evicted} intervals "
+                    f"evicted without a spill; interval-level audit impossible"
+                )
+            for _, interval in iter_spilled(self._spill_path, self.server_id):
+                yield interval
+        yield from self._intervals
+
+    # -- the paper's weighted-interval arithmetic ----------------------
+    #
+    # O(1) running aggregates; the property suite recomputes each from
+    # iter_all() and asserts exact equality.
 
     def total_energy_j(self) -> float:
-        """Sum of per-interval energies (busy intervals only appear
-        while VMs run; idle intervals carry an empty mix)."""
-        return sum(interval.energy_j for interval in self._intervals)
+        """Energy over the full log (busy intervals only appear while
+        VMs run; idle intervals carry an empty mix)."""
+        return self._total_energy_j
 
     def busy_energy_j(self) -> float:
-        return sum(i.energy_j for i in self._intervals if i.n_vms > 0)
+        return self._busy_energy_j
 
     def idle_energy_j(self) -> float:
-        return sum(i.energy_j for i in self._intervals if i.n_vms == 0)
+        return self._idle_energy_j
 
     def vm_intervals(self, vm_id: str) -> list[Interval]:
-        """The intervals during which one VM was resident."""
-        return [i for i in self._intervals if vm_id in i.vm_ids]
+        """The intervals during which one VM was resident (replays the
+        spill when the ring evicted)."""
+        return [i for i in self.iter_all() if vm_id in i.vm_ids]
 
     def vm_execution_time_s(self, vm_id: str) -> float:
         """The VM's execution time as the sum of its interval durations.
@@ -123,12 +300,32 @@ class Chronicle:
         ``w_k = dt_k / sum(dt)`` and per-interval "estimated time"
         equal to the full span, ``sum_k w_k * span = span``; we verify
         the simulator against the additive form, which is equivalent
-        and numerically direct.
+        and numerically direct.  Unbounded chronicles serve it from the
+        running residency map (no rescan); bounded chronicles replay
+        spill + residents -- adding the same durations in the same
+        chronological order, so both paths return the exact same float.
+        Like every interval-level query, the replay raises when
+        intervals were evicted with no spill attached.
         """
-        intervals = self.vm_intervals(vm_id)
-        if not intervals:
-            raise KeyError(f"VM {vm_id!r} never appeared on server {self.server_id!r}")
-        return sum(i.duration_s for i in intervals)
+        seconds = self._vm_seconds
+        if seconds is not None:
+            try:
+                return seconds[vm_id]
+            except KeyError:
+                raise KeyError(
+                    f"VM {vm_id!r} never appeared on server {self.server_id!r}"
+                ) from None
+        total = 0.0
+        seen = False
+        for interval in self.iter_all():
+            if vm_id in interval.vm_ids:
+                seen = True
+                total += interval.duration_s
+        if not seen:
+            raise KeyError(
+                f"VM {vm_id!r} never appeared on server {self.server_id!r}"
+            )
+        return total
 
     def interval_weights(self, vm_id: str) -> list[tuple[float, MixKey]]:
         """(weight, mix) pairs over the VM's residency -- the inputs of

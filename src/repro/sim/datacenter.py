@@ -34,7 +34,9 @@ from repro.faults import (
     ScheduledFault,
 )
 from repro.obs.runtime import Observability, get_observability
+from repro.sim.chronicle import ChronicleSpill
 from repro.sim.engine import EventQueue
+from repro.sim.index import ClusterIndex, ServerViews
 from repro.sim.metrics import JobOutcome, SimulationMetrics, compute_metrics
 from repro.sim.server import ServerRuntime
 from repro.sim.vm import SimVM, VMState
@@ -73,6 +75,27 @@ class DatacenterConfig:
     #: backfilling, letting up to N queued jobs behind a blocked head
     #: be placed when capacity suits them.
     backfill_window: int = 0
+    #: Use the incremental cluster indexes (see :mod:`repro.sim.index`):
+    #: cached snapshot list, O(1) powered/idle counters, free-capacity
+    #: candidate iteration.  ``False`` runs the retained naive
+    #: reference -- full rebuilds and scans at every event site -- which
+    #: the property suite and the scale bench compare against
+    #: (bit-identical results, very different wall time).
+    indexed: bool = True
+    #: Ring-buffer capacity per chronicle (None = retain everything).
+    #: Requires ``record_chronicles``; bounds chronicle memory at
+    #: ``capacity`` intervals per server regardless of run length.
+    chronicle_capacity: int | None = None
+    #: JSONL spill file for intervals evicted from bounded chronicles
+    #: (shared by all servers of the run; see
+    #: :class:`repro.sim.chronicle.ChronicleSpill`).  Requires
+    #: ``chronicle_capacity``.
+    chronicle_spill_path: str | None = None
+    #: Global index of this cluster's first server: server ids are
+    #: ``s{offset+i:04d}``.  Sharded campaigns (repro.sim.shard) give
+    #: each shard its slice's offset so ids match the unsharded
+    #: cluster's naming.
+    server_id_offset: int = 0
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -85,6 +108,24 @@ class DatacenterConfig:
         if self.backfill_window < 0:
             raise ConfigurationError(
                 f"backfill_window must be >= 0, got {self.backfill_window}"
+            )
+        if self.chronicle_capacity is not None:
+            if self.chronicle_capacity < 1:
+                raise ConfigurationError(
+                    f"chronicle_capacity must be >= 1, got {self.chronicle_capacity}"
+                )
+            if not self.record_chronicles:
+                raise ConfigurationError(
+                    "chronicle_capacity requires record_chronicles=True"
+                )
+        if self.chronicle_spill_path is not None and self.chronicle_capacity is None:
+            raise ConfigurationError(
+                "chronicle_spill_path requires chronicle_capacity (intervals "
+                "spill only when the ring evicts)"
+            )
+        if self.server_id_offset < 0:
+            raise ConfigurationError(
+                f"server_id_offset must be >= 0, got {self.server_id_offset}"
             )
 
     def spec_of(self, index: int) -> ServerSpec:
@@ -216,17 +257,42 @@ class DatacenterSimulator:
             )
 
         config = self._config
+        # The spill sink outlives the event loop (final syncs may still
+        # record); it is closed before results are assembled, so replay
+        # via Chronicle.iter_all() sees a complete, flushed file.
+        spill = (
+            ChronicleSpill(config.chronicle_spill_path)
+            if config.chronicle_spill_path is not None
+            else None
+        )
+        # In indexed mode every server with the same spec shares one
+        # mix-physics memo (the params are cluster-wide), multiplying
+        # the hit rate by the cluster size.  Naive mode recomputes every
+        # step, preserving the pre-index core as an honest baseline.
+        mix_caches: dict[int, dict] = {}
         servers = [
             ServerRuntime(
-                server_id=f"s{i:04d}",
+                server_id=f"s{config.server_id_offset + i:04d}",
                 spec=config.spec_of(i),
                 params=config.params,
                 power_off_when_empty=config.power_off_when_empty,
                 record_chronicle=config.record_chronicles,
+                chronicle_capacity=config.chronicle_capacity,
+                chronicle_spill=spill,
+                mix_cache=(
+                    mix_caches.setdefault(id(config.spec_of(i)), {})
+                    if config.indexed
+                    else False
+                ),
             )
             for i in range(config.n_servers)
         ]
         server_index = {server.server_id: i for i, server in enumerate(servers)}
+        cluster: ClusterIndex | None = None
+        if config.indexed:
+            cluster = ClusterIndex(len(servers))
+            for slot, server in enumerate(servers):
+                server.bind_index(cluster, slot)
 
         ordered_jobs = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
         trackers: list[_JobTracker] = []
@@ -275,18 +341,72 @@ class DatacenterSimulator:
         )
         job_spans: dict[int, object] = {}
 
-        def views() -> list[ServerView]:
-            return [
-                ServerView(
-                    server_id=server.server_id,
-                    mix=server.mix_key(),
-                    max_vms=server.spec.max_vms,
-                    cpu_slots=int(server.spec.capacity(Subsystem.CPU)),
-                    powered_on=server.powered_on,
+        spec_max_vms = [server.spec.max_vms for server in servers]
+        spec_cpu_slots = [
+            int(server.spec.capacity(Subsystem.CPU)) for server in servers
+        ]
+
+        def make_view(slot: int) -> ServerView:
+            server = servers[slot]
+            return ServerView(
+                server_id=server.server_id,
+                mix=server.mix_key(),
+                max_vms=spec_max_vms[slot],
+                cpu_slots=spec_cpu_slots[slot],
+                powered_on=server.powered_on,
+            )
+
+        if cluster is None:
+            # The retained naive reference: a fresh full snapshot per
+            # call, full scans for the gauges and the idle check.  The
+            # bit-identity property suite runs both modes on the same
+            # worlds and compares everything.
+            def views() -> list[ServerView]:
+                return [make_view(slot) for slot in range(len(servers)) if not servers[slot].failed]
+
+            def powered_count() -> int:
+                return sum(1 for s in servers if s.powered_on)
+
+            def cluster_idle() -> bool:
+                return all(server.n_vms == 0 for server in servers) and not any(
+                    server.failed for server in servers
                 )
-                for server in servers
-                if not server.failed
-            ]
+
+        else:
+            # Indexed mode: `visible` persists between events; only
+            # slots dirtied since the last call are re-snapshotted, and
+            # membership is rebuilt only after fail/recover.  Content
+            # (and order: server order, failed servers skipped) is
+            # identical to the naive rebuild by construction.
+            visible = ServerViews()
+            positions = [-1] * len(servers)
+            cidx = cluster  # non-Optional alias for the closures
+
+            def views() -> list[ServerView]:
+                if cidx.members_stale:
+                    cidx.members_stale = False
+                    cidx.dirty.clear()
+                    visible.reset()
+                    for slot in range(len(servers)):
+                        if servers[slot].failed:
+                            positions[slot] = -1
+                        else:
+                            positions[slot] = len(visible)
+                            visible.append(make_view(slot))
+                elif cidx.dirty:
+                    for slot in sorted(cidx.dirty):
+                        pos = positions[slot]
+                        if pos >= 0:
+                            visible[pos] = make_view(slot)
+                            visible.refresh(pos)
+                    cidx.dirty.clear()
+                return visible
+
+            def powered_count() -> int:
+                return cidx.powered
+
+            def cluster_idle() -> bool:
+                return cidx.active_vms == 0 and cidx.failed == 0
 
         def schedule_boundary(index: int, now: float) -> None:
             boundary = servers[index].next_boundary(now)
@@ -363,12 +483,7 @@ class DatacenterSimulator:
                 if try_place(queue[0], now):
                     queue.popleft()
                     continue
-                if (
-                    all(server.n_vms == 0 for server in servers)
-                    and not any(server.failed for server in servers)
-                    and faults_remaining == 0
-                    and not realloc_queue
-                ):
+                if cluster_idle() and faults_remaining == 0 and not realloc_queue:
                     # With a failed server or faults still pending,
                     # capacity may yet return; the end-of-run unfinished
                     # check is the backstop against a silent hang.
@@ -642,13 +757,13 @@ class DatacenterSimulator:
                         )
                 drain_all(now)
                 if enabled:
-                    g_powered.set(sum(1 for s in servers if s.powered_on))
+                    g_powered.set(powered_count())
             elif kind == "fault":
                 faults_remaining -= 1
                 handle_fault(fault_timeline[index], now)
                 drain_all(now)
                 if enabled:
-                    g_powered.set(sum(1 for s in servers if s.powered_on))
+                    g_powered.set(powered_count())
             else:  # boundary
                 if token != boundary_tokens[index]:
                     continue  # stale prediction: the mix changed since
@@ -667,7 +782,7 @@ class DatacenterSimulator:
                             schedule_boundary(moved_index, now)
                     drain_all(now)
                     if enabled:
-                        g_powered.set(sum(1 for s in servers if s.powered_on))
+                        g_powered.set(powered_count())
 
         if queue or realloc_queue or any(tracker.unfinished for tracker in trackers):
             stuck = [t.job.job_id for t in trackers if t.unfinished]
@@ -678,10 +793,12 @@ class DatacenterSimulator:
             # A fault handled after the last completion may have synced
             # its server past end_time; never rewind.
             server.sync(max(end_time, server.last_sync_s))
+        if spill is not None:
+            spill.close()
 
         if enabled:
             g_queue.set(0)
-            g_powered.set(sum(1 for s in servers if s.powered_on))
+            g_powered.set(powered_count())
             registry.gauge("sim.max_queue_length", **label).set(max_queue_length)
         run_span.end(
             t_sim=end_time,

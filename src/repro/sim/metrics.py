@@ -17,7 +17,7 @@ from typing import Sequence
 import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobOutcome:
     """Completion record of one job request (all of its VMs)."""
 

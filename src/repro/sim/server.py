@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.campaign.records import MixKey
 from repro.common.errors import SimulationError
 from repro.sim.vm import SimVM, VMState
@@ -20,7 +22,18 @@ from repro.testbed.power import instantaneous_power
 from repro.testbed.spec import SUBSYSTEMS, ServerSpec
 from repro.testbed.benchmarks import WorkloadClass
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.chronicle import ChronicleSpill
+    from repro.sim.index import ClusterIndex
+
 _EPSILON_S = 1e-9
+
+#: Mix-physics memo entries per cache before it is wholesale cleared.
+#: Clearing only costs recomputation; results are unaffected.  Sized
+#: above the working set of a 10k-VM campaign (~9k distinct mix
+#: sequences) so steady-state runs never thrash; at a few hundred
+#: bytes per entry the worst case stays in the tens of megabytes.
+_MIX_CACHE_MAX = 32768
 
 
 @dataclass(frozen=True)
@@ -47,6 +60,14 @@ class ServerRuntime:
       server next needs attention (stage transition or VM completion);
     * ``epoch`` increments on every mix change, letting the driver
       lazily invalidate stale scheduled events.
+
+    Every state mutation that a placement snapshot can see -- hosting
+    or unhosting a VM, a power transition, a crash or recovery -- runs
+    through the ``_host``/``_unhost``/``_set_power`` helpers below,
+    which notify the bound :class:`~repro.sim.index.ClusterIndex`.
+    Funneling the notifications here (rather than at the driver's call
+    sites) is what keeps the incremental indexes drift-free: there is
+    no second code path that could forget to update a counter.
     """
 
     def __init__(
@@ -56,11 +77,17 @@ class ServerRuntime:
         params: ContentionParams | None = None,
         power_off_when_empty: bool = True,
         record_chronicle: bool = False,
+        chronicle_capacity: int | None = None,
+        chronicle_spill: "ChronicleSpill | None" = None,
+        mix_cache: "dict | bool" = True,
     ):
         self.server_id = server_id
         self.spec = spec
         self._model = MixModel(spec, params)
         self._vms: list[SimVM] = []
+        self._ncpu = 0
+        self._nmem = 0
+        self._nio = 0
         self._last_sync_s = 0.0
         self._busy_energy_j = 0.0
         self._idle_energy_j = 0.0
@@ -71,12 +98,70 @@ class ServerRuntime:
         #: (see repro.faults); all mutations except recover() reject.
         self.failed = False
         self._slowdown_factor = 1.0
+        self._cluster: "ClusterIndex | None" = None
+        self._slot = -1
+        # Mix-physics memo (see _mix_physics).  True = private cache;
+        # a dict may be shared between servers with identical
+        # (spec, params); False = recompute every step (the faithful
+        # pre-index reference used by DatacenterConfig(indexed=False)).
+        if mix_cache is True:
+            self._mix_cache: "dict | None" = {}
+        elif mix_cache is False:
+            self._mix_cache = None
+        else:
+            self._mix_cache = mix_cache
         if record_chronicle:
             from repro.sim.chronicle import Chronicle
 
-            self.chronicle: "Chronicle | None" = Chronicle(server_id)
+            self.chronicle: "Chronicle | None" = Chronicle(
+                server_id, capacity=chronicle_capacity, spill=chronicle_spill
+            )
         else:
             self.chronicle = None
+
+    def bind_index(self, cluster: "ClusterIndex", slot: int) -> None:
+        """Attach this server to the datacenter's incremental index.
+
+        Folds the current state into the counters, so binding is exact
+        regardless of when it happens; afterwards every mutation
+        helper notifies ``cluster`` with this server's ``slot``.
+        """
+        self._cluster = cluster
+        self._slot = slot
+        cluster.adopt(slot, powered=self.powered_on, n_vms=len(self._vms), failed=self.failed)
+
+    # -- index-notifying mutation helpers ------------------------------
+
+    def _host(self, vm: SimVM) -> None:
+        self._vms.append(vm)
+        cls = vm.workload_class
+        if cls is WorkloadClass.CPU:
+            self._ncpu += 1
+        elif cls is WorkloadClass.MEM:
+            self._nmem += 1
+        else:
+            self._nio += 1
+        if self._cluster is not None:
+            self._cluster.on_host(self._slot)
+
+    def _unhost(self, vm: SimVM) -> None:
+        self._vms.remove(vm)  # ValueError propagates to the caller
+        cls = vm.workload_class
+        if cls is WorkloadClass.CPU:
+            self._ncpu -= 1
+        elif cls is WorkloadClass.MEM:
+            self._nmem -= 1
+        else:
+            self._nio -= 1
+        if self._cluster is not None:
+            self._cluster.on_unhost(self._slot)
+
+    def _set_power(self, since_s: float | None) -> None:
+        was_on = self._powered_since_s is not None
+        self._powered_since_s = since_s
+        now_on = since_s is not None
+        if now_on != was_on and self._cluster is not None:
+            self._cluster.on_power(self._slot, now_on)
 
     # -- views ---------------------------------------------------------
 
@@ -103,11 +188,9 @@ class ServerRuntime:
         return self._last_sync_s
 
     def mix_key(self) -> MixKey:
-        """Current (Ncpu, Nmem, Nio) counts."""
-        ncpu = sum(1 for vm in self._vms if vm.workload_class is WorkloadClass.CPU)
-        nmem = sum(1 for vm in self._vms if vm.workload_class is WorkloadClass.MEM)
-        nio = sum(1 for vm in self._vms if vm.workload_class is WorkloadClass.IO)
-        return (ncpu, nmem, nio)
+        """Current (Ncpu, Nmem, Nio) counts, maintained incrementally
+        by ``_host``/``_unhost`` (O(1), not a VM-list scan)."""
+        return (self._ncpu, self._nmem, self._nio)
 
     def energy(self) -> EnergyBreakdown:
         return EnergyBreakdown(busy_j=self._busy_energy_j, idle_j=self._idle_energy_j)
@@ -116,9 +199,51 @@ class ServerRuntime:
         """Instantaneous draw under the current mix (0 when off)."""
         if not self.powered_on:
             return 0.0
-        views = [vm.active_view() for vm in self._vms]
-        loads = self._model.subsystem_loads(views)
-        return instantaneous_power(loads, len(self._vms), self.spec.power)
+        return self._mix_physics()[2]
+
+    def _mix_physics(self) -> tuple:
+        """(slowdowns, loads, power) for the current mix, memoized
+        bit-exactly.
+
+        The contention model is a pure function of the per-VM active
+        views, and a view is determined by ``(benchmark, stage
+        bucket)`` -- there are only a handful of distinct view kinds,
+        so mix sequences repeat heavily across integration steps and,
+        under a shared cache, across servers.  A hit returns the exact
+        floats the model produced on first sight of that key (and
+        skips building the view objects entirely), so memoization
+        cannot perturb results.
+
+        The key carries ``id(benchmark)`` rather than the (unhashable)
+        spec; the cached value pins the views tuple so no benchmark id
+        can be recycled onto a different spec while its key is live.
+        The key is the *sequence* of kinds, not the multiset: the
+        model sums demands in VM-list order, and float addition is
+        order-sensitive, so only an order-exact key preserves the
+        bit-identity contract with the naive reference.  Slowdowns are
+        cached raw -- callers apply the transient-fault
+        ``_slowdown_factor``, which varies independently of the mix.
+        """
+        cache = self._mix_cache
+        if cache is None:
+            views = [vm.active_view() for vm in self._vms]
+            slowdowns = self._model.slowdowns(views)
+            loads = self._model.subsystem_loads(views)
+            power = instantaneous_power(loads, len(views), self.spec.power)
+            return slowdowns, loads, power
+        key = tuple(
+            (id(vm.benchmark), vm.stage == 0) for vm in self._vms
+        )
+        hit = cache.get(key)
+        if hit is None:
+            views = [vm.active_view() for vm in self._vms]
+            slowdowns, loads = self._model.slowdowns_and_loads(views)
+            power = instantaneous_power(loads, len(views), self.spec.power)
+            if len(cache) >= _MIX_CACHE_MAX:
+                cache.clear()
+            hit = (slowdowns, loads, power, tuple(views))
+            cache[key] = hit
+        return hit
 
     # -- integration -----------------------------------------------------
 
@@ -145,7 +270,7 @@ class ServerRuntime:
             if not self._vms:
                 if self.powered_on:
                     if self._power_off_when_empty:
-                        self._powered_since_s = None
+                        self._set_power(None)
                     else:
                         idle_power = self._idle_power_w()
                         self._idle_energy_j += idle_power * (now_s - t)
@@ -153,12 +278,11 @@ class ServerRuntime:
                             self.chronicle.record(t, now_s, (0, 0, 0), idle_power, ())
                 t = now_s
                 break
-            views = [vm.active_view() for vm in self._vms]
+            physics = self._mix_physics()
             # Multiplying by the (usually 1.0) transient-fault factor is
             # exact, so the unfaulted path is bit-identical to before.
-            slowdowns = [s * self._slowdown_factor for s in self._model.slowdowns(views)]
-            loads = self._model.subsystem_loads(views)
-            power = instantaneous_power(loads, len(self._vms), self.spec.power)
+            slowdowns = [s * self._slowdown_factor for s in physics[0]]
+            power = physics[2]
             next_boundary = min(
                 vm.remaining[vm.stage] * s for vm, s in zip(self._vms, slowdowns)
             )
@@ -173,13 +297,13 @@ class ServerRuntime:
             for vm in list(self._vms):
                 if vm.done:
                     finished.append(vm)
-                    self._vms.remove(vm)
+                    self._unhost(vm)
             t += step
         if finished:
             # The mix changed: outstanding boundary predictions are stale.
             self.epoch += 1
         if not self._vms and self._power_off_when_empty and self.powered_on:
-            self._powered_since_s = None
+            self._set_power(None)
         self._last_sync_s = now_s
         return finished
 
@@ -199,9 +323,9 @@ class ServerRuntime:
                 f"server {self.server_id}: cannot place VM on a failed server"
             )
         if not self.powered_on:
-            self._powered_since_s = now_s
+            self._set_power(now_s)
         vm.place(self.server_id, now_s)
-        self._vms.append(vm)
+        self._host(vm)
         self.epoch += 1
 
     def attach_vm(self, vm: SimVM, now_s: float) -> None:
@@ -222,9 +346,9 @@ class ServerRuntime:
         if vm.done:
             raise SimulationError(f"cannot attach finished VM {vm.vm_id!r}")
         if not self.powered_on:
-            self._powered_since_s = now_s
+            self._set_power(now_s)
         vm.server_id = self.server_id
-        self._vms.append(vm)
+        self._host(vm)
         self.epoch += 1
 
     def detach_vm(self, vm: SimVM, now_s: float) -> SimVM:
@@ -239,14 +363,14 @@ class ServerRuntime:
                 f"server {self.server_id}: detach_vm at {now_s} without sync"
             )
         try:
-            self._vms.remove(vm)
+            self._unhost(vm)
         except ValueError:
             raise SimulationError(
                 f"server {self.server_id}: VM {vm.vm_id!r} is not hosted here"
             ) from None
         self.epoch += 1
         if not self._vms and self._power_off_when_empty:
-            self._powered_since_s = None
+            self._set_power(None)
         return vm
 
     def next_boundary(self, now_s: float) -> float | None:
@@ -258,8 +382,7 @@ class ServerRuntime:
         """
         if not self._vms:
             return None
-        views = [vm.active_view() for vm in self._vms]
-        slowdowns = self._model.slowdowns(views)
+        slowdowns = self._mix_physics()[0]
         earliest = None
         for vm, slowdown in zip(self._vms, slowdowns):
             eta = vm.remaining[vm.stage] * slowdown * self._slowdown_factor
@@ -274,7 +397,7 @@ class ServerRuntime:
         """Explicitly power the server on (for always-on policies)."""
         self.sync(now_s)
         if not self.powered_on:
-            self._powered_since_s = now_s
+            self._set_power(now_s)
 
     def force_power_off(self, now_s: float) -> None:
         """Power off an idle server (error if VMs are running)."""
@@ -283,7 +406,7 @@ class ServerRuntime:
             raise SimulationError(
                 f"server {self.server_id}: cannot power off with {len(self._vms)} VMs"
             )
-        self._powered_since_s = None
+        self._set_power(None)
 
     # -- fault injection --------------------------------------------------
 
@@ -303,11 +426,14 @@ class ServerRuntime:
         if self.failed:
             raise SimulationError(f"server {self.server_id}: already failed")
         evicted = [vm for vm in self._vms if not vm.done]
-        self._vms.clear()
+        for vm in list(self._vms):
+            self._unhost(vm)
         self.epoch += 1
-        self._powered_since_s = None
+        self._set_power(None)
         self._slowdown_factor = 1.0
         self.failed = True
+        if self._cluster is not None:
+            self._cluster.on_failure(self._slot, True)
         return evicted
 
     def recover(self, now_s: float) -> None:
@@ -318,6 +444,8 @@ class ServerRuntime:
             )
         self.sync(now_s)
         self.failed = False
+        if self._cluster is not None:
+            self._cluster.on_failure(self._slot, False)
 
     def set_slowdown(self, factor: float, now_s: float) -> None:
         """Begin a transient slowdown; caller must have synced first."""

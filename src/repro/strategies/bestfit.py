@@ -29,7 +29,26 @@ class BestFitStrategy(AllocationStrategy):
         vms: Sequence[VMDescriptor],
         servers: Sequence[ServerView],
     ) -> Optional[Mapping[str, str]]:
-        placement: dict[str, str] = {}
+        # Indexed snapshots offer the feasible views directly (servers
+        # with zero headroom can never be chosen by min(); dropping
+        # them up front changes nothing).  Same duck-typed hook as
+        # first-fit; ties still resolve to list order because the
+        # iterator yields in list order.
+        fast = getattr(servers, "free_candidates", None)
+        if fast is not None:
+            pool = list(fast(self.multiplex))
+            placement: dict[str, str] = {}
+            headroom = {view.server_id: free for view, free in pool}
+            roster = [view for view, _ in pool]
+            for vm in vms:
+                candidates = [s for s in roster if headroom[s.server_id] > 0]
+                if not candidates:
+                    return None
+                chosen = min(candidates, key=lambda s: headroom[s.server_id]).server_id
+                headroom[chosen] -= 1
+                placement[vm.vm_id] = chosen
+            return placement
+        placement = {}
         headroom = {s.server_id: s.free_slots(self.multiplex) for s in servers}
         for vm in vms:
             candidates = [s for s in servers if headroom[s.server_id] > 0]

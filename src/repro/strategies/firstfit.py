@@ -37,7 +37,29 @@ class FirstFitStrategy(AllocationStrategy):
         vms: Sequence[VMDescriptor],
         servers: Sequence[ServerView],
     ) -> Optional[Mapping[str, str]]:
-        placement: dict[str, str] = {}
+        # Indexed snapshots (repro.sim.index.ServerViews) expose a
+        # free-capacity iterator; duck-typed so this layer never
+        # imports sim.  First-fit consumes candidates in list order,
+        # and headroom only shrinks within one call, so walking the
+        # iterator once is decision-identical to rescanning the full
+        # list per VM (the property suite proves it bit-identical).
+        fast = getattr(servers, "free_candidates", None)
+        if fast is not None:
+            placement: dict[str, str] = {}
+            candidates = fast(self.multiplex)
+            server_id: str | None = None
+            remaining = 0
+            for vm in vms:
+                while remaining == 0:
+                    nxt = next(candidates, None)
+                    if nxt is None:
+                        return None
+                    view, remaining = nxt
+                    server_id = view.server_id
+                placement[vm.vm_id] = server_id
+                remaining -= 1
+            return placement
+        placement = {}
         headroom = {s.server_id: s.free_slots(self.multiplex) for s in servers}
         for vm in vms:
             chosen = None

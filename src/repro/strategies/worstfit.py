@@ -28,7 +28,25 @@ class WorstFitStrategy(AllocationStrategy):
         vms: Sequence[VMDescriptor],
         servers: Sequence[ServerView],
     ) -> Optional[Mapping[str, str]]:
-        placement: dict[str, str] = {}
+        # Same duck-typed free-capacity fast path as first/best-fit:
+        # zero-headroom servers can never win max() over a non-empty
+        # candidate set, so restricting the roster to feasible views is
+        # decision-identical (ties keep resolving to list order).
+        fast = getattr(servers, "free_candidates", None)
+        if fast is not None:
+            pool = list(fast(self.multiplex))
+            placement: dict[str, str] = {}
+            headroom = {view.server_id: free for view, free in pool}
+            roster = [view for view, _ in pool]
+            for vm in vms:
+                candidates = [s for s in roster if headroom[s.server_id] > 0]
+                if not candidates:
+                    return None
+                chosen = max(candidates, key=lambda s: headroom[s.server_id]).server_id
+                headroom[chosen] -= 1
+                placement[vm.vm_id] = chosen
+            return placement
+        placement = {}
         headroom = {s.server_id: s.free_slots(self.multiplex) for s in servers}
         for vm in vms:
             candidates = [s for s in servers if headroom[s.server_id] > 0]

@@ -239,3 +239,66 @@ class MixModel:
             interference = 1.0 + p.same_class_interference * same + p.cross_class_interference * cross
             result.append(self.bottleneck_factor(vm, loads) * interference * thrash * virt)
         return result
+
+    def slowdowns_and_loads(
+        self, mix: Sequence[ActiveVM]
+    ) -> tuple[list[float], Mapping[Subsystem, float]]:
+        """Slowdowns plus the loads they were derived from, bit-exactly.
+
+        The fast sibling of calling :meth:`slowdowns` and
+        :meth:`subsystem_loads` separately, for callers that need both
+        (the server integrator also prices power off the loads).  Two
+        VMs whose views agree on ``(benchmark, demand_scale)`` have
+        identical demand vectors and bottleneck factors, so each
+        distinct kind is evaluated once and its floats reused for
+        every duplicate.  Reused values are the exact floats the naive
+        formulas produce, and the load sums add the same addends in
+        the same VM order, so the pair equals the naive results bit
+        for bit -- asserted exhaustively in
+        ``tests/testbed/test_contention.py``.
+        """
+        if not mix:
+            return [], self.subsystem_loads(mix)
+        # Per-kind demand vectors; sums run in VM order over cached
+        # addends, which leaves every float addition unchanged.
+        kind_demands: dict[tuple[int, float], tuple[float, ...]] = {}
+        per_vm_demands: list[tuple[float, ...]] = []
+        for vm in mix:
+            kind = (id(vm.benchmark), vm.demand_scale)
+            demands = kind_demands.get(kind)
+            if demands is None:
+                demands = tuple(vm.demand(s) for s in SUBSYSTEMS)
+                kind_demands[kind] = demands
+            per_vm_demands.append(demands)
+        server = self._server
+        loads: dict[Subsystem, float] = {}
+        for i, subsystem in enumerate(SUBSYSTEMS):
+            total = sum(d[i] for d in per_vm_demands)
+            loads[subsystem] = total / server.capacity(subsystem)
+        virt = self.virt_factor(mix)
+        thrash = self.thrash_factor(mix)
+        class_counts: dict[WorkloadClass, int] = {}
+        for vm in mix:
+            cls = vm.benchmark.workload_class
+            class_counts[cls] = class_counts.get(cls, 0) + 1
+        n = len(mix)
+        p = self._params
+        result: list[float] = []
+        kind_slowdowns: dict[tuple[int, float], float] = {}
+        for vm in mix:
+            if not vm.contended:
+                result.append(virt)
+                continue
+            kind = (id(vm.benchmark), vm.demand_scale)
+            value = kind_slowdowns.get(kind)
+            if value is None:
+                cls = vm.benchmark.workload_class
+                same = class_counts[cls] - 1
+                cross = n - 1 - same
+                interference = (
+                    1.0 + p.same_class_interference * same + p.cross_class_interference * cross
+                )
+                value = self.bottleneck_factor(vm, loads) * interference * thrash * virt
+                kind_slowdowns[kind] = value
+            result.append(value)
+        return result, loads

@@ -43,7 +43,7 @@ class AssignmentConfig:
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PreparedJob:
     """A cleaned trace record completed with profile and VM count.
 

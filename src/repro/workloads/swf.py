@@ -34,7 +34,7 @@ class JobStatus(enum.IntEnum):
     UNKNOWN = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SWFRecord:
     """One SWF job line.
 

@@ -1,0 +1,12 @@
+# repro-fixture-module: repro.sim.badshard
+"""Golden fixture: the sharded path inverting the sim/exec layering.
+
+Shard planning and merging belong to ``repro.sim.shard`` (pure
+bookkeeping); fanning shards over the pool belongs to
+``repro.exec.sharded``.  A shard helper that imports the execution
+engine from inside ``sim`` collapses that split.
+"""
+
+from repro.exec.sharded import run_sharded  # expect layering-import (matrix)
+
+__all__ = ["run_sharded"]

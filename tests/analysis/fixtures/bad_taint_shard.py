@@ -1,0 +1,21 @@
+# repro-fixture-module: repro.sim.badmerge
+"""Golden fixture: nondeterminism reaching the sharded merge path.
+
+The merge of shard results must be a pure function of the shard
+decomposition (DESIGN.md "Simulation at scale").  This merge breaks it
+twice: the tie-break consults the wall clock through the shared
+helper (``repro.common.badhelper``), and shard bookkeeping iterates an
+unordered set -- both only visible to the interprocedural taint rule
+from inside a protected ``sim`` module.
+"""
+
+from repro.common.badhelper import leak_now
+
+
+def _tie_break(outcomes) -> float:
+    return leak_now()
+
+
+def merge_shards(shard_results):
+    order = sorted(shard_results, key=_tie_break)
+    return order, [entry for entry in {id(result) for result in shard_results}]

@@ -88,6 +88,14 @@ class TestLayeringRules:
         assert len(result.violations) == 1
         assert "repro.exec" in result.violations[0].message
 
+    def test_sim_shard_helper_may_not_import_exec(self):
+        # The sharded-campaign split: partition/merge bookkeeping lives
+        # in sim, the pool fan-out in exec.sharded; a sim-side shard
+        # helper importing the engine inverts the order.
+        result = lint_fixture("bad_shard_layering.py", "layering-import")
+        assert len(result.violations) == 1
+        assert "repro.exec" in result.violations[0].message
+
     def test_exec_may_not_import_experiments(self, tmp_path):
         bad = tmp_path / "bad_exec_up.py"
         bad.write_text(
@@ -246,6 +254,20 @@ class TestTaintRule:
         assert "unordered set" in messages
         helper_hits = [v for v in result.violations if "bad_taint_helper" in v.path]
         assert len(helper_hits) == 2  # anchored at the source, not the caller
+
+    def test_sharded_merge_path_covered(self):
+        # The shard merge must stay a pure function of the shard
+        # decomposition; a wall-clock tie-break (via the unchecked
+        # helper) and set-ordered bookkeeping are both caught inside
+        # the protected sim layer.
+        result = run_lint(
+            [FIXTURES / "bad_taint_shard.py", FIXTURES / "bad_taint_helper.py"],
+            rules={"determinism-taint"},
+        )
+        messages = " ".join(v.message for v in result.violations)
+        assert "repro.sim.badmerge" in messages
+        assert "wall-clock read" in messages
+        assert "unordered set" in messages
 
     def test_helper_alone_is_clean(self):
         # The same sources with no protected caller in view prove

@@ -1,0 +1,118 @@
+"""Tests for bounded (ring + spill) chronicles and spill replay."""
+
+import pickle
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.chronicle import Chronicle, ChronicleSpill, iter_spilled
+
+
+def fill(chronicle, n, vms=("a",)):
+    for k in range(n):
+        mix = (1, 0, 0) if vms else (0, 0, 0)
+        chronicle.record(10.0 * k, 10.0 * (k + 1), mix, 100.0 + k, list(vms))
+
+
+class TestBoundedChronicle:
+    def test_capacity_bounds_residency(self):
+        chronicle = Chronicle("s0", capacity=3)
+        fill(chronicle, 10)
+        assert len(chronicle) == 3
+        assert chronicle.n_recorded == 10
+        assert chronicle.n_evicted == 7
+        # The resident window is the newest three intervals.
+        assert [i.t0_s for i in chronicle] == [70.0, 80.0, 90.0]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SimulationError, match="capacity"):
+            Chronicle("s0", capacity=0)
+
+    def test_aggregates_survive_eviction(self):
+        bounded = Chronicle("s0", capacity=2)
+        unbounded = Chronicle("s0")
+        fill(bounded, 8)
+        fill(unbounded, 8)
+        # Running aggregates fold in at record time in chronological
+        # order -- the exact operand order of a naive sum over the full
+        # log -- so equality here is exact, not approximate.
+        assert bounded.total_energy_j() == unbounded.total_energy_j()
+        assert bounded.busy_energy_j() == unbounded.busy_energy_j()
+        assert bounded.idle_energy_j() == unbounded.idle_energy_j()
+        assert unbounded.total_energy_j() == sum(
+            i.energy_j for i in unbounded.iter_all()
+        )
+
+    def test_residency_replay_matches_running_map(self, tmp_path):
+        # A bounded ring keeps no per-VM residency map (it would grow
+        # with every VM the server ever hosted); queries replay the
+        # spill and must return the unbounded map's exact float.
+        unbounded = Chronicle("s0")
+        fill(unbounded, 8)
+        with ChronicleSpill(str(tmp_path / "spill.jsonl")) as spill:
+            bounded = Chronicle("s0", capacity=2, spill=spill)
+            fill(bounded, 8)
+        assert bounded.vm_execution_time_s("a") == unbounded.vm_execution_time_s("a")
+        with pytest.raises(KeyError, match="never appeared"):
+            bounded.vm_execution_time_s("ghost")
+
+    def test_residency_without_eviction_needs_no_spill(self):
+        chronicle = Chronicle("s0", capacity=8)
+        fill(chronicle, 3)
+        assert chronicle.vm_execution_time_s("a") == pytest.approx(30.0)
+        with pytest.raises(KeyError, match="never appeared"):
+            chronicle.vm_execution_time_s("ghost")
+
+    def test_eviction_without_spill_blocks_interval_audit(self):
+        chronicle = Chronicle("s0", capacity=2)
+        fill(chronicle, 5)
+        with pytest.raises(SimulationError, match="evicted without a spill"):
+            list(chronicle.iter_all())
+        # Residency is an interval-level query on a bounded ring, so it
+        # needs the spill too ...
+        with pytest.raises(SimulationError, match="evicted without a spill"):
+            chronicle.vm_execution_time_s("a")
+        # ... while the energy aggregates stay available.
+        assert chronicle.total_energy_j() > 0
+
+
+class TestChronicleSpill:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "spill.jsonl")
+        with ChronicleSpill(path) as spill:
+            a = Chronicle("s0000", capacity=1, spill=spill)
+            b = Chronicle("s0001", capacity=1, spill=spill)
+            fill(a, 4)
+            fill(b, 2, vms=())
+            assert spill.n_written == 3 + 1
+        rows = list(iter_spilled(path))
+        assert [(server, i.t0_s) for server, i in rows] == [
+            ("s0000", 0.0),
+            ("s0000", 10.0),
+            ("s0000", 20.0),
+            ("s0001", 0.0),
+        ]
+        only_b = list(iter_spilled(path, "s0001"))
+        assert len(only_b) == 1 and only_b[0][1].vm_ids == ()
+
+    def test_iter_all_replays_spill_then_residents(self, tmp_path):
+        path = str(tmp_path / "spill.jsonl")
+        with ChronicleSpill(path) as spill:
+            chronicle = Chronicle("s0", capacity=2, spill=spill)
+            fill(chronicle, 6)
+        replayed = list(chronicle.iter_all())
+        assert [i.t0_s for i in replayed] == [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+        # Replay reconstructs the exact interval values.
+        assert replayed[0].power_w == 100.0
+        assert replayed[0].vm_ids == ("a",)
+        assert chronicle.vm_intervals("a") == replayed
+
+    def test_pickle_drops_writer_keeps_path(self, tmp_path):
+        path = str(tmp_path / "spill.jsonl")
+        with ChronicleSpill(path) as spill:
+            chronicle = Chronicle("s0", capacity=1, spill=spill)
+            fill(chronicle, 3)
+        clone = pickle.loads(pickle.dumps(chronicle))
+        assert clone.spill_path == path
+        assert [i.t0_s for i in clone.iter_all()] == [0.0, 10.0, 20.0]
+        assert clone.total_energy_j() == chronicle.total_energy_j()

@@ -130,3 +130,45 @@ class TestBottleneck:
 
     def test_virt_factor_solo_is_one(self, model):
         assert model.virt_factor([vm()]) == 1.0
+
+
+class TestSlowdownsAndLoads:
+    """The fused fast path must equal the naive pair bit for bit.
+
+    The simulator's mix-physics memo caches what this method returns
+    (see ServerRuntime._mix_physics), so any last-bit divergence here
+    would break the indexed-vs-naive identity contract.
+    """
+
+    NAMES = ("fftw", "sysbench", "bonnie")
+
+    def mixes(self):
+        import itertools
+        import random
+
+        rng = random.Random(20110516)
+        yield []
+        for n in range(1, 5):
+            for names in itertools.product(self.NAMES, repeat=n):
+                yield [
+                    vm(
+                        name,
+                        scale=rng.choice([0.2, 1.0]),
+                        contended=rng.choice([True, False]),
+                    )
+                    for name in names
+                ]
+        # A crowd deep into thrashing territory, duplicates included.
+        yield [vm(rng.choice(self.NAMES)) for _ in range(14)]
+
+    def test_bit_identical_to_naive_pair(self, model):
+        for mix in self.mixes():
+            fast_slowdowns, fast_loads = model.slowdowns_and_loads(mix)
+            assert fast_slowdowns == model.slowdowns(mix)
+            assert dict(fast_loads) == dict(model.subsystem_loads(mix))
+
+    def test_duplicate_kinds_share_exact_floats(self, model):
+        mix = [vm("sysbench"), vm("sysbench"), vm("sysbench")]
+        slowdowns, _loads = model.slowdowns_and_loads(mix)
+        assert slowdowns[0] == slowdowns[1] == slowdowns[2]
+        assert slowdowns == model.slowdowns(mix)
