@@ -1,0 +1,254 @@
+"""Carbon benchmark: temporal shifting wins, accounting stays free.
+
+Two claims back the carbon scenario, both gated by
+``scripts/check_bench_regression.py``:
+
+* **shifting wins**: on a peak-concentrated workload with QoS slack --
+  every job submitted inside the expensive/dirty daily band, deadlines
+  generous enough to reach the cheap window -- shifting deferrable
+  jobs must cut the campaign's total energy cost AND total carbon mass
+  by at least 10% against the unshifted run of the very same jobs.
+  The scenario is the one the scheduler exists for; a shifter that
+  cannot win it is broken, not unlucky.
+* **accounting is cheap**: attaching temporal signals to a 10k-VM
+  campaign (per-interval carbon + cost integration on every server
+  sync) may cost at most 5% of the signal-free campaign's CPU time.
+  The accounting is timed in situ: every ``accrue`` call during the
+  accounted run is wrapped with a timer, and the summed accounting
+  time (best-of-N runs) is gated against the best signal-free CPU
+  time.  End-to-end deltas are reported but not gated -- the true
+  cost (~1%) sits below shared-machine noise (plain-vs-plain control
+  runs of the same leg differ by +/-5%), so a wall-minus-wall gate
+  would flake; the in-situ sum captures the same work, timer overhead
+  included, and the identity verdict below guards against any
+  divergence outside the accounting calls.
+
+Identity verdict (always required): the signal-free metrics of the
+accounted run -- makespan, energy, SLA -- must equal the plain run's
+bit for bit; accounting that perturbs the simulation is a correctness
+bug, not an overhead.
+
+Run:  PYTHONPATH=src python benchmarks/bench_carbon.py [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.exec.sharded import run_sharded
+from repro.experiments.config import SMALLER, EvaluationConfig
+from repro.experiments.evaluation import prepare_workload
+from repro.ext.carbon.shifting import shift_deferrable
+from repro.ext.carbon.signal import DAY_S, TemporalSignal, TemporalSignals
+from repro.service.schema import SCHEMA_VERSION
+from repro.sim.datacenter import DatacenterConfig
+from repro.strategies.firstfit import FirstFitStrategy
+from repro.testbed.benchmarks import WorkloadClass
+from repro.workloads.assignment import PreparedJob
+from repro.workloads.qos import QoSPolicy
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_carbon.json"
+
+SEED = 20110516
+#: The shift scenario: expensive/dirty all day except a cheap six-hour
+#: window.  Carbon in gCO2/kWh, price in EUR/kWh; both step signals so
+#: breakpoint-aligned shifting is exactly optimal.
+CHEAP_START_S = 21_600.0
+CHEAP_END_S = 43_200.0
+CARBON_SIGNAL = TemporalSignal(
+    times_s=(0.0, CHEAP_START_S, CHEAP_END_S),
+    values=(400.0, 80.0, 400.0),
+    period_s=DAY_S,
+    kind="step",
+    units="gCO2/kWh",
+)
+PRICE_SIGNAL = TemporalSignal(
+    times_s=(0.0, CHEAP_START_S, CHEAP_END_S),
+    values=(0.30, 0.05, 0.30),
+    period_s=DAY_S,
+    kind="step",
+    units="EUR/kWh",
+)
+SIGNALS = TemporalSignals(carbon=CARBON_SIGNAL, price=PRICE_SIGNAL)
+
+#: Shift scenario shape: all submissions inside the first two expensive
+#: hours, reference runtime one hour, deadlines 12x the reference.
+SHIFT_JOBS = 240
+SHIFT_SERVERS = 12
+REFERENCE_S = 3_600.0
+QOS_FACTOR = 12.0
+
+#: Overhead scenario: the paper-density synthetic campaign.
+OVERHEAD_VM_BUDGET = 10_000
+
+
+def peak_jobs(n: int = SHIFT_JOBS) -> list[PreparedJob]:
+    classes = list(WorkloadClass)
+    return [
+        PreparedJob(
+            job_id=i + 1,
+            submit_time_s=30.0 * i,
+            workload_class=classes[i % len(classes)],
+            n_vms=1 + i % 3,
+            burst_id=i // 8,
+        )
+        for i in range(n)
+    ]
+
+
+def run_campaign(jobs, signals):
+    return run_sharded(
+        jobs,
+        FirstFitStrategy(2),
+        QoSPolicy.unlimited(),
+        DatacenterConfig(n_servers=SHIFT_SERVERS, signals=signals),
+        shards=1,
+        workers=1,
+    )
+
+
+def shift_section() -> dict:
+    jobs = peak_jobs()
+    qos = QoSPolicy({cls: QOS_FACTOR * REFERENCE_S for cls in WorkloadClass})
+    refs = {cls: REFERENCE_S for cls in WorkloadClass}
+    shifted, moved = shift_deferrable(jobs, SIGNALS, qos, refs)
+    base = run_campaign(jobs, SIGNALS)
+    better = run_campaign(shifted, SIGNALS)
+    cost_cut = 1.0 - better.metrics.cost / base.metrics.cost
+    carbon_cut = 1.0 - better.metrics.carbon_g / base.metrics.carbon_g
+    print(
+        f"shift: moved {moved}/{len(jobs)} jobs; cost "
+        f"{base.metrics.cost:.3f} -> {better.metrics.cost:.3f} EUR "
+        f"({cost_cut * 100:+.1f}%), carbon {base.metrics.carbon_g:.0f} -> "
+        f"{better.metrics.carbon_g:.0f} g ({carbon_cut * 100:+.1f}%)"
+    )
+    return {
+        "n_jobs": len(jobs),
+        "moved_jobs": moved,
+        "cost_no_shift": base.metrics.cost,
+        "cost_shifted": better.metrics.cost,
+        "cost_reduction_frac": cost_cut,
+        "carbon_no_shift": base.metrics.carbon_g,
+        "carbon_shifted": better.metrics.carbon_g,
+        "carbon_reduction_frac": carbon_cut,
+    }
+
+
+class _TimedSignals:
+    """Duck-typed signals stand-in that times every accounting call.
+
+    Delegates to the real pair, so the accounted run's results are
+    bit-identical to an unwrapped run; the timer cost lands inside the
+    measured span, making the in-situ sum conservative."""
+
+    def __init__(self, inner: TemporalSignals):
+        self._inner = inner
+        self.calls = 0
+        self.accounting_ns = 0
+
+    def accrue(self, power_w, t0_s, t1_s):
+        start = time.perf_counter_ns()
+        out = self._inner.accrue(power_w, t0_s, t1_s)
+        self.accounting_ns += time.perf_counter_ns() - start
+        self.calls += 1
+        return out
+
+
+def overhead_section(repeats: int) -> tuple[dict, dict]:
+    scenario = EvaluationConfig(
+        label="BENCH", n_servers=SMALLER.n_servers, seed=SEED
+    ).scaled(OVERHEAD_VM_BUDGET)
+    jobs, n_vms = prepare_workload(scenario)
+
+    def timed_run(signals):
+        start = time.process_time()
+        result = run_sharded(
+            jobs,
+            FirstFitStrategy(2),
+            QoSPolicy.unlimited(),
+            DatacenterConfig(n_servers=scenario.n_servers, signals=signals),
+            shards=1,
+            workers=1,
+        )
+        return time.process_time() - start, result
+
+    # Interleave the legs so clock drift hits both sides equally; the
+    # end-to-end CPU times are informational, the gate input is the
+    # in-situ accounting sum.
+    plain_wall = signals_wall = accounting_s = None
+    plain = accounted = None
+    calls = 0
+    for _ in range(repeats):
+        wall, plain = timed_run(None)
+        plain_wall = wall if plain_wall is None else min(plain_wall, wall)
+        timed = _TimedSignals(SIGNALS)
+        wall, accounted = timed_run(timed)
+        signals_wall = wall if signals_wall is None else min(signals_wall, wall)
+        run_accounting = timed.accounting_ns / 1e9
+        accounting_s = (
+            run_accounting
+            if accounting_s is None
+            else min(accounting_s, run_accounting)
+        )
+        calls = timed.calls
+    overhead = accounting_s / plain_wall
+    print(
+        f"overhead: {n_vms} VMs, plain {plain_wall:.2f}s cpu, accounting "
+        f"{accounting_s * 1e3:.1f}ms over {calls} calls ({overhead * 100:.2f}%); "
+        f"end-to-end accounted {signals_wall:.2f}s cpu "
+        f"({(signals_wall - plain_wall) / plain_wall * 100:+.1f}%, not gated)"
+    )
+    p, a = plain.metrics, accounted.metrics
+    identity = {
+        "metrics_unchanged": (
+            a.makespan_s == p.makespan_s
+            and a.energy_j == p.energy_j
+            and a.busy_energy_j == p.busy_energy_j
+            and a.idle_energy_j == p.idle_energy_j
+            and a.sla_violations == p.sla_violations
+            and a.mean_response_s == p.mean_response_s
+            and accounted.outcomes == plain.outcomes
+        ),
+    }
+    print(f"identity: metrics_unchanged={identity['metrics_unchanged']}")
+    return {
+        "vm_budget": OVERHEAD_VM_BUDGET,
+        "n_vms": n_vms,
+        "repeats": repeats,
+        "plain_cpu_s": plain_wall,
+        "signals_cpu_s": signals_wall,
+        "accounting_s": accounting_s,
+        "accrue_calls": calls,
+        "overhead_frac": overhead,
+    }, identity
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="walls per overhead leg; best-of is recorded (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    shift = shift_section()
+    overhead, identity = overhead_section(args.repeats)
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "seed": SEED,
+        "shift": shift,
+        "overhead": overhead,
+        "identity": identity,
+    }
+    OUTPUT.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,11 +46,23 @@ keep the core's memory flat), and the merge-identity checks -- results
 bit-identical across worker counts, with and without fault injection
 -- must hold unconditionally.
 
+Additionally gates ``benchmarks/BENCH_carbon.json`` (produced by
+``benchmarks/bench_carbon.py``) when present: temporally shifting the
+peak-concentrated deferrable workload must cut both total energy cost
+and total carbon mass by at least the required fraction (default 10%)
+against the unshifted run of the same jobs, per-interval accounting
+must stay within the allowed fraction of the signal-free campaign's
+CPU time (default 5%, measured in situ -- see the bench docstring for
+why end-to-end wall deltas are not gated), and the identity check --
+signal-free metrics of the accounted run bit-identical to the plain
+run -- must hold unconditionally.
+
 Run:
     PYTHONPATH=src python benchmarks/bench_perf_allocator.py
     PYTHONPATH=src python benchmarks/bench_perf_parallel.py
     PYTHONPATH=src python benchmarks/bench_service.py
     PYTHONPATH=src python benchmarks/bench_sim_scale.py
+    PYTHONPATH=src python benchmarks/bench_carbon.py
     python scripts/check_bench_regression.py [--tolerance 0.2]
 """
 
@@ -68,6 +80,7 @@ PARALLEL = BENCH_DIR / "BENCH_parallel.json"
 SERVICE = BENCH_DIR / "BENCH_service.json"
 LINT = BENCH_DIR / "BENCH_lint.json"
 SIM = BENCH_DIR / "BENCH_sim.json"
+CARBON = BENCH_DIR / "BENCH_carbon.json"
 
 #: absolute p50 ceilings (seconds) for the anytime-mode batches; the
 #: exact enumerator needs ~13 s (batch 16) to minutes (batch 32) here.
@@ -153,12 +166,27 @@ def main(argv=None) -> int:
         help="allowed gate-scale over base-scale peak-RSS multiple for the "
         "chronicled sharded campaign (default 1.2)",
     )
+    parser.add_argument(
+        "--carbon-shift-win",
+        type=float,
+        default=0.10,
+        help="required fractional reduction in both cost and carbon from "
+        "shifting the deferrable peak workload (default 0.10)",
+    )
+    parser.add_argument(
+        "--carbon-overhead",
+        type=float,
+        default=0.05,
+        help="allowed in-situ accounting fraction of the signal-free "
+        "campaign's CPU time (default 0.05)",
+    )
     parser.add_argument("--current", type=Path, default=CURRENT)
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--parallel", type=Path, default=PARALLEL)
     parser.add_argument("--service", type=Path, default=SERVICE)
     parser.add_argument("--lint", type=Path, default=LINT)
     parser.add_argument("--sim", type=Path, default=SIM)
+    parser.add_argument("--carbon", type=Path, default=CARBON)
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -429,6 +457,60 @@ def main(argv=None) -> int:
         print(
             f"sim: identity workers={identity.get('workers')} "
             f"faulted={identity.get('workers_faulted')}"
+        )
+
+    if not args.carbon.exists():
+        print(
+            f"carbon: no {args.carbon.name} (skipped; run "
+            f"benchmarks/bench_carbon.py to gate the carbon scenario)"
+        )
+    else:
+        carbon = json.loads(args.carbon.read_text())
+        shift = carbon["shift"]
+        for axis, unit in (("cost", "EUR"), ("carbon", "g")):
+            cut = shift[f"{axis}_reduction_frac"]
+            verdict = "OK"
+            if cut < args.carbon_shift_win:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"carbon: shifting cut {axis} by only {cut * 100:.1f}%, "
+                    f"below the required {args.carbon_shift_win * 100:.0f}% "
+                    f"({shift[f'{axis}_no_shift']:.3f} -> "
+                    f"{shift[f'{axis}_shifted']:.3f} {unit})"
+                )
+            print(
+                f"carbon: shift {axis:>6s} {shift[f'{axis}_no_shift']:8.3f} -> "
+                f"{shift[f'{axis}_shifted']:8.3f} {unit}  "
+                f"cut {cut * 100:5.1f}%  required "
+                f"{args.carbon_shift_win * 100:.0f}%  {verdict}"
+            )
+        overhead = carbon["overhead"]
+        frac = overhead["overhead_frac"]
+        verdict = "OK"
+        if frac > args.carbon_overhead:
+            verdict = "REGRESSION"
+            failures.append(
+                f"carbon: accounting took {frac * 100:.2f}% of the "
+                f"signal-free campaign's CPU time, over the "
+                f"{args.carbon_overhead * 100:.0f}% bound "
+                f"({overhead['accounting_s'] * 1e3:.1f}ms over "
+                f"{overhead['accrue_calls']} calls, plain "
+                f"{overhead['plain_cpu_s']:.2f}s)"
+            )
+        print(
+            f"carbon: accounting {overhead['accounting_s'] * 1e3:8.1f}ms  "
+            f"plain {overhead['plain_cpu_s']:8.2f}s cpu  "
+            f"{frac * 100:5.2f}%  bound {args.carbon_overhead * 100:.0f}%  "
+            f"{verdict}"
+        )
+        if not carbon.get("identity", {}).get("metrics_unchanged", False):
+            failures.append(
+                "carbon: metrics_unchanged identity failed -- attaching "
+                "signals perturbed the signal-free metrics"
+            )
+        print(
+            f"carbon: identity metrics_unchanged="
+            f"{carbon.get('identity', {}).get('metrics_unchanged')}"
         )
 
     if failures:

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Line-coverage gate for the execution engine and the fault layer.
+"""Line-coverage gate for the engine, fault, and carbon layers.
 
-Runs the ``tests/exec`` and ``tests/faults`` suites with line tracing
-restricted to ``src/repro/exec/`` and ``src/repro/faults/`` (the
-``[tool.coverage.run] source`` list in pyproject.toml), reports the
-lines missed per file, and gates the total against the recorded
-baseline:
+Runs the ``tests/exec``, ``tests/faults`` and carbon suites with line
+tracing restricted to ``src/repro/exec/``, ``src/repro/faults/`` and
+``src/repro/ext/carbon/`` (the ``[tool.coverage.run] source`` list in
+pyproject.toml), reports the lines missed per file, and gates the
+total against the recorded baseline:
 
     python scripts/coverage.py                 # measure + gate
     python scripts/coverage.py --update-baseline
@@ -45,8 +45,20 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 #: Measured scope: must match [tool.coverage.run] source in pyproject.
-SOURCES = [SRC / "repro" / "exec", SRC / "repro" / "faults"]
-TEST_ARGS = ["tests/exec", "tests/faults", "-q", "-p", "no:cacheprovider"]
+SOURCES = [
+    SRC / "repro" / "exec",
+    SRC / "repro" / "faults",
+    SRC / "repro" / "ext" / "carbon",
+]
+TEST_ARGS = [
+    "tests/exec",
+    "tests/faults",
+    "tests/properties/test_carbon_prop.py",
+    "tests/ext/test_carbon_figures.py",
+    "-q",
+    "-p",
+    "no:cacheprovider",
+]
 BASELINE_PATH = REPO_ROOT / "scripts" / "COVERAGE_baseline.json"
 #: The gate: total line coverage may drop at most this far below the
 #: recorded baseline before the script fails.
@@ -194,7 +206,7 @@ def measure() -> tuple[str, list[dict], float]:
 
 def report(backend: str, rows: list[dict], total_pct: float) -> None:
     width = max(len(row["file"]) for row in rows)
-    print(f"\nline coverage ({backend}), tests/exec + tests/faults:")
+    print(f"\nline coverage ({backend}), tests/exec + tests/faults + carbon:")
     for row in rows:
         pct = 100.0 * row["covered"] / row["executable"] if row["executable"] else 100.0
         print(f"  {row['file']:<{width}}  {pct:6.1f}%  ({row['covered']}/{row['executable']})")

@@ -42,6 +42,7 @@ from repro.common.errors import ConfigurationError, FaultSpecError
 from repro.common.rng import SeedSequenceFactory
 from repro.common.validation import (
     parse_alpha,
+    parse_alpha_carbon,
     parse_format,
     parse_jobs,
     parse_lint_format,
@@ -58,6 +59,12 @@ from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
 from repro.experiments.evaluation import prepare_workload, run_evaluation
 from repro.experiments.fig2_basecurve import fig2_basecurve
 from repro.experiments.report import headline_claims
+from repro.ext.carbon.options import CarbonOptions
+from repro.ext.carbon.signal import (
+    TemporalSignals,
+    parse_carbon_signal,
+    parse_price_signal,
+)
 from repro.faults import FaultSpec
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runtime import Observability, get_observability, set_observability
@@ -89,6 +96,9 @@ def _parse_faults(text: str) -> FaultSpec:
 
 
 _alpha_arg = typed_flag(parse_alpha)
+_alpha_carbon_arg = typed_flag(parse_alpha_carbon)
+_carbon_signal_arg = typed_flag(parse_carbon_signal)
+_price_signal_arg = typed_flag(parse_price_signal)
 _jobs_arg = typed_flag(parse_jobs)
 _format_arg = typed_flag(parse_format)
 _lint_format_arg = typed_flag(parse_lint_format)
@@ -135,6 +145,95 @@ def _add_obs_arguments(command: argparse.ArgumentParser, formats: bool = True) -
         )
 
 
+def _add_carbon_arguments(
+    command: argparse.ArgumentParser, shifting: bool = True
+) -> None:
+    command.add_argument(
+        "--carbon-signal",
+        type=_carbon_signal_arg,
+        default=None,
+        metavar="SPEC",
+        help="grid carbon-intensity signal: 'synthetic', 'synthetic:<seed>' "
+        "or a JSON signal file (see README 'Carbon- and price-aware "
+        "allocation')",
+    )
+    command.add_argument(
+        "--price-signal",
+        type=_price_signal_arg,
+        default=None,
+        metavar="SPEC",
+        help="energy-price signal: 'synthetic', 'synthetic:<seed>' or a "
+        "JSON signal file",
+    )
+    command.add_argument(
+        "--alpha-carbon",
+        type=_alpha_carbon_arg,
+        default=0.0,
+        metavar="F",
+        help="weight of the carbon/cost axis in the proactive score, in "
+        "[0, 1]; 0 accounts without steering (default: 0)",
+    )
+    if shifting:
+        command.add_argument(
+            "--shift-deferrable",
+            action="store_true",
+            help="slide deferrable jobs toward cheap/green signal windows "
+            "within their QoS slack before simulating",
+        )
+
+
+def _usage_error(command: str, message: str) -> "SystemExit":
+    print(f"repro {command}: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _carbon_options(args: argparse.Namespace, command: str) -> CarbonOptions | None:
+    """Fold the carbon flags into one ``CarbonOptions``; exit 2 on misuse.
+
+    Cross-flag constraints live here because argparse validates flags in
+    isolation: the weighting and shifting knobs are meaningless without
+    at least one signal, and carbon-aware scoring keeps the exact
+    enumerator so it cannot honor a wall-clock budget.
+    """
+    carbon_signal = getattr(args, "carbon_signal", None)
+    price_signal = getattr(args, "price_signal", None)
+    alpha_carbon = getattr(args, "alpha_carbon", 0.0)
+    shift = getattr(args, "shift_deferrable", False)
+    if carbon_signal is None and price_signal is None:
+        if alpha_carbon:
+            raise _usage_error(
+                command,
+                "--alpha-carbon requires --carbon-signal and/or --price-signal",
+            )
+        if shift:
+            raise _usage_error(
+                command,
+                "--shift-deferrable requires --carbon-signal and/or --price-signal",
+            )
+        return None
+    if alpha_carbon and getattr(args, "time_budget", None) is not None:
+        raise _usage_error(
+            command,
+            "--alpha-carbon cannot be combined with --time-budget: "
+            "carbon-aware scoring keeps the exact enumerator",
+        )
+    return CarbonOptions(
+        signals=TemporalSignals(carbon=carbon_signal, price=price_signal),
+        alpha_carbon=alpha_carbon,
+        shift_deferrable=shift,
+    )
+
+
+def _carbon_document(carbon: CarbonOptions) -> dict:
+    signals = carbon.signals
+    return {
+        "alpha_carbon": carbon.alpha_carbon,
+        "shift_deferrable": carbon.shift_deferrable,
+        "carbon_signal": None if signals.carbon is None else signals.carbon.document(),
+        "price_signal": None if signals.price is None else signals.price.document(),
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch spec, e.g. '4cpu,2mem,1io'",
     )
     _add_time_budget_argument(allocate)
+    _add_carbon_arguments(allocate, shifting=False)
     _add_obs_arguments(allocate)
 
     evaluate = sub.add_parser("evaluate", help="run the Figs. 5-7 evaluation")
@@ -183,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--quiet", action="store_true")
     _add_time_budget_argument(evaluate)
+    _add_carbon_arguments(evaluate)
     _add_obs_arguments(evaluate)
 
     simulate = sub.add_parser(
@@ -284,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault schedule from a JSON spec; "
         "see README 'Fault injection'",
     )
+    _add_carbon_arguments(simulate)
     _add_obs_arguments(simulate)
 
     fig2 = sub.add_parser("fig2", help="print the FFTW base-test curve")
@@ -370,8 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _batch_error(message: str) -> "SystemExit":
-    print(f"repro allocate: error: {message}", file=sys.stderr)
-    return SystemExit(2)
+    return _usage_error("allocate", message)
 
 
 def _parse_batch(spec: str) -> list[VMRequest]:
@@ -436,30 +537,33 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     import os
 
     requests = _parse_batch(args.vms)
+    carbon = _carbon_options(args, "allocate")
     db_path = os.path.join(args.model, "model_database.csv")
     aux_path = os.path.join(args.model, "auxiliary.csv")
     database = ModelDatabase.from_files(db_path, aux_path)
     servers = [ServerState(f"s{i}") for i in range(args.servers)]
     allocator = ProactiveAllocator(
-        database, alpha=args.alpha, time_budget_s=args.time_budget
+        database,
+        alpha=args.alpha,
+        time_budget_s=args.time_budget,
+        carbon=None if carbon is None else carbon.allocator_context(),
     )
     plan = allocator.allocate(requests, servers)
     if args.format == "json":
         # The embedded plan is the canonical schema document -- the same
         # bytes a service session returns for these requests.
-        _print_json(
-            schema.stamp(
-                {
-                    "command": "allocate",
-                    "alpha": args.alpha,
-                    "time_budget_s": args.time_budget,
-                    "n_servers": args.servers,
-                    "n_vms": len(requests),
-                    "plan": schema.plan_document(plan),
-                    "metrics": _metrics_snapshot(),
-                }
-            )
-        )
+        document = {
+            "command": "allocate",
+            "alpha": args.alpha,
+            "time_budget_s": args.time_budget,
+            "n_servers": args.servers,
+            "n_vms": len(requests),
+            "plan": schema.plan_document(plan),
+            "metrics": _metrics_snapshot(),
+        }
+        if carbon is not None:
+            document["carbon"] = _carbon_document(carbon)
+        _print_json(schema.stamp(document))
         return 0
     for assignment in plan.assignments:
         print(
@@ -470,6 +574,11 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
         f"makespan {plan.estimated_makespan_s:.0f}s, "
         f"energy {plan.estimated_energy_j / 1000:.0f}kJ, QoS ok: {plan.qos_satisfied}"
     )
+    if plan.alpha_carbon and plan.estimated_carbon_g is not None:
+        print(
+            f"carbon {plan.estimated_carbon_g:.1f}g, "
+            f"cost {plan.estimated_cost:.4f} (alpha-carbon {plan.alpha_carbon:g})"
+        )
     return 0
 
 
@@ -482,6 +591,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
     else:
         progress = print
+    carbon = _carbon_options(args, "evaluate")
     configs = [SMALLER.scaled(args.vm_budget), LARGER.scaled(args.vm_budget)]
     try:
         result = run_evaluation(
@@ -490,6 +600,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             faults=args.faults,
             time_budget_s=args.time_budget,
+            carbon=carbon,
         )
     except FaultSpecError as error:
         # Parse-time validation cannot know the cloud sizes; a server
@@ -498,32 +609,31 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         return 2
     if json_output:
         result_document = schema.evaluation_document(result)
-        _print_json(
-            schema.stamp(
+        document = {
+            "command": "evaluate",
+            "vm_budget": args.vm_budget,
+            "time_budget_s": args.time_budget,
+            "faults": (
+                schema.fault_spec_document(args.faults)
+                if args.faults is not None
+                else None
+            ),
+            "n_jobs": result_document["n_jobs"],
+            "n_vms": result_document["n_vms"],
+            "outcomes": result_document["outcomes"],
+            "headline": [
                 {
-                    "command": "evaluate",
-                    "vm_budget": args.vm_budget,
-                    "time_budget_s": args.time_budget,
-                    "faults": (
-                        schema.fault_spec_document(args.faults)
-                        if args.faults is not None
-                        else None
-                    ),
-                    "n_jobs": result_document["n_jobs"],
-                    "n_vms": result_document["n_vms"],
-                    "outcomes": result_document["outcomes"],
-                    "headline": [
-                        {
-                            "cloud": claims.cloud,
-                            "max_makespan_improvement_pct": claims.max_makespan_improvement_pct,
-                            "avg_energy_saving_pct": claims.avg_energy_saving_pct,
-                        }
-                        for claims in headline_claims(result)
-                    ],
-                    "metrics": _metrics_snapshot(),
+                    "cloud": claims.cloud,
+                    "max_makespan_improvement_pct": claims.max_makespan_improvement_pct,
+                    "avg_energy_saving_pct": claims.avg_energy_saving_pct,
                 }
-            )
-        )
+                for claims in headline_claims(result)
+            ],
+            "metrics": _metrics_snapshot(),
+        }
+        if carbon is not None:
+            document["carbon"] = _carbon_document(carbon)
+        _print_json(schema.stamp(document))
         return 0
     print()
     print(bar_chart(result.series("makespan_s"), title="Fig. 5: makespan (s)"))
@@ -537,6 +647,27 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             value_format="{:.1f}",
         )
     )
+    if carbon is not None:
+        # The two paper-style carbon charts (cost and gCO2 by strategy)
+        # only exist when a signal was attached to the run.
+        if carbon.signals.price is not None:
+            print()
+            print(
+                bar_chart(
+                    result.series("cost"),
+                    title="Energy cost by strategy",
+                    value_format="{:.2f}",
+                )
+            )
+        if carbon.signals.carbon is not None:
+            print()
+            print(
+                bar_chart(
+                    result.series("carbon_g"),
+                    title="Carbon mass by strategy (gCO2)",
+                    value_format="{:.0f}",
+                )
+            )
     for claims in headline_claims(result):
         print(
             f"{claims.cloud}: makespan -{claims.max_makespan_improvement_pct:.1f}% "
@@ -551,6 +682,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     say = (
         (lambda message: print(message, file=sys.stderr)) if json_output else print
     )
+    carbon = _carbon_options(args, "simulate")
+    if carbon is not None:
+        if carbon.shift_deferrable and args.qos_factor is None:
+            raise _usage_error(
+                "simulate",
+                "--shift-deferrable requires --qos-factor: shifting slack "
+                "comes from the per-class QoS deadlines",
+            )
+        if carbon.alpha_carbon and not args.strategy.startswith("PA-"):
+            raise _usage_error(
+                "simulate",
+                "--alpha-carbon steers the proactive score; it requires a "
+                "PA-<alpha> strategy",
+            )
     seeds = SeedSequenceFactory(args.seed)
     try:
         if args.swf is not None:
@@ -577,6 +722,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         qos = QoSPolicy.unlimited()
         database = None
+        campaign = None
         if args.strategy.startswith("PA-") or args.qos_factor is not None:
             # Both the proactive strategy and QoS deadlines need the
             # campaign's profiled model; run it once (~seconds).
@@ -586,14 +732,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             if args.qos_factor is not None:
                 qos = QoSPolicy.from_optima(campaign.optima, factor=args.qos_factor)
         strategy = make_strategy(
-            args.strategy, database=database, rng=seeds.child("strategy")
+            args.strategy,
+            database=database,
+            rng=seeds.child("strategy"),
+            carbon=None if carbon is None else carbon.allocator_context(),
         )
+        if carbon is not None and carbon.shift_deferrable:
+            # The qos_factor guard above guarantees a campaign here.
+            jobs, moved = carbon.apply_shift(
+                jobs,
+                qos,
+                {cls: campaign.optima.reference_time(cls) for cls in WorkloadClass},
+            )
+            say(f"shifted {moved} deferrable jobs toward cheap/green windows")
+            obs = get_observability()
+            if obs.enabled:
+                obs.registry.counter("shift.moved_jobs").inc(moved)
 
         config = DatacenterConfig(
             n_servers=n_servers,
             record_chronicles=args.chronicle_capacity is not None,
             chronicle_capacity=args.chronicle_capacity,
             chronicle_spill_path=args.chronicle_spill,
+            signals=None if carbon is None else carbon.signals,
         )
         result = run_sharded(
             jobs,
@@ -611,42 +772,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     applied = sum(1 for record in result.fault_log if record.applied)
     if json_output:
         m = result.metrics
-        _print_json(
-            schema.stamp(
-                {
-                    "command": "simulate",
-                    "swf": args.swf,
-                    "seed": args.seed,
-                    "strategy": result.strategy_name,
-                    "n_jobs": len(jobs),
-                    "n_vms": n_vms,
-                    "n_servers": n_servers,
-                    "shards": args.shards,
-                    "qos_factor": args.qos_factor,
-                    "faults": (
-                        schema.fault_spec_document(args.faults)
-                        if args.faults is not None
-                        else None
-                    ),
-                    "result": {
-                        "makespan_s": m.makespan_s,
-                        "energy_j": m.energy_j,
-                        "busy_energy_j": m.busy_energy_j,
-                        "idle_energy_j": m.idle_energy_j,
-                        "sla_violations": m.sla_violations,
-                        "sla_violation_pct": m.sla_violation_pct,
-                        "mean_response_s": m.mean_response_s,
-                        "p95_response_s": m.p95_response_s,
-                        "max_queue_length": m.max_queue_length,
-                        "faults_applied": applied,
-                        "faults_logged": len(result.fault_log),
-                    },
-                    "metrics": _metrics_snapshot(),
-                }
-            )
-        )
+        result_payload = {
+            "makespan_s": m.makespan_s,
+            "energy_j": m.energy_j,
+            "busy_energy_j": m.busy_energy_j,
+            "idle_energy_j": m.idle_energy_j,
+            "sla_violations": m.sla_violations,
+            "sla_violation_pct": m.sla_violation_pct,
+            "mean_response_s": m.mean_response_s,
+            "p95_response_s": m.p95_response_s,
+            "max_queue_length": m.max_queue_length,
+            "faults_applied": applied,
+            "faults_logged": len(result.fault_log),
+        }
+        document = {
+            "command": "simulate",
+            "swf": args.swf,
+            "seed": args.seed,
+            "strategy": result.strategy_name,
+            "n_jobs": len(jobs),
+            "n_vms": n_vms,
+            "n_servers": n_servers,
+            "shards": args.shards,
+            "qos_factor": args.qos_factor,
+            "faults": (
+                schema.fault_spec_document(args.faults)
+                if args.faults is not None
+                else None
+            ),
+            "result": result_payload,
+            "metrics": _metrics_snapshot(),
+        }
+        if carbon is not None:
+            result_payload["carbon_g"] = m.carbon_g
+            result_payload["cost"] = m.cost
+            document["carbon"] = _carbon_document(carbon)
+        _print_json(schema.stamp(document))
         return 0
     print(f"{result.strategy_name}: {result.metrics.summary()}")
+    if carbon is not None:
+        print(
+            f"carbon {result.metrics.carbon_g:.1f}g, "
+            f"cost {result.metrics.cost:.4f}"
+        )
     print(
         f"max queue {result.metrics.max_queue_length}, "
         f"mean response {result.metrics.mean_response_s:.0f}s, "

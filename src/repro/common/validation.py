@@ -111,6 +111,25 @@ def parse_alpha(value) -> float:
     return value
 
 
+def parse_alpha_carbon(value) -> float:
+    """``--alpha-carbon`` / ``"alpha_carbon"``: the 3-way carbon knob.
+
+    A fraction in [0, 1] weighting the carbon/cost axis of the score;
+    0 keeps the 2-way trade-off byte-identical (carbon accounting may
+    still run), 1 ranks purely by carbon/cost.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"alpha-carbon must be a number, got {value!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(
+            f"alpha-carbon must be within [0, 1] (0 = ignore carbon/cost, "
+            f"1 = minimize carbon/cost only), got {value:g}"
+        )
+    return value
+
+
 def parse_jobs(value) -> int:
     """``--jobs``, a worker-process count (1 = serial in-process)."""
     try:

@@ -72,7 +72,13 @@ from repro.core.estimatecache import CacheStats, EstimateGrid, grid_for
 from repro.core.model import EstimatedOutcome, ModelDatabase
 from repro.core.partitions import count_type_partitions_capped, type_partitions
 from repro.core.plan import AllocationPlan, AllocationProvenance, BlockAssignment
-from repro.core.scoring import ScoreWeights, score_candidates
+from repro.core.scoring import (
+    CarbonContext,
+    ScoreWeights,
+    carbon_axis,
+    score_candidates,
+    score_candidates_carbon,
+)
 # Deliberate exception to the core->obs.runtime ban: allocate() honours the
 # ambient bundle when none is injected, so `repro allocate --trace` observes
 # the search without callers threading state.  The hot path itself only sees
@@ -185,12 +191,14 @@ class _Frontier:
         "min_time",
         "min_energy",
         "peak",
+        "lossless",
         "_stair_t",
         "_stair_e",
     )
 
     def __init__(self) -> None:
         self.retained: list[_Candidate] = []
+        self.lossless = False
         self.count = 0
         self.max_time = 0.0
         self.max_energy = 0.0
@@ -230,6 +238,14 @@ class _Frontier:
             self.min_time = time_s
         if energy_j < self.min_energy:
             self.min_energy = energy_j
+        if self.lossless:
+            # Carbon-aware pools: (t, e)-dominance is lossy once the
+            # carbon axis joins the score, so every feasible candidate
+            # stays scoreable and the staircase is never consulted.
+            self.retained.append(candidate)
+            if len(self.retained) > self.peak:
+                self.peak = len(self.retained)
+            return True
         stair_t = self._stair_t
         stair_e = self._stair_e
         i = bisect_right(stair_t, time_s)
@@ -339,6 +355,17 @@ class ProactiveAllocator:
         this is the one opt-in departure from determinism (see
         :class:`repro.core.anytime.Deadline`).  Rejected when
         ``anytime=False``.
+    carbon:
+        Optional :class:`repro.core.scoring.CarbonContext` folding
+        time-integrated carbon mass and energy cost into the score as
+        a third axis weighted by its ``alpha_carbon``.  A context with
+        ``alpha_carbon == 0`` (or ``None``) leaves every code path --
+        and every float -- bit-identical to the 2-way allocator.  An
+        active context retains all feasible candidates (the carbon
+        window mean is not monotone in (time, energy), so Pareto
+        retention would be lossy) and keeps the exact enumerator:
+        combining it with a forced anytime mode or a time budget is a
+        configuration error.
     """
 
     def __init__(
@@ -351,9 +378,18 @@ class ProactiveAllocator:
         obs: Observability | None = None,
         anytime: "AnytimeConfig | bool | None" = None,
         time_budget_s: float | None = None,
+        carbon: CarbonContext | None = None,
     ):
         self._db = database
-        self._weights = ScoreWeights(alpha)
+        self._carbon = (
+            carbon if carbon is not None and carbon.alpha_carbon > 0.0 else None
+        )
+        self._weights = ScoreWeights(
+            alpha,
+            alpha_carbon=(
+                self._carbon.alpha_carbon if self._carbon is not None else 0.0
+            ),
+        )
         self._strict_qos = bool(strict_qos)
         if max_candidates < 1:
             raise ConfigurationError(f"max_candidates must be >= 1, got {max_candidates}")
@@ -383,6 +419,11 @@ class ProactiveAllocator:
             raise ConfigurationError(
                 f"anytime must be an AnytimeConfig, bool, or None, got {anytime!r}"
             )
+        if self._carbon is not None and self._anytime_forced:
+            raise ConfigurationError(
+                "carbon-aware scoring keeps the exact enumerator; it cannot "
+                "be combined with a forced anytime mode or a time budget"
+            )
         # Mode-selection memo: counts -> bool (bounds are fixed per
         # allocator), plus the shared saturating-DP state memo behind
         # it -- the decision is O(1) after the first check per mix.
@@ -396,6 +437,16 @@ class ProactiveAllocator:
     @property
     def alpha(self) -> float:
         return self._weights.alpha
+
+    @property
+    def weights(self) -> ScoreWeights:
+        """The resolved score weights (including the carbon knob)."""
+        return self._weights
+
+    @property
+    def carbon(self) -> CarbonContext | None:
+        """The active carbon context (None when scoring is 2-way)."""
+        return self._carbon
 
     @property
     def strict_qos(self) -> bool:
@@ -462,7 +513,13 @@ class ProactiveAllocator:
         obs: Observability | None,
     ) -> AllocationPlan:
         if not requests:
-            return AllocationPlan(assignments=(), alpha=self.alpha, score=0.0, qos_satisfied=True)
+            return AllocationPlan(
+                assignments=(),
+                alpha=self.alpha,
+                score=0.0,
+                qos_satisfied=True,
+                alpha_carbon=self._weights.alpha_carbon,
+            )
         if not servers:
             raise InfeasibleAllocationError("no servers available")
         ids = [r.vm_id for r in requests]
@@ -522,11 +579,26 @@ class ProactiveAllocator:
             qos_satisfied = False
 
         retained = frontier.retained
-        scores = score_candidates(
-            [(c.rank_time_s, c.energy_j) for c in retained],
-            self._weights,
-            maxima=(frontier.max_time, frontier.max_energy),
-        )
+        impacts: list[tuple[float, float]] | None = None
+        if self._carbon is None:
+            scores = score_candidates(
+                [(c.rank_time_s, c.energy_j) for c in retained],
+                self._weights,
+                maxima=(frontier.max_time, frontier.max_energy),
+            )
+        else:
+            impacts = [
+                self._carbon.impact(c.energy_j, c.rank_time_s) for c in retained
+            ]
+            axis = carbon_axis(impacts)
+            scores = score_candidates_carbon(
+                [
+                    (c.rank_time_s, c.energy_j, axis[i])
+                    for i, c in enumerate(retained)
+                ],
+                self._weights,
+                maxima=(frontier.max_time, frontier.max_energy),
+            )
         best_index = 0
         for i in range(1, len(scores)):
             if scores[i] < scores[best_index] - 1e-12:
@@ -549,7 +621,12 @@ class ProactiveAllocator:
             extra["budget_consumed_s"] = anytime_result.budget_consumed_s
         provenance = AllocationProvenance.from_counts(counts, **extra)
         return self._materialize(
-            chosen, requests, scores[best_index], qos_satisfied, provenance
+            chosen,
+            requests,
+            scores[best_index],
+            qos_satisfied,
+            provenance,
+            carbon_impact=None if impacts is None else impacts[best_index],
         )
 
     def _select_anytime(self, counts: MixKey, obs: Observability | None) -> bool:
@@ -564,6 +641,11 @@ class ProactiveAllocator:
         """
         config = self._anytime_config
         if config is None:
+            return False
+        if self._carbon is not None:
+            # Carbon-aware scoring needs the lossless exact pool; the
+            # beam heuristic retains a (t, e)-frontier only.  Forced
+            # anytime with carbon was rejected in the constructor.
             return False
         if self._anytime_forced:
             return True
@@ -668,13 +750,20 @@ class ProactiveAllocator:
         state.norm_energy = self._db.energy_range_j[1]
         state.compliant = _Frontier()
         state.fallback = _Frontier()
+        if self._carbon is not None:
+            # (t, e)-dominance is lossy once the carbon axis joins the
+            # score: the cheapest-carbon candidate can be dominated on
+            # both time and energy.  Retain every feasible candidate.
+            state.compliant.lossless = True
+            state.fallback.lossless = True
         state.tables = None
         state.dominance = False
         state.ready = False
         # Weights are fractions in [0, 1] (check_fraction), so "goal
         # contributes" is exactly "weight is positive" -- no equality.
-        state.need_t = self._weights.time_weight > 0.0
-        state.need_e = self._weights.energy_weight > 0.0
+        # Carbon scoring consumes both estimates regardless of weights.
+        state.need_t = self._weights.time_weight > 0.0 or self._carbon is not None
+        state.need_e = self._weights.energy_weight > 0.0 or self._carbon is not None
         state.ub_time = -_INF
         state.ub_energy = -_INF
         state.block_memo = {}
@@ -709,7 +798,10 @@ class ProactiveAllocator:
         state.base0 = base0
         state.inbox = inbox
 
-        if total_vms(counts) >= self._bnb_min_vms:
+        if self._carbon is None and total_vms(counts) >= self._bnb_min_vms:
+            # Branch-and-bound prunes on (time, energy) upper bounds,
+            # which would drop carbon-preferable candidates; the carbon
+            # path enumerates the full feasible pool instead.
             state.stats.bnb_active = True
             state.tables = grid.bound_tables()
             state.ub_time, state.ub_energy = self._upper_bounds(counts, state)
@@ -1155,7 +1247,16 @@ class ProactiveAllocator:
         random inputs; ``benchmarks/bench_perf_allocator.py`` uses it
         for before/after numbers.  Plans from this path carry no
         provenance.
+
+        The 2-way oracle predates the carbon axis and stays that way:
+        a carbon-active allocator has no reference path and rejects
+        this call outright.
         """
+        if self._carbon is not None:
+            raise ConfigurationError(
+                "allocate_reference is the 2-way (time, energy) oracle; "
+                "carbon-aware scoring has no reference path"
+            )
         if not requests:
             return AllocationPlan(assignments=(), alpha=self.alpha, score=0.0, qos_satisfied=True)
         if not servers:
@@ -1338,6 +1439,7 @@ class ProactiveAllocator:
         score: float,
         qos_satisfied: bool,
         search_provenance: AllocationProvenance | None = None,
+        carbon_impact: "tuple[float, float] | None" = None,
     ) -> AllocationPlan:
         """Bind concrete VM ids to the chosen partition's blocks."""
         queues: dict[WorkloadClass, list[str]] = {
@@ -1371,6 +1473,9 @@ class ProactiveAllocator:
             alpha=self.alpha,
             score=score,
             qos_satisfied=qos_satisfied,
+            alpha_carbon=self._weights.alpha_carbon,
+            estimated_carbon_g=None if carbon_impact is None else carbon_impact[0],
+            estimated_cost=None if carbon_impact is None else carbon_impact[1],
             search_provenance=search_provenance,
         )
 

@@ -152,12 +152,20 @@ class AllocationPlan:
     registry (see :mod:`repro.obs`).  It is excluded from equality so
     optimized and reference plans compare bit-identical.  The pre-obs
     name ``provenance`` survives as a deprecated read-only alias.
+
+    ``alpha_carbon`` is the carbon knob the plan was scored with (0.0
+    for 2-way plans); ``estimated_carbon_g``/``estimated_cost`` carry
+    the chosen candidate's time-integrated carbon mass (gCO2) and
+    energy cost, ``None`` unless a carbon context was active.
     """
 
     assignments: tuple[BlockAssignment, ...]
     alpha: float
     score: float
     qos_satisfied: bool
+    alpha_carbon: float = 0.0
+    estimated_carbon_g: float | None = None
+    estimated_cost: float | None = None
     search_provenance: AllocationProvenance | None = field(
         default=None, compare=False, repr=False
     )

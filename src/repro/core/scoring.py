@@ -17,6 +17,18 @@ normalized by the maximum among the candidate set being ranked
 units), lower is better.  alpha = 1 ranks purely by energy (PA-1),
 alpha = 0 purely by time (PA-0), alpha = 0.5 the balanced goal
 (PA-0.5).
+
+Carbon extension (ROADMAP, "Carbon- and price-aware allocation"): a
+third knob ``alpha_carbon`` folds time-integrated carbon mass and
+energy cost into the trade-off::
+
+    score = (1 - alpha_carbon) * [alpha * E_hat + (1 - alpha) * T_hat]
+            + alpha_carbon * C_hat
+
+with ``C_hat`` the candidate's pool-normalized carbon/cost axis (see
+:func:`carbon_axis`).  At ``alpha_carbon = 0`` the energy and time
+weights multiply by exactly ``1.0``, so the 2-way score -- every
+operand of it -- is bit-identical to the pre-carbon scorer.
 """
 
 from __future__ import annotations
@@ -24,30 +36,71 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.common.validation import check_fraction
+from repro.common.validation import check_fraction, check_non_negative
+
+
+@dataclass(frozen=True)
+class CarbonContext:
+    """Inputs of carbon-aware candidate scoring.
+
+    ``signals`` is duck-typed (core must not import :mod:`repro.ext`):
+    it exposes ``carbon_mass_g(energy_j, t0_s, t1_s)`` and
+    ``energy_cost(energy_j, t0_s, t1_s)``, as implemented by
+    :class:`repro.ext.carbon.signal.TemporalSignals`.  ``t_ref_s`` is
+    the wall-clock anchor of the batch being allocated: a candidate
+    estimated to run for ``T`` seconds is charged the mean signal over
+    ``[t_ref_s, t_ref_s + T]``, fixed once per context so every
+    candidate of a batch sees the same window origin.
+    """
+
+    signals: object
+    alpha_carbon: float = 0.0
+    t_ref_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_fraction("alpha_carbon", self.alpha_carbon)
+        check_non_negative("t_ref_s", self.t_ref_s)
+
+    def impact(self, energy_j: float, time_s: float) -> tuple[float, float]:
+        """(carbon mass gCO2, energy cost) of one candidate's estimate."""
+        t1 = self.t_ref_s + time_s
+        return (
+            self.signals.carbon_mass_g(energy_j, self.t_ref_s, t1),
+            self.signals.energy_cost(energy_j, self.t_ref_s, t1),
+        )
 
 
 @dataclass(frozen=True)
 class ScoreWeights:
-    """The optimization goal: the alpha knob."""
+    """The optimization goal: the alpha knob (and the carbon knob)."""
 
     alpha: float = 0.5
+    alpha_carbon: float = 0.0
 
     def __post_init__(self) -> None:
         check_fraction("alpha", self.alpha)
+        check_fraction("alpha_carbon", self.alpha_carbon)
 
     @property
     def energy_weight(self) -> float:
-        return self.alpha
+        # alpha * 1.0 is exact, so the default carbon-free weights are
+        # bit-identical to the historical 2-way scorer.
+        return self.alpha * (1.0 - self.alpha_carbon)
 
     @property
     def time_weight(self) -> float:
-        return 1.0 - self.alpha
+        return (1.0 - self.alpha) * (1.0 - self.alpha_carbon)
+
+    @property
+    def carbon_weight(self) -> float:
+        return self.alpha_carbon
 
     def describe(self) -> str:
         """Strategy label in the paper's naming (PA-0, PA-0.5, PA-1...)."""
         alpha = self.alpha
         text = f"{alpha:g}"
+        if self.alpha_carbon > 0.0:
+            return f"PA-{text}-C{self.alpha_carbon:g}"
         return f"PA-{text}"
 
 
@@ -90,6 +143,73 @@ def score_candidates(
         t_hat = time_s / max_time if max_time > 0 else 0.0
         e_hat = energy_j / max_energy if max_energy > 0 else 0.0
         scores.append(weights.energy_weight * e_hat + weights.time_weight * t_hat)
+    return scores
+
+
+def carbon_axis(impacts: Sequence[tuple[float, float]]) -> list[float]:
+    """Blend (carbon_g, cost) pairs into one normalized axis in [0, 1].
+
+    Each dimension with a positive pool maximum is normalized by that
+    maximum; the axis value is the mean of the present dimensions, so a
+    single-signal run uses that signal alone and a two-signal run
+    weighs gCO2 and currency equally.  A pool where both dimensions
+    are degenerate (no signal contributed anything) maps to all zeros,
+    leaving time and energy to discriminate.
+    """
+    if not impacts:
+        raise ValueError("cannot build a carbon axis from an empty pool")
+    max_carbon = max(carbon for carbon, _ in impacts)
+    max_cost = max(cost for _, cost in impacts)
+    if max_carbon < 0.0 or max_cost < 0.0:
+        raise ValueError(f"negative carbon-axis inputs: {(max_carbon, max_cost)}")
+    present = (1 if max_carbon > 0.0 else 0) + (1 if max_cost > 0.0 else 0)
+    if present == 0:
+        return [0.0] * len(impacts)
+    return [
+        (
+            (carbon / max_carbon if max_carbon > 0.0 else 0.0)
+            + (cost / max_cost if max_cost > 0.0 else 0.0)
+        )
+        / present
+        for carbon, cost in impacts
+    ]
+
+
+def score_candidates_carbon(
+    candidates: Sequence[tuple[float, float, float]],
+    weights: ScoreWeights,
+    maxima: tuple[float, float] | None = None,
+) -> list[float]:
+    """Score (time_s, energy_j, carbon_hat) triples; lower is better.
+
+    Time and energy normalize exactly as :func:`score_candidates`
+    (optionally against explicit pool ``maxima``); the third entry is
+    the already pool-normalized carbon/cost axis from
+    :func:`carbon_axis` and is weighed by ``weights.carbon_weight``.
+    """
+    if not candidates:
+        raise ValueError("cannot score an empty candidate set")
+    for time_s, energy_j, carbon_hat in candidates:
+        if time_s < 0 or energy_j < 0 or carbon_hat < 0:
+            raise ValueError(
+                f"negative candidate values: ({time_s}, {energy_j}, {carbon_hat})"
+            )
+    if maxima is None:
+        max_time = max(t for t, _, _ in candidates)
+        max_energy = max(e for _, e, _ in candidates)
+    else:
+        max_time, max_energy = maxima
+        if max_time < 0 or max_energy < 0:
+            raise ValueError(f"negative maxima: {maxima}")
+    scores: list[float] = []
+    for time_s, energy_j, carbon_hat in candidates:
+        t_hat = time_s / max_time if max_time > 0 else 0.0
+        e_hat = energy_j / max_energy if max_energy > 0 else 0.0
+        scores.append(
+            weights.energy_weight * e_hat
+            + weights.time_weight * t_hat
+            + weights.carbon_weight * carbon_hat
+        )
     return scores
 
 

@@ -29,6 +29,7 @@ from repro.experiments.config import LARGER, SMALLER, EvaluationConfig
 from repro.sim.datacenter import DatacenterConfig, DatacenterSimulator, SimulationResult
 from repro.strategies import paper_strategies
 from repro.strategies.base import AllocationStrategy
+from repro.testbed.benchmarks import WorkloadClass
 from repro.testbed.contention import ContentionParams
 from repro.testbed.spec import ServerSpec, default_server
 from repro.workloads.assignment import (
@@ -60,6 +61,10 @@ class StrategyOutcome:
     sla_violation_pct: float
     mean_response_s: float
     max_queue_length: int
+    #: Time-integrated carbon mass / energy cost against the run's
+    #: temporal signals (0.0 unless a carbon scenario was active).
+    carbon_g: float = 0.0
+    cost: float = 0.0
     wall_time_s: float = field(default=0.0, compare=False)
 
     @classmethod
@@ -74,6 +79,8 @@ class StrategyOutcome:
             sla_violation_pct=result.metrics.sla_violation_pct,
             mean_response_s=result.metrics.mean_response_s,
             max_queue_length=result.metrics.max_queue_length,
+            carbon_g=result.metrics.carbon_g,
+            cost=result.metrics.cost,
             wall_time_s=wall_time_s,
         )
 
@@ -221,6 +228,7 @@ def run_evaluation(
     jobs: int = 1,
     faults: FaultSpec | None = None,
     time_budget_s: float | None = None,
+    carbon=None,
 ) -> EvaluationResult:
     """Run the full Figs. 5-7 evaluation.
 
@@ -272,9 +280,22 @@ def run_evaluation(
         accepts the keyword (the default :func:`paper_strategies`
         does); supplying both a budget and a factory that does not is
         a :class:`TypeError` at lineup-construction time.
+    carbon:
+        Optional carbon scenario (duck-typed
+        :class:`repro.ext.carbon.CarbonOptions`): attaches the temporal
+        signals to every cloud for per-interval carbon/cost accounting,
+        optionally folds the carbon axis into the proactive score
+        (``alpha_carbon > 0``, forwarded to the ``strategies`` factory
+        like ``time_budget_s``), and optionally shifts deferrable jobs
+        toward cheap/green windows before the simulation.  ``None`` is
+        byte-for-byte the signal-free evaluation.
     """
     if time_budget_s is not None:
         strategies = functools.partial(strategies, time_budget_s=time_budget_s)
+    if carbon is not None:
+        context = carbon.allocator_context()
+        if context is not None:
+            strategies = functools.partial(strategies, carbon=context)
     server = server or default_server()
     obs = obs if obs is not None else get_observability()
     tracer = obs.tracer
@@ -305,6 +326,20 @@ def run_evaluation(
         obs.registry.counter("eval.jobs").inc(len(prepared))
         obs.registry.counter("eval.vms").inc(n_vms)
 
+    if carbon is not None:
+        # One shift for the shared trace (both clouds replay the same
+        # jobs), bounded by the first config's QoS budget -- identical
+        # to the per-cloud budget whenever qos_factor matches.
+        prepared, moved = carbon.apply_shift(
+            prepared,
+            QoSPolicy.from_optima(campaign.optima, factor=configs[0].qos_factor),
+            {cls: campaign.optima.reference_time(cls) for cls in WorkloadClass},
+        )
+        if moved:
+            say(f"shifted {moved} deferrable jobs toward cheap/green windows")
+        if obs.enabled:
+            obs.registry.counter("shift.moved_jobs").inc(moved)
+
     # Per-config invariants (QoS policy, datacenter config) are built
     # once here, not once per strategy: the strategy loop only varies
     # the allocator.
@@ -315,6 +350,7 @@ def run_evaluation(
                 n_servers=config.n_servers,
                 server_spec=server,
                 params=params,
+                signals=carbon.signals if carbon is not None else None,
             ),
             qos=QoSPolicy.from_optima(campaign.optima, factor=config.qos_factor),
         )

@@ -1,0 +1,82 @@
+"""CarbonOptions: the one carrier experiments thread through a run.
+
+Bundles the temporal signals with the two behavioral knobs (the 3-way
+score weight and temporal shifting) so call sites pass a single object
+and the no-carbon path stays a ``None`` check.  The options object
+lives in ext -- consumers below ext (``run_evaluation``) receive it
+duck-typed and only touch attributes, keeping the layering matrix
+clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.common.validation import check_fraction, check_positive
+from repro.core.scoring import CarbonContext
+from repro.ext.carbon.shifting import shift_deferrable
+from repro.ext.carbon.signal import TemporalSignals
+from repro.testbed.benchmarks import WorkloadClass
+from repro.workloads.assignment import PreparedJob
+from repro.workloads.qos import QoSPolicy
+
+
+@dataclass(frozen=True)
+class CarbonOptions:
+    """How one evaluation run uses its temporal signals.
+
+    Attributes
+    ----------
+    signals:
+        The carbon/price signal pair; always attached to the simulated
+        datacenters for per-interval accounting.
+    alpha_carbon:
+        Weight of the carbon/cost axis in the proactive score; ``0.0``
+        accounts without steering (the allocator stays bit-identical
+        to the 2-way scorer).
+    shift_deferrable:
+        Slide deferrable jobs toward cheap/green windows before the
+        simulation (see :func:`repro.ext.carbon.shifting.shift_deferrable`).
+    shift_margin:
+        Fraction of each class's reference runtime reserved inside the
+        QoS budget when computing shifting slack.
+    """
+
+    signals: TemporalSignals
+    alpha_carbon: float = 0.0
+    shift_deferrable: bool = False
+    shift_margin: float = 1.25
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.signals, TemporalSignals):
+            raise ValueError(
+                f"signals must be a TemporalSignals, got {type(self.signals).__name__}"
+            )
+        check_fraction("alpha_carbon", self.alpha_carbon)
+        check_positive("shift_margin", self.shift_margin)
+
+    def allocator_context(self, t_ref_s: float = 0.0) -> CarbonContext | None:
+        """The scoring context, or ``None`` when the knob is zero."""
+        if self.alpha_carbon == 0.0:
+            return None
+        return CarbonContext(
+            signals=self.signals, alpha_carbon=self.alpha_carbon, t_ref_s=t_ref_s
+        )
+
+    def apply_shift(
+        self,
+        jobs: Sequence[PreparedJob],
+        qos: QoSPolicy,
+        reference_time_s: Mapping[WorkloadClass, float],
+    ) -> tuple[list[PreparedJob], int]:
+        """Shift the trace when enabled; identity (moved=0) otherwise."""
+        if not self.shift_deferrable:
+            return list(jobs), 0
+        return shift_deferrable(
+            jobs,
+            self.signals,
+            qos,
+            reference_time_s,
+            margin=self.shift_margin,
+        )

@@ -1,0 +1,119 @@
+"""Temporal shifting: slide deferrable jobs toward cheap/green windows.
+
+Energy-aware lease scheduling (Nguyen Quang-Hung et al., PAPERS.md)
+exploits the slack between a job's runtime and its deadline.  Here a
+prepared job is *deferrable* when its QoS budget (``factor * Tx`` per
+class) exceeds its reference solo runtime by more than the safety
+margin; the difference is the slack the shifter may consume.  Because
+the simulator anchors each job's deadline to its submit time, delaying
+a submission by at most the slack keeps the job able to finish inside
+its *original* wall-clock deadline even if it runs for the full margin
+after the shift.
+
+The shift itself is a pure, deterministic pre-simulation transform:
+
+* candidate delays are ``0``, the full slack, and every delay that
+  aligns the job's reference window with a signal breakpoint (window
+  start or end on a breakpoint -- for step signals these are exactly
+  the extrema of the windowed integral; for linear signals they
+  bracket them);
+* each candidate is scored by the blended signal integral over the
+  shifted window, each signal normalized by its own period mean so
+  gCO2/kWh and currency/kWh combine on one scale;
+* ties resolve to the smallest delay, and ``0`` is always a candidate,
+  so a shifted schedule never scores worse than the unshifted one on
+  its own objective (the monotonicity property test rides on this).
+
+The output is re-sorted into the canonical ``(submit_time_s, job_id)``
+order every downstream consumer (sharding, spooling) expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Sequence
+
+from repro.common.validation import check_positive
+from repro.ext.carbon.signal import TemporalSignal, TemporalSignals
+from repro.testbed.benchmarks import WorkloadClass
+from repro.workloads.assignment import PreparedJob
+from repro.workloads.qos import QoSPolicy
+
+
+def _window_objective(
+    signals: TemporalSignals, t0_s: float, t1_s: float
+) -> float:
+    """Blended, unit-free signal load over ``[t0, t1]``."""
+    total = 0.0
+    for signal in (signals.carbon, signals.price):
+        if signal is None:
+            continue
+        mean = signal.period_mean
+        if mean > 0.0:
+            total += signal.integrate(t0_s, t1_s) / mean
+    return total
+
+
+def _candidate_delays(
+    signals: TemporalSignals, t0_s: float, window_s: float, slack_s: float
+) -> list[float]:
+    """Sorted unique delays in ``[0, slack]`` worth evaluating."""
+    delays = {0.0, slack_s}
+    for signal in (signals.carbon, signals.price):
+        if signal is None:
+            continue
+        for boundary in signal.breakpoints_between(t0_s, t0_s + slack_s):
+            delays.add(boundary - t0_s)
+        for boundary in signal.breakpoints_between(
+            t0_s + window_s, t0_s + slack_s + window_s
+        ):
+            delay = boundary - window_s - t0_s
+            if 0.0 <= delay <= slack_s:
+                delays.add(delay)
+    return sorted(delays)
+
+
+def shift_deferrable(
+    jobs: Sequence[PreparedJob],
+    signals: TemporalSignals,
+    qos: QoSPolicy,
+    reference_time_s: Mapping[WorkloadClass, float],
+    margin: float = 1.25,
+) -> tuple[list[PreparedJob], int]:
+    """Shift each deferrable job to its cheapest/greenest window.
+
+    ``reference_time_s`` maps each workload class to its reference solo
+    runtime Tx (Table I); ``margin * Tx`` is reserved inside the QoS
+    budget for the job actually running (queueing plus consolidation
+    slowdown), and whatever remains is slack the shifter may spend.
+
+    Returns ``(shifted jobs in canonical order, number of jobs moved)``.
+    Deterministic: same inputs, bit-identical output.
+    """
+    check_positive("margin", margin)
+    shifted: list[PreparedJob] = []
+    moved = 0
+    for job in jobs:
+        workload_class = WorkloadClass(job.workload_class)
+        reference = float(reference_time_s[workload_class])
+        slack = qos.max_response(workload_class) - margin * reference
+        if slack <= 0.0:
+            shifted.append(job)
+            continue
+        t0 = job.submit_time_s
+        best_delay = 0.0
+        best_load = _window_objective(signals, t0, t0 + reference)
+        for delay in _candidate_delays(signals, t0, reference, slack):
+            if delay == 0.0:
+                continue
+            load = _window_objective(signals, t0 + delay, t0 + delay + reference)
+            if load < best_load:
+                best_load = load
+                best_delay = delay
+        if best_delay > 0.0:
+            moved += 1
+            shifted.append(replace(job, submit_time_s=t0 + best_delay))
+        else:
+            shifted.append(job)
+    shifted.sort(key=lambda j: (j.submit_time_s, j.job_id))
+    return shifted, moved

@@ -242,18 +242,23 @@ def plan_document(plan: AllocationPlan) -> dict:
     transport envelope.
     """
     provenance = plan.search_provenance
-    return stamp(
-        {
-            "assignments": [_assignment_document(a) for a in plan.assignments],
-            "alpha": plan.alpha,
-            "score": plan.score,
-            "qos_satisfied": plan.qos_satisfied,
-            "estimated_makespan_s": plan.estimated_makespan_s,
-            "estimated_energy_j": plan.estimated_energy_j,
-            "n_vms": plan.n_vms,
-            "search_provenance": provenance.as_dict() if provenance is not None else None,
-        }
-    )
+    document = {
+        "assignments": [_assignment_document(a) for a in plan.assignments],
+        "alpha": plan.alpha,
+        "score": plan.score,
+        "qos_satisfied": plan.qos_satisfied,
+        "estimated_makespan_s": plan.estimated_makespan_s,
+        "estimated_energy_j": plan.estimated_energy_j,
+        "n_vms": plan.n_vms,
+        "search_provenance": provenance.as_dict() if provenance is not None else None,
+    }
+    # Carbon fields cross the wire only when the plan was scored with a
+    # live carbon context: 2-way plans keep their pre-carbon bytes.
+    if plan.alpha_carbon:
+        document["alpha_carbon"] = plan.alpha_carbon
+        document["estimated_carbon_g"] = plan.estimated_carbon_g
+        document["estimated_cost"] = plan.estimated_cost
+    return stamp(document)
 
 
 def decode_plan(document) -> AllocationPlan:
@@ -275,12 +280,28 @@ def decode_plan(document) -> AllocationPlan:
         provenance = AllocationProvenance.from_counts(
             _object(raw_provenance, "search_provenance", kind)
         )
+    raw_alpha_carbon = document.get("alpha_carbon")
+    raw_carbon_g = document.get("estimated_carbon_g")
+    raw_cost = document.get("estimated_cost")
     return AllocationPlan(
         assignments=assignments,
         alpha=_number(_require(document, "alpha", kind), "alpha", kind),
         score=_number(_require(document, "score", kind), "score", kind),
         qos_satisfied=_boolean(
             _require(document, "qos_satisfied", kind), "qos_satisfied", kind
+        ),
+        alpha_carbon=(
+            _number(raw_alpha_carbon, "alpha_carbon", kind)
+            if raw_alpha_carbon is not None
+            else 0.0
+        ),
+        estimated_carbon_g=(
+            _number(raw_carbon_g, "estimated_carbon_g", kind)
+            if raw_carbon_g is not None
+            else None
+        ),
+        estimated_cost=(
+            _number(raw_cost, "estimated_cost", kind) if raw_cost is not None else None
         ),
         search_provenance=provenance,
     )
@@ -290,7 +311,7 @@ def decode_plan(document) -> AllocationPlan:
 
 
 def _outcome_document(outcome: StrategyOutcome) -> dict:
-    return {
+    document = {
         "cloud": outcome.cloud,
         "strategy": outcome.strategy,
         "makespan_s": outcome.makespan_s,
@@ -299,6 +320,12 @@ def _outcome_document(outcome: StrategyOutcome) -> dict:
         "mean_response_s": outcome.mean_response_s,
         "max_queue_length": outcome.max_queue_length,
     }
+    # Carbon/cost totals exist only in carbon-scenario runs; emitting
+    # them conditionally keeps signal-free documents byte-identical.
+    if outcome.carbon_g or outcome.cost:
+        document["carbon_g"] = outcome.carbon_g
+        document["cost"] = outcome.cost
+    return document
 
 
 def _decode_outcome(value, index: int, kind: str) -> StrategyOutcome:
@@ -330,6 +357,10 @@ def _decode_outcome(value, index: int, kind: str) -> StrategyOutcome:
             f"{field}.max_queue_length",
             kind,
         ),
+        carbon_g=_number(
+            document.get("carbon_g", 0.0), f"{field}.carbon_g", kind
+        ),
+        cost=_number(document.get("cost", 0.0), f"{field}.cost", kind),
     )
 
 

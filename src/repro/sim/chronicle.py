@@ -154,6 +154,7 @@ class Chronicle:
         server_id: str,
         capacity: int | None = None,
         spill: ChronicleSpill | None = None,
+        signals: object | None = None,
     ):
         if capacity is not None and capacity < 1:
             raise SimulationError(f"chronicle capacity must be >= 1, got {capacity}")
@@ -172,6 +173,13 @@ class Chronicle:
         self._total_energy_j = 0.0
         self._busy_energy_j = 0.0
         self._idle_energy_j = 0.0
+        # Carbon/cost against temporal signals (duck-typed fused
+        # accrue, see repro.ext.carbon.signal.TemporalSignals); same
+        # chronological fold order as the server runtime's own
+        # accumulators, so the two agree bit-exactly.
+        self._signals = signals
+        self._carbon_g = 0.0
+        self._cost = 0.0
         # Per-VM residency is O(every VM that ever landed here), which
         # grows with campaign length -- the one thing a bounded ring
         # exists to avoid.  Unbounded logs keep the running map (O(1)
@@ -221,6 +229,10 @@ class Chronicle:
         self.n_recorded += 1
         energy = interval.energy_j
         self._total_energy_j += energy
+        if self._signals is not None:
+            carbon, cost = self._signals.accrue(power_w, t0_s, t1_s)
+            self._carbon_g += carbon
+            self._cost += cost
         if interval.vm_ids:
             self._busy_energy_j += energy
             seconds = self._vm_seconds
@@ -287,6 +299,14 @@ class Chronicle:
 
     def idle_energy_j(self) -> float:
         return self._idle_energy_j
+
+    def carbon_g(self) -> float:
+        """Carbon mass (gCO2) over the full log; 0.0 without signals."""
+        return self._carbon_g
+
+    def cost(self) -> float:
+        """Energy cost over the full log; 0.0 without signals."""
+        return self._cost
 
     def vm_intervals(self, vm_id: str) -> list[Interval]:
         """The intervals during which one VM was resident (replays the

@@ -96,6 +96,12 @@ class DatacenterConfig:
     #: each shard its slice's offset so ids match the unsharded
     #: cluster's naming.
     server_id_offset: int = 0
+    #: Temporal carbon/price signals for per-interval carbon mass and
+    #: energy-cost accounting (duck-typed fused ``accrue``,
+    #: see :class:`repro.ext.carbon.signal.TemporalSignals`; sim never
+    #: imports ext).  ``None`` -- the default -- leaves every float of
+    #: the signal-free simulation untouched.
+    signals: object | None = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -152,6 +158,10 @@ class SimulationResult:
     #: What the fault schedule actually did (empty without faults);
     #: one :class:`repro.faults.FaultRecord` per timeline entry.
     fault_log: tuple = ()
+    #: Per-server carbon mass (gCO2) / energy cost, populated only when
+    #: the config carried temporal signals (empty tuples otherwise).
+    per_server_carbon_g: tuple = ()
+    per_server_cost: tuple = ()
 
     @property
     def energy_j(self) -> float:
@@ -284,6 +294,7 @@ class DatacenterSimulator:
                     if config.indexed
                     else False
                 ),
+                signals=config.signals,
             )
             for i in range(config.n_servers)
         ]
@@ -806,11 +817,22 @@ class DatacenterSimulator:
             max_queue_length=max_queue_length,
         )
 
+        if config.signals is not None:
+            carbon_g = sum(s.carbon_g() for s in servers)
+            cost = sum(s.cost() for s in servers)
+            if enabled:
+                registry.counter("carbon.grams", **label).inc(carbon_g)
+                registry.counter("cost.currency", **label).inc(cost)
+        else:
+            carbon_g = 0.0
+            cost = 0.0
         metrics = compute_metrics(
             outcomes,
             energy_busy_j=sum(s.energy().busy_j for s in servers),
             energy_idle_j=sum(s.energy().idle_j for s in servers),
             max_queue_length=max_queue_length,
+            carbon_g=carbon_g,
+            cost=cost,
         )
         return SimulationResult(
             strategy_name=strategy.name,
@@ -825,4 +847,14 @@ class DatacenterSimulator:
                 else ()
             ),
             fault_log=tuple(fault_log),
+            per_server_carbon_g=(
+                tuple(s.carbon_g() for s in servers)
+                if config.signals is not None
+                else ()
+            ),
+            per_server_cost=(
+                tuple(s.cost() for s in servers)
+                if config.signals is not None
+                else ()
+            ),
         )

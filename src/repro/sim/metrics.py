@@ -39,7 +39,13 @@ class JobOutcome:
 
 @dataclass(frozen=True)
 class SimulationMetrics:
-    """Aggregate metrics of one simulation run."""
+    """Aggregate metrics of one simulation run.
+
+    ``carbon_g``/``cost`` are the time-integrated carbon mass (gCO2)
+    and energy cost accumulated against the run's temporal signals
+    (see :mod:`repro.ext.carbon`); both stay exactly 0.0 when no
+    signals are attached, keeping signal-free runs bit-identical.
+    """
 
     makespan_s: float
     energy_j: float
@@ -51,6 +57,8 @@ class SimulationMetrics:
     mean_response_s: float
     p95_response_s: float
     max_queue_length: int
+    carbon_g: float = 0.0
+    cost: float = 0.0
 
     @property
     def sla_violation_pct(self) -> float:
@@ -76,6 +84,8 @@ def compute_metrics(
     energy_busy_j: float,
     energy_idle_j: float,
     max_queue_length: int,
+    carbon_g: float = 0.0,
+    cost: float = 0.0,
 ) -> SimulationMetrics:
     """Fold job outcomes and server energy into the paper's metrics."""
     if not outcomes:
@@ -90,6 +100,8 @@ def compute_metrics(
             mean_response_s=0.0,
             p95_response_s=0.0,
             max_queue_length=max_queue_length,
+            carbon_g=carbon_g,
+            cost=cost,
         )
     earliest_submit = min(o.submit_time_s for o in outcomes)
     latest_completion = max(o.completion_time_s for o in outcomes)
@@ -105,4 +117,6 @@ def compute_metrics(
         mean_response_s=float(np.mean(responses)),
         p95_response_s=float(np.percentile(responses, 95)),
         max_queue_length=max_queue_length,
+        carbon_g=carbon_g,
+        cost=cost,
     )

@@ -80,6 +80,7 @@ class ServerRuntime:
         chronicle_capacity: int | None = None,
         chronicle_spill: "ChronicleSpill | None" = None,
         mix_cache: "dict | bool" = True,
+        signals: object | None = None,
     ):
         self.server_id = server_id
         self.spec = spec
@@ -91,6 +92,13 @@ class ServerRuntime:
         self._last_sync_s = 0.0
         self._busy_energy_j = 0.0
         self._idle_energy_j = 0.0
+        # Temporal carbon/price signals (duck-typed: fused accrue per
+        # repro.ext.carbon.signal.TemporalSignals; sim must not
+        # import ext).  None keeps the accounting entirely absent, so
+        # signal-free runs touch no extra floats.
+        self._signals = signals
+        self._carbon_g = 0.0
+        self._cost = 0.0
         self._power_off_when_empty = power_off_when_empty
         self._powered_since_s: float | None = None  # None = off
         self.epoch = 0
@@ -114,7 +122,10 @@ class ServerRuntime:
             from repro.sim.chronicle import Chronicle
 
             self.chronicle: "Chronicle | None" = Chronicle(
-                server_id, capacity=chronicle_capacity, spill=chronicle_spill
+                server_id,
+                capacity=chronicle_capacity,
+                spill=chronicle_spill,
+                signals=signals,
             )
         else:
             self.chronicle = None
@@ -195,6 +206,14 @@ class ServerRuntime:
     def energy(self) -> EnergyBreakdown:
         return EnergyBreakdown(busy_j=self._busy_energy_j, idle_j=self._idle_energy_j)
 
+    def carbon_g(self) -> float:
+        """Time-integrated carbon mass (gCO2); 0.0 without signals."""
+        return self._carbon_g
+
+    def cost(self) -> float:
+        """Time-integrated energy cost; 0.0 without signals."""
+        return self._cost
+
     def current_power_w(self) -> float:
         """Instantaneous draw under the current mix (0 when off)."""
         if not self.powered_on:
@@ -274,6 +293,10 @@ class ServerRuntime:
                     else:
                         idle_power = self._idle_power_w()
                         self._idle_energy_j += idle_power * (now_s - t)
+                        if self._signals is not None:
+                            carbon, cost = self._signals.accrue(idle_power, t, now_s)
+                            self._carbon_g += carbon
+                            self._cost += cost
                         if self.chronicle is not None:
                             self.chronicle.record(t, now_s, (0, 0, 0), idle_power, ())
                 t = now_s
@@ -288,6 +311,10 @@ class ServerRuntime:
             )
             step = min(now_s - t, max(next_boundary, _EPSILON_S))
             self._busy_energy_j += power * step
+            if self._signals is not None:
+                carbon, cost = self._signals.accrue(power, t, t + step)
+                self._carbon_g += carbon
+                self._cost += cost
             if self.chronicle is not None:
                 self.chronicle.record(
                     t, t + step, self.mix_key(), power, [vm.vm_id for vm in self._vms]

@@ -218,6 +218,10 @@ def merge_results(results: Sequence[SimulationResult]) -> SimulationResult:
         energy_busy_j=sum(result.metrics.busy_energy_j for result in results),
         energy_idle_j=sum(result.metrics.idle_energy_j for result in results),
         max_queue_length=max_queue,
+        # Shard-order folds, mirroring the energy merge: a pure
+        # function of the decomposition, invariant to worker count.
+        carbon_g=sum(result.metrics.carbon_g for result in results),
+        cost=sum(result.metrics.cost for result in results),
     )
     return SimulationResult(
         strategy_name=results[0].strategy_name,
@@ -232,4 +236,10 @@ def merge_results(results: Sequence[SimulationResult]) -> SimulationResult:
         n_servers=sum(result.n_servers for result in results),
         chronicles=tuple(c for result in results for c in result.chronicles),
         fault_log=tuple(fault_log),
+        per_server_carbon_g=tuple(
+            g for result in results for g in result.per_server_carbon_g
+        ),
+        per_server_cost=tuple(
+            c for result in results for c in result.per_server_cost
+        ),
     )

@@ -72,6 +72,11 @@ class ProactiveStrategy(AllocationStrategy):
         Anytime-search policy forwarded verbatim to the allocators
         (``None`` = automatic mode selection, ``False`` = exact only,
         ``True`` = always anytime, or an ``AnytimeConfig``).
+    carbon:
+        Optional :class:`repro.core.scoring.CarbonContext` forwarded
+        verbatim to both underlying allocators, folding carbon mass
+        and energy cost into the score as a third axis.  ``None`` (or
+        ``alpha_carbon == 0``) keeps the 2-way scorer bit-identical.
     """
 
     def __init__(
@@ -82,6 +87,7 @@ class ProactiveStrategy(AllocationStrategy):
         obs: Observability | None = None,
         time_budget_s: float | None = None,
         anytime=None,
+        carbon=None,
     ):
         resolved = obs if obs is not None else get_observability()
         self._strict = ProactiveAllocator(
@@ -91,6 +97,7 @@ class ProactiveStrategy(AllocationStrategy):
             obs=obs,
             anytime=anytime,
             time_budget_s=time_budget_s,
+            carbon=carbon,
         )
         self._relaxed = ProactiveAllocator(
             database,
@@ -99,9 +106,10 @@ class ProactiveStrategy(AllocationStrategy):
             obs=obs,
             anytime=anytime,
             time_budget_s=time_budget_s,
+            carbon=carbon,
         )
         self._use_qos = bool(use_qos)
-        self.name = f"PA-{alpha:g}"
+        self.name = self._strict.weights.describe()
         self._last_plan: AllocationPlan | None = None
         self._registry = (
             resolved.registry if resolved.enabled else MetricsRegistry()

@@ -36,11 +36,14 @@ def make_strategy(
     name: str,
     database: Optional[ModelDatabase] = None,
     rng: RngLike = None,
+    carbon=None,
 ) -> AllocationStrategy:
     """Build a strategy from its display name.
 
     Slot-based names come from :data:`STRATEGY_BUILDERS`; ``PA-<alpha>``
     needs ``database``; ``RAND[-k]`` accepts an optional seed.
+    ``carbon`` (a :class:`repro.core.scoring.CarbonContext`) applies
+    only to ``PA-<alpha>`` and adds the 3-way carbon/cost axis.
     """
     if name in STRATEGY_BUILDERS:
         return STRATEGY_BUILDERS[name]()
@@ -59,7 +62,7 @@ def make_strategy(
             alpha = float(name[3:])
         except ValueError:
             raise ConfigurationError(f"bad proactive name {name!r}") from None
-        return ProactiveStrategy(database, alpha=alpha)
+        return ProactiveStrategy(database, alpha=alpha, carbon=carbon)
     known = sorted(STRATEGY_BUILDERS) + ["PA-<alpha>", "RAND[-k]"]
     raise ConfigurationError(f"unknown strategy {name!r}; known: {known}")
 
@@ -67,19 +70,23 @@ def make_strategy(
 def paper_strategies(
     database: ModelDatabase,
     time_budget_s: float | None = None,
+    carbon=None,
 ) -> list[AllocationStrategy]:
     """The six strategies of Figs. 5-7, in the paper's presentation order.
 
     ``time_budget_s`` caps each proactive allocation's wall-clock cost
     (forcing the anytime search mode); ``None`` keeps automatic mode
-    selection, where the paper-regime batches stay exact.
+    selection, where the paper-regime batches stay exact.  ``carbon``
+    (a :class:`repro.core.scoring.CarbonContext`) adds the 3-way
+    carbon/cost axis to the proactive strategies; the slot-based
+    heuristics ignore it by construction.
     """
     return [
         FirstFitStrategy(1),
         FirstFitStrategy(2),
         FirstFitStrategy(3),
         # PA-1 minimizes energy, PA-0 time, PA-0.5 balances the two.
-        ProactiveStrategy(database, alpha=1.0, time_budget_s=time_budget_s),
-        ProactiveStrategy(database, alpha=0.0, time_budget_s=time_budget_s),
-        ProactiveStrategy(database, alpha=0.5, time_budget_s=time_budget_s),
+        ProactiveStrategy(database, alpha=1.0, time_budget_s=time_budget_s, carbon=carbon),
+        ProactiveStrategy(database, alpha=0.0, time_budget_s=time_budget_s, carbon=carbon),
+        ProactiveStrategy(database, alpha=0.5, time_budget_s=time_budget_s, carbon=carbon),
     ]

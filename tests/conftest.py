@@ -7,6 +7,8 @@ database built from it -- are session-scoped: they are deterministic
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.campaign.platformrunner import CampaignResult, run_campaign
@@ -30,3 +32,23 @@ def campaign(server: ServerSpec) -> CampaignResult:
 def database(campaign: CampaignResult) -> ModelDatabase:
     """The model database built from the shared campaign."""
     return ModelDatabase.from_campaign(campaign)
+
+
+@pytest.fixture
+def signal_file(tmp_path):
+    """Factory writing temporal-signal JSON files for CLI/loader tests.
+
+    ``signal_file(document)`` serializes the dict; ``signal_file(None,
+    raw=...)`` writes the text verbatim for malformed-input tests.
+    Each call gets a fresh file name.
+    """
+    counter = {"n": 0}
+
+    def write(document, raw: "str | None" = None) -> str:
+        counter["n"] += 1
+        path = tmp_path / f"signal-{counter['n']}.json"
+        text = raw if raw is not None else json.dumps(document)
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    return write

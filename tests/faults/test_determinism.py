@@ -15,10 +15,27 @@ import pytest
 
 from repro.experiments.config import SMALLER
 from repro.experiments.evaluation import run_evaluation
+from repro.ext.carbon import (
+    CarbonOptions,
+    TemporalSignals,
+    daily_carbon_signal,
+    double_peak_price_signal,
+)
 from repro.faults import FaultEvent, FaultKind, FaultSpec, RandomFaults
 from repro.obs.runtime import observed
 
 SCALE = 300
+
+#: The carbon scenario at full tilt -- live signals, 3-way scoring and
+#: temporal shifting -- must uphold the exact same identity contract as
+#: the plain lineup, so the suite runs once without and once with it.
+CARBON = CarbonOptions(
+    signals=TemporalSignals(
+        carbon=daily_carbon_signal(7), price=double_peak_price_signal(7)
+    ),
+    alpha_carbon=0.25,
+    shift_deferrable=True,
+)
 
 #: Chaos that always leaves the (2-server) scaled cluster able to
 #: finish: the crash recovers, the slowdown ends, and worker failures
@@ -42,23 +59,30 @@ def tiny_config():
     return SMALLER.scaled(SCALE)
 
 
-def run_once(campaign, config, jobs, faults):
+def run_once(campaign, config, jobs, faults, carbon=None):
     sink = io.StringIO()
     with observed(trace_sink=sink, deterministic=True) as bundle:
         result = run_evaluation(
-            configs=[config], campaign=campaign, jobs=jobs, faults=faults
+            configs=[config], campaign=campaign, jobs=jobs, faults=faults, carbon=carbon
         )
         snapshot = bundle.snapshot()
     return result, snapshot, sink.getvalue()
 
 
+@pytest.fixture(params=[None, CARBON], ids=["plain", "carbon"])
+def carbon_options(request):
+    return request.param
+
+
 class TestFaultedSerialParallelIdentity:
-    def test_faulted_run_identical_at_any_worker_count(self, campaign, tiny_config):
+    def test_faulted_run_identical_at_any_worker_count(
+        self, campaign, tiny_config, carbon_options
+    ):
         serial, serial_snapshot, serial_trace = run_once(
-            campaign, tiny_config, jobs=1, faults=CHAOS
+            campaign, tiny_config, jobs=1, faults=CHAOS, carbon=carbon_options
         )
         parallel, parallel_snapshot, parallel_trace = run_once(
-            campaign, tiny_config, jobs=4, faults=CHAOS
+            campaign, tiny_config, jobs=4, faults=CHAOS, carbon=carbon_options
         )
         assert serial.outcomes == parallel.outcomes
         assert serial == parallel
@@ -75,14 +99,33 @@ class TestFaultedSerialParallelIdentity:
         # 2 + 1 worker failures, all retried to success.
         assert sum(v for k, v in counters.items() if k.startswith("faults.retries")) == 3
 
-    def test_faulted_run_repeats_bit_identical(self, campaign, tiny_config):
-        first = run_once(campaign, tiny_config, jobs=2, faults=CHAOS)
-        second = run_once(campaign, tiny_config, jobs=2, faults=CHAOS)
+    def test_faulted_run_repeats_bit_identical(
+        self, campaign, tiny_config, carbon_options
+    ):
+        first = run_once(campaign, tiny_config, jobs=2, faults=CHAOS, carbon=carbon_options)
+        second = run_once(campaign, tiny_config, jobs=2, faults=CHAOS, carbon=carbon_options)
         assert first[0] == second[0]
         assert json.dumps(first[1], sort_keys=True) == json.dumps(
             second[1], sort_keys=True
         )
         assert first[2] == second[2]
+
+    def test_carbon_counters_present_under_chaos(self, campaign, tiny_config):
+        result, snapshot, _ = run_once(
+            campaign, tiny_config, jobs=2, faults=CHAOS, carbon=CARBON
+        )
+        counters = snapshot["counters"]
+        assert any(key.startswith("carbon.grams") for key in counters)
+        assert any(key.startswith("cost.currency") for key in counters)
+        assert any(key.startswith("shift.moved_jobs") for key in counters)
+        assert all(outcome.carbon_g > 0.0 for outcome in result.outcomes)
+
+    def test_carbon_counters_absent_without_signals(self, campaign, tiny_config):
+        _, snapshot, _ = run_once(campaign, tiny_config, jobs=2, faults=CHAOS)
+        counters = snapshot["counters"]
+        assert not any(key.startswith("carbon.") for key in counters)
+        assert not any(key.startswith("cost.") for key in counters)
+        assert not any(key.startswith("shift.") for key in counters)
 
 
 class TestEmptySpecIsInert:

@@ -11,7 +11,7 @@ from repro import ModelDatabase, ProactiveAllocator, ServerState, VMRequest, bui
 
 class TestTopLevelAPI:
     def test_version(self):
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_build_model_one_liner(self):
         database = build_model()
